@@ -1,0 +1,160 @@
+"""Ablation benchmarks for the design choices DESIGN.md §4 calls out.
+
+1. Reroute policy: exact suffix redirect vs the paper's simplified
+   resimulate-from-source (§2.2 offers both; how much extra work does the
+   simple one do, and how far does its estimate drift?).
+2. Activation probability: how well does the §2.2 formula
+   ``1 − (1 − 1/d(u))^{W(u)}`` predict actual store calls?
+3. Fetch mode: full adjacency vs Remark 1's single-sampled-edge (≤ 2×
+   more fetches claimed).
+4. Normalization: paper ``X/(nR/ε)`` vs empirical ``X/ΣX`` under dangling
+   mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.power_iteration import exact_pagerank
+from repro.core.incremental import (
+    REROUTE_REDIRECT,
+    REROUTE_RESIMULATE,
+    IncrementalPageRank,
+)
+from repro.core.personalized import PersonalizedPageRank
+from repro.graph.arrival import RandomPermutationArrival
+from repro.store.pagerank_store import FETCH_SAMPLED_EDGE, PageRankStore
+from repro.store.social_store import SocialStore
+from repro.workloads.twitter_like import twitter_like_graph
+
+
+def _replay(policy: str, graph, rng_seed: int):
+    engine = IncrementalPageRank(
+        reset_probability=0.25,
+        walks_per_node=5,
+        rng=rng_seed,
+        reroute_policy=policy,
+    )
+    for _ in range(graph.num_nodes):
+        engine.add_node()
+    for event in RandomPermutationArrival.of_graph(graph, rng=rng_seed):
+        engine.apply(event)
+    return engine
+
+
+def test_ablation_reroute_policy(benchmark):
+    """Redirect (exact) vs resimulate-from-source (paper's simplification)."""
+    graph = twitter_like_graph(800, 9600, rng=42)
+    exact = exact_pagerank(graph, reset_probability=0.25)
+
+    redirect = benchmark.pedantic(
+        lambda: _replay(REROUTE_REDIRECT, graph, 1), rounds=1, iterations=1
+    )
+    resimulate = _replay(REROUTE_RESIMULATE, graph, 2)
+
+    redirect_error = np.abs(redirect.pagerank() - exact).sum()
+    resimulate_error = np.abs(resimulate.pagerank() - exact).sum()
+    # both land in the same accuracy regime on this workload …
+    assert redirect_error < 0.5
+    assert resimulate_error < 0.7
+    # … but full resimulation touches more steps per reroute
+    redirect_cost = redirect.total_steps_resimulated / max(
+        redirect.total_segments_rerouted, 1
+    )
+    resimulate_cost = resimulate.total_steps_resimulated / max(
+        resimulate.total_segments_rerouted, 1
+    )
+    print(
+        f"\nredirect: L1={redirect_error:.3f}, steps/reroute={redirect_cost:.2f}; "
+        f"resimulate: L1={resimulate_error:.3f}, steps/reroute={resimulate_cost:.2f}"
+    )
+
+
+def test_ablation_activation_prediction(benchmark):
+    """§2.2's activation probability vs actual store-call frequency."""
+    graph = twitter_like_graph(800, 9600, rng=43)
+
+    def replay():
+        engine = IncrementalPageRank(
+            reset_probability=0.25, walks_per_node=5, rng=3
+        )
+        for _ in range(graph.num_nodes):
+            engine.add_node()
+        predicted = 0.0
+        actual = 0
+        arrivals = 0
+        for event in RandomPermutationArrival.of_graph(graph, rng=3):
+            report = engine.apply(event)
+            predicted += report.activation_probability
+            actual += int(report.store_called)
+            arrivals += 1
+        return predicted, actual, arrivals
+
+    predicted, actual, arrivals = benchmark.pedantic(replay, rounds=1, iterations=1)
+    # The paper's counter-based formula is an upper-ish estimate of the
+    # true call rate: within a factor ~2 in aggregate, and never smaller
+    # than ~half the actual (it ignores multi-visit step counts).
+    assert predicted > 0.4 * actual
+    assert predicted < 3.0 * actual
+    print(
+        f"\npredicted store calls {predicted:.0f} vs actual {actual} over "
+        f"{arrivals} arrivals ({actual / arrivals:.1%} call rate)"
+    )
+
+
+def test_ablation_fetch_mode(benchmark):
+    """Remark 1: sampled-edge fetches cost at most ~2x full fetches."""
+    graph = twitter_like_graph(3000, 36_000, rng=44)
+
+    def fetches_for(mode: str, seed: int) -> float:
+        store = PageRankStore(SocialStore.of_graph(graph), fetch_mode=mode)
+        engine = IncrementalPageRank(
+            social_store=store.social_store,
+            walks_per_node=10,
+            rng=seed,
+            pagerank_store=store,
+        )
+        engine.initialize()
+        query = PersonalizedPageRank(store, rng=seed)
+        counts = [query.stitched_walk(s, 5000).fetches for s in (10, 20, 30)]
+        return float(np.mean(counts))
+
+    full = benchmark.pedantic(
+        lambda: fetches_for("full", 5), rounds=1, iterations=1
+    )
+    sampled = fetches_for(FETCH_SAMPLED_EDGE, 6)
+    assert sampled <= 2.5 * full + 5  # Remark 1's factor-2 (plus noise)
+    print(f"\nfull-mode fetches {full:.1f}, sampled-edge fetches {sampled:.1f}")
+
+
+def test_ablation_normalization(benchmark):
+    """Paper vs empirical normalization on a graph with dangling mass."""
+    from repro.graph.digraph import DynamicDiGraph
+
+    rng = np.random.default_rng(7)
+    graph = DynamicDiGraph(400, allow_self_loops=False)
+    for _ in range(2000):
+        u, v = int(rng.integers(400)), int(rng.integers(400))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    # knock out the out-edges of 40 nodes -> real dangling mass
+    for node in range(0, 400, 10):
+        for target in list(graph.out_view(node)):
+            graph.remove_edge(node, target)
+    exact = exact_pagerank(graph, reset_probability=0.2)
+
+    def build():
+        return IncrementalPageRank.from_graph(
+            graph, reset_probability=0.2, walks_per_node=20, rng=8
+        )
+
+    engine = benchmark.pedantic(build, rounds=1, iterations=1)
+    paper_scores = engine.pagerank("paper")
+    empirical_scores = engine.pagerank("empirical")
+    # paper normalization is the unbiased match for Equation (1) …
+    assert np.abs(paper_scores - exact).sum() < np.abs(
+        empirical_scores - exact
+    ).sum()
+    # … while empirical is the proper distribution
+    assert abs(empirical_scores.sum() - 1.0) < 1e-9
+    assert paper_scores.sum() < 0.98  # dangling mass genuinely absorbed

@@ -1,0 +1,24 @@
+"""E-THM1: Monte Carlo concentration benchmark (Theorem 1)."""
+
+from __future__ import annotations
+
+from repro.experiments.exp_concentration import run_thm1
+
+
+def test_e_thm1(benchmark, once):
+    result = once(
+        benchmark,
+        run_thm1,
+        num_nodes=1000,
+        num_edges=12_000,
+        walk_counts=(1, 2, 5, 10, 20),
+        rng=42,
+    )
+    rows = {row["R"]: row for row in result.rows}
+    # error decays with R (allowing ~sqrt noise): R=20 beats R=1 by >= 2.5x
+    assert rows[20]["L1 error"] < rows[1]["L1 error"] / 2.5
+    # "even R = 1 gives provably good results": top-100 mostly recovered
+    assert rows[1]["top-100 overlap"] > 0.5
+    assert rows[20]["top-100 overlap"] > 0.8
+    print()
+    print(result.render())

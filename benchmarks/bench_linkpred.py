@@ -1,0 +1,36 @@
+"""E-T1: link-prediction benchmark (Appendix A, Table 1)."""
+
+from __future__ import annotations
+
+from repro.experiments.exp_linkpred import run_table1
+
+
+def test_e_t1(benchmark, once):
+    result = once(
+        benchmark,
+        run_table1,
+        num_nodes=10_000,
+        num_edges=120_000,
+        max_users=15,
+        rng=42,
+    )
+    table = {row["method"]: row for row in result.rows}
+    # Table 1's shape on the scale-honest (long-tail) view: random-walk
+    # methods beat COSINE, and everyone beats HITS clearly.
+    hits = table["HITS"]["long-tail top 100"]
+    cosine = table["COSINE"]["long-tail top 100"]
+    pagerank = table["PageRank"]["long-tail top 100"]
+    salsa = table["SALSA"]["long-tail top 100"]
+    assert pagerank > hits
+    assert salsa > hits
+    assert max(pagerank, salsa) >= cosine * 0.8  # walks at least match COSINE
+    assert max(pagerank, salsa) > 1.8 * max(hits, 0.05)  # and crush HITS
+    # Full-table ordering is monotone in the same direction.
+    assert table["PageRank"]["top 100"] > table["HITS"]["top 100"]
+    # The Monte Carlo production path tracks its iterative reference.
+    assert (
+        table["PageRank (MC walks)"]["top 1000"]
+        > 0.5 * table["PageRank"]["top 1000"]
+    )
+    print()
+    print(result.render())

@@ -1,0 +1,28 @@
+"""E-F5: short-walk precision benchmark (§4.4, Figure 5)."""
+
+from __future__ import annotations
+
+from repro.experiments.exp_precision import run_fig5
+
+
+def test_e_f5(benchmark, once):
+    result = once(
+        benchmark,
+        run_fig5,
+        num_nodes=4000,
+        num_edges=48_000,
+        num_users=8,
+        true_length=30_000,
+        query_length=3_000,
+        rng=42,
+    )
+    curve = {row["recall"]: row["interpolated avg precision"] for row in result.rows}
+    # the paper's reading: strong precision deep into the recall range
+    assert curve[0.0] > 0.9
+    assert curve[0.5] > 0.6
+    assert curve[0.8] > 0.4  # paper: ≈0.8 at Twitter scale/lengths
+    # precision is non-increasing in recall (interpolation guarantees it)
+    values = [curve[k] for k in sorted(curve)]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    print()
+    print(result.render())

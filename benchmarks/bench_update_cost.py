@@ -1,0 +1,94 @@
+"""E-THM4 / E-PROP5 / E-DIR / E-ADV / E-THM6: maintenance-cost benchmarks."""
+
+from __future__ import annotations
+
+from repro.core import theory
+from repro.experiments.exp_update_cost import (
+    run_adversarial,
+    run_dirichlet,
+    run_prop5,
+    run_thm4,
+    run_thm6,
+)
+
+SIZE = {"num_nodes": 1000, "num_edges": 12_000, "rng": 42}
+
+
+def test_e_thm4(benchmark, once):
+    result = once(benchmark, run_thm4, **SIZE)
+    total = next(r for r in result.rows if r["arrival t"] == "TOTAL measured")
+    measured = total["measured mean work"]
+    bound = total["thm4 bound nR/(t eps^2)"]
+    naive_pi = next(
+        r for r in result.rows if "power-iteration" in str(r["arrival t"])
+    )["measured mean work"]
+    naive_mc = next(
+        r for r in result.rows if "MC-rebuild" in str(r["arrival t"])
+    )["measured mean work"]
+    # Theorem 4's claim, in order of importance:
+    assert measured <= bound  # total within the theoretical bound
+    assert measured < naive_pi / 50  # crushes naive power iteration
+    assert measured < naive_mc / 50  # crushes naive MC rebuilds
+    print()
+    print(result.render())
+
+
+def test_e_prop5(benchmark, once):
+    result = once(benchmark, run_prop5, deletions=500, **SIZE)
+    row = next(
+        r for r in result.rows if r["quantity"].startswith("mean resimulated")
+    )
+    # Prop 5's bound is tight under uniform deletion: ratio ≈ 1 (±40%)
+    assert 0.4 < row["measured/bound"] < 1.4
+    print()
+    print(result.render())
+
+
+def test_e_dir(benchmark, once):
+    result = once(benchmark, run_dirichlet, **SIZE)
+    values = {row["quantity"]: row["value"] for row in result.rows}
+    assert values["total measured work"] <= values["dirichlet bound"]
+    assert values["dirichlet bound"] < values["random-permutation bound (for scale)"]
+    print()
+    print(result.render())
+
+
+def test_e_adv(benchmark, once):
+    result = once(benchmark, run_adversarial, sizes=(15, 30, 60), rng=42)
+    rows = {row["gadget N"]: row for row in result.rows}
+    # Omega(n): reroutes per nR stay bounded away from zero as n quadruples
+    for size in (15, 30, 60):
+        assert rows[size]["reroutes / nR"] > 0.2
+        assert (
+            rows[size]["killer-edge reroutes"]
+            > 3 * rows[size]["random-order last arrival"]
+        )
+    assert rows[60]["killer-edge reroutes"] > 2.5 * rows[15]["killer-edge reroutes"]
+    print()
+    print(result.render())
+
+
+def test_e_thm6(benchmark, once):
+    result = once(
+        benchmark, run_thm6, num_nodes=600, num_edges=6000, rng=42
+    )
+    values = {row["quantity"]: row["value"] for row in result.rows}
+    # SALSA costs more than PageRank but within the theorem's x16 envelope
+    assert 2.0 < values["measured SALSA/PageRank ratio"] < 16.0
+    assert values["SALSA within bound"]
+    print()
+    print(result.render())
+
+
+def test_theory_worked_numbers(benchmark):
+    """E-EQ4 (Remark 2): the paper's worked example, timed as a microbench."""
+
+    def closed_forms():
+        s_k = theory.eq4_walk_length(100, 10**8, 0.75, c=5)
+        bound = theory.cor9_topk_fetch_bound(100, 0.75, c=5, R=10)
+        return s_k, bound
+
+    s_k, bound = benchmark(closed_forms)
+    assert abs(s_k - 63245.55) < 100  # paper: "632k = 63200"
+    assert abs(bound - 2001.0) < 40  # paper: "20k = 2000"
+    assert bound < s_k / 30  # the point of Remark 2: fetches ≪ steps

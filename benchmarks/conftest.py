@@ -1,0 +1,26 @@
+"""Shared benchmark configuration.
+
+Every benchmark wraps one experiment driver (see ``repro.experiments``) in
+``benchmark.pedantic(…, rounds=1)`` — the experiments are end-to-end
+reproductions, not microseconds-scale kernels, so one timed round is the
+meaningful measurement.  Each benchmark also asserts the experiment's
+*shape* claim (who wins, what stays under which bound), so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction gate.
+
+Sizes are the runner's ``--quick``-ish scale so the full suite finishes in
+a few minutes; EXPERIMENTS.md records a full-size run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment driver exactly once under the benchmark clock."""
+    return benchmark.pedantic(lambda: func(**kwargs), rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Real-time reputation maintenance: the Theorem-4 economics, live.
+
+Feeds a follow stream edge by edge into (a) the incremental engine and
+(b) a naive rebuild-per-arrival Monte Carlo baseline (on a subsampled
+prefix — running it for every arrival is the point of its being
+infeasible), then reports:
+
+* per-arrival maintenance cost as the network grows (decaying, per Thm 4);
+* cumulative cost vs the naive strategies (measured + analytic);
+* estimate quality against an exact solve at several checkpoints.
+
+Run:  python examples/realtime_maintenance.py [--nodes 1500]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.baselines.monte_carlo_static import NaiveMonteCarloRebuild
+from repro.baselines.power_iteration import exact_pagerank
+from repro.core import theory
+from repro.core.incremental import IncrementalPageRank
+from repro.graph.arrival import RandomPermutationArrival
+from repro.workloads.twitter_like import twitter_like_graph
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=1500)
+    parser.add_argument("--edges", type=int, default=18_000)
+    parser.add_argument("--walks", type=int, default=5)
+    parser.add_argument("--eps", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    final_graph = twitter_like_graph(args.nodes, args.edges, rng=args.seed)
+    events = list(RandomPermutationArrival.of_graph(final_graph, rng=args.seed))
+    m = len(events)
+
+    engine = IncrementalPageRank(
+        reset_probability=args.eps, walks_per_node=args.walks, rng=args.seed
+    )
+    for _ in range(args.nodes):
+        engine.add_node()
+
+    checkpoints = {m // 10, m // 3, m}
+    window_cost = 0
+    window_start = 1
+    print(f"feeding {m} arrivals (n={args.nodes}, R={args.walks}, eps={args.eps})\n")
+    print("   arrivals | mean cost/arrival | thm4 bound/arrival")
+    for t, event in enumerate(events, start=1):
+        window_cost += engine.apply(event).steps_resimulated
+        if t in checkpoints or t == m // 30:
+            bound = np.mean(
+                [
+                    theory.thm4_update_work_at(args.nodes, args.walks, args.eps, i)
+                    for i in range(window_start, t + 1)
+                ]
+            )
+            print(
+                f"  {window_start:>6}-{t:<6}| {window_cost / (t - window_start + 1):>17.2f} "
+                f"| {bound:>18.1f}"
+            )
+            window_cost, window_start = 0, t + 1
+
+    total = engine.total_steps_resimulated
+    bound = theory.thm4_total_update_work(args.nodes, args.walks, args.eps, m)
+    naive_pi = theory.naive_power_iteration_total_work(m, args.eps)
+    naive_mc = theory.naive_monte_carlo_total_work(args.nodes, m, args.eps)
+    print(f"\ntotal maintenance:        {total:>14,} walk steps")
+    print(f"theorem-4 bound:          {bound:>14,.0f}")
+    print(f"naive power iteration:    {naive_pi:>14,.0f} edge touches (analytic)")
+    print(f"naive MC rebuilds:        {naive_mc:>14,.0f} walk steps (analytic)")
+
+    # Measure the naive MC strategy for real on a small prefix, to show the
+    # analytic row is not a strawman.
+    prefix = events[: min(150, m)]
+    naive = NaiveMonteCarloRebuild(
+        args.nodes,
+        reset_probability=args.eps,
+        walks_per_node=args.walks,
+        rng=args.seed,
+    )
+    naive.process(prefix)
+    incremental_prefix_cost = sum(
+        r.steps_resimulated
+        for r in map(
+            IncrementalPageRank(
+                reset_probability=args.eps, walks_per_node=args.walks, rng=args.seed
+            ).apply,
+            prefix,
+        )
+    )
+    print(
+        f"\nfirst {len(prefix)} arrivals, measured: naive rebuilds cost "
+        f"{naive.total_work:,} steps vs incremental {incremental_prefix_cost:,}"
+    )
+
+    exact = exact_pagerank(final_graph, reset_probability=args.eps)
+    error = np.abs(engine.pagerank() - exact).sum()
+    overlap = len(
+        {node for node, _ in engine.top(50)}
+        & set(np.argsort(-exact)[:50].tolist())
+    )
+    print(
+        f"\nfinal estimate quality: L1 error {error:.3f} vs exact solve, "
+        f"top-50 overlap {overlap}/50"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``.  This file exists so the
+package remains installable in offline environments whose setuptools lacks
+PEP 660 editable-wheel support (``pip install -e . --no-build-isolation``
+falls back to it, and ``python setup.py develop`` works directly).
+"""
+
+from setuptools import setup
+
+setup()

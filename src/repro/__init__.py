@@ -1,0 +1,63 @@
+"""repro — Fast Incremental and Personalized PageRank (VLDB 2010).
+
+A production-shaped reproduction of Bahmani, Chowdhury & Goel's Monte Carlo
+walk-segment system: global PageRank kept fresh under edge arrivals and
+deletions in ``O(nR ln m / ε²)`` total work, SALSA likewise, and
+personalized PageRank / SALSA answered in real time by stitching the stored
+segments with provably few database fetches.
+
+Quickstart::
+
+    from repro import IncrementalPageRank, PersonalizedPageRank
+    from repro.graph import directed_preferential_attachment
+
+    graph = directed_preferential_attachment(10_000, rng=7)
+    engine = IncrementalPageRank.from_graph(graph, walks_per_node=10, rng=7)
+    engine.add_edge(3, 1729)            # O(1/t)-ish amortized maintenance
+    print(engine.top(10))               # always-fresh global PageRank
+
+    ppr = PersonalizedPageRank(engine.pagerank_store, rng=7)
+    walk = ppr.top_k(seed=42, k=20, length=5_000, exclude_friends=True)
+    print(walk.top(20), walk.fetches)   # fetches ≪ walk length (Thm 8)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure and table.
+"""
+
+from repro.core import (
+    IncrementalPageRank,
+    IncrementalSALSA,
+    MonteCarloPageRank,
+    PersonalizedPageRank,
+    PersonalizedSALSA,
+    TopKResult,
+    UpdateReport,
+    WalkSegment,
+    WalkStore,
+    theory,
+    top_k_personalized,
+)
+from repro.errors import ReproError
+from repro.graph import DynamicDiGraph
+from repro.store import PageRankStore, SocialStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DynamicDiGraph",
+    "SocialStore",
+    "PageRankStore",
+    "WalkSegment",
+    "WalkStore",
+    "MonteCarloPageRank",
+    "IncrementalPageRank",
+    "IncrementalSALSA",
+    "PersonalizedPageRank",
+    "PersonalizedSALSA",
+    "UpdateReport",
+    "TopKResult",
+    "top_k_personalized",
+    "theory",
+]

@@ -1,0 +1,35 @@
+"""Analysis utilities: power-law fits, IR metrics, error norms, ASCII plots."""
+
+from repro.analysis.concentration import (
+    l1_error,
+    max_relative_error,
+    relative_errors,
+    top_k_overlap,
+)
+from repro.analysis.power_law import (
+    PowerLawFit,
+    empirical_cdf,
+    fit_personalized_exponent,
+    fit_rank_exponent,
+    weighted_degree_cdf,
+)
+from repro.analysis.precision import (
+    average_precision_11pt,
+    capture_count,
+    interpolated_precision_11pt,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "fit_rank_exponent",
+    "fit_personalized_exponent",
+    "empirical_cdf",
+    "weighted_degree_cdf",
+    "interpolated_precision_11pt",
+    "average_precision_11pt",
+    "capture_count",
+    "l1_error",
+    "max_relative_error",
+    "relative_errors",
+    "top_k_overlap",
+]

@@ -1,0 +1,116 @@
+"""Terminal scatter/line plots — no matplotlib in this environment.
+
+EXPERIMENTS.md and the example scripts render their figures as ASCII
+log-log plots; crude, but enough to eyeball whether a power law is a line
+and whether a measured curve sits under a theoretical bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_plot", "ascii_histogram"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render named (x, y) series on one grid.
+
+    ``series`` maps label → (xs, ys).  Log axes drop non-positive points
+    (as a log-log plot must).  Returns a multi-line string with a legend.
+    """
+    if not series:
+        raise ConfigurationError("no series to plot")
+    prepared: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for label, (xs, ys) in series.items():
+        x = np.asarray(xs, dtype=np.float64)
+        y = np.asarray(ys, dtype=np.float64)
+        if x.shape != y.shape:
+            raise ConfigurationError(f"series {label!r}: x/y length mismatch")
+        mask = np.isfinite(x) & np.isfinite(y)
+        if log_x:
+            mask &= x > 0
+        if log_y:
+            mask &= y > 0
+        x, y = x[mask], y[mask]
+        if x.size:
+            prepared[label] = (
+                np.log10(x) if log_x else x,
+                np.log10(y) if log_y else y,
+            )
+    if not prepared:
+        raise ConfigurationError("all points filtered out (log of non-positive?)")
+
+    all_x = np.concatenate([x for x, _ in prepared.values()])
+    all_y = np.concatenate([y for _, y in prepared.values()])
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, (x, y)) in enumerate(prepared.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        columns = np.clip(
+            ((x - x_low) / x_span * (width - 1)).round().astype(int), 0, width - 1
+        )
+        rows = np.clip(
+            ((y - y_low) / y_span * (height - 1)).round().astype(int), 0, height - 1
+        )
+        for column, row in zip(columns, rows):
+            grid[height - 1 - row][column] = marker
+
+    def _fmt(value: float, logged: bool) -> str:
+        return f"{10 ** value:.3g}" if logged else f"{value:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {_fmt(y_high, log_y)}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"y: {_fmt(y_low, log_y)}   x: {_fmt(x_low, log_x)} .. {_fmt(x_high, log_x)}"
+        + ("  [log-x]" if log_x else "")
+        + ("  [log-y]" if log_y else "")
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {label}"
+        for i, label in enumerate(prepared)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal-bar histogram of ``values``."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ConfigurationError("no values to histogram")
+    counts, edges = np.histogram(array, bins=bins)
+    peak = counts.max() or 1
+    lines = [title] if title else []
+    for index, count in enumerate(counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"{edges[index]:>10.4g} .. {edges[index + 1]:<10.4g} |{bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Estimator-vs-exact error metrics (Theorem 1 experiments)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["l1_error", "relative_errors", "max_relative_error", "top_k_overlap"]
+
+
+def l1_error(estimate: np.ndarray, exact: np.ndarray) -> float:
+    """Total variation-style L1 distance between two score vectors."""
+    estimate, exact = _align(estimate, exact)
+    return float(np.abs(estimate - exact).sum())
+
+
+def relative_errors(
+    estimate: np.ndarray, exact: np.ndarray, *, floor: float = 0.0
+) -> np.ndarray:
+    """Per-node ``|π̃ − π| / π`` restricted to nodes with ``π > floor``.
+
+    Theorem 1's concentration statement is per-node and relative — error
+    on negligible-PageRank nodes is theoretically unconstrained at small R,
+    so callers typically floor at, e.g., the mean PageRank ``1/n``.
+    """
+    estimate, exact = _align(estimate, exact)
+    mask = exact > floor
+    if not mask.any():
+        raise ConfigurationError("no nodes exceed the floor")
+    return np.abs(estimate[mask] - exact[mask]) / exact[mask]
+
+
+def max_relative_error(
+    estimate: np.ndarray, exact: np.ndarray, *, floor: float = 0.0
+) -> float:
+    return float(relative_errors(estimate, exact, floor=floor).max())
+
+
+def top_k_overlap(estimate: np.ndarray, exact: np.ndarray, k: int) -> float:
+    """|top-k(estimate) ∩ top-k(exact)| / k — ranking agreement."""
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    estimate, exact = _align(estimate, exact)
+    top_estimate = set(np.argsort(-estimate)[:k].tolist())
+    top_exact = set(np.argsort(-exact)[:k].tolist())
+    return len(top_estimate & top_exact) / k
+
+
+def _align(estimate: np.ndarray, exact: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    estimate = np.asarray(estimate, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if estimate.shape != exact.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {estimate.shape} vs {exact.shape}"
+        )
+    return estimate, exact

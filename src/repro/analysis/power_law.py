@@ -1,0 +1,139 @@
+"""Power-law fitting and degree CDFs (§3.1, §4.2, §4.3).
+
+The paper works with *rank-size* power laws: if ``π_j`` is the j-th largest
+entry, ``π_j ∝ j^(−α)`` with ``0 < α < 1``.  The exponent is fitted, as in
+the paper's log-log plots, by least squares on ``log j`` vs ``log π_j``
+over a rank window.  For personalized vectors the paper fits only the
+window ``[2f, 20f]`` (``f`` = the seed's friend count) to skip the
+friends-dominated head (Remark 4) — :func:`fit_personalized_exponent`
+implements exactly that protocol.
+
+The degree-CDF helpers back Figure 1: ``a(d)`` is the fraction of arriving
+edges whose source had out-degree ≤ d (arrival cdf); ``e(d)`` is the
+degree-mass cdf of the existing graph (existing cdf).  Under random-order
+arrivals the two nearly coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PowerLawFit",
+    "fit_rank_exponent",
+    "fit_personalized_exponent",
+    "empirical_cdf",
+    "weighted_degree_cdf",
+    "cdf_at",
+]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a rank-size fit ``value ≈ C · rank^(−alpha)``."""
+
+    alpha: float
+    intercept: float
+    r_squared: float
+    rank_range: tuple[int, int]
+    points: int
+
+    def predict(self, ranks: np.ndarray) -> np.ndarray:
+        return np.exp(self.intercept) * np.asarray(ranks, dtype=float) ** (-self.alpha)
+
+
+def fit_rank_exponent(
+    values: Sequence[float] | np.ndarray,
+    *,
+    min_rank: int = 1,
+    max_rank: Optional[int] = None,
+    presorted: bool = False,
+) -> PowerLawFit:
+    """OLS fit of ``log(value)`` on ``log(rank)`` over ``[min_rank, max_rank]``.
+
+    ``values`` need not be sorted (``presorted=True`` skips the sort).
+    Zero/negative entries are excluded (they have no log); ranks refer to
+    the positive, descending-sorted vector, matching the paper's plots.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    array = array[array > 0]
+    if array.size < 3:
+        raise ConfigurationError(
+            f"need at least 3 positive values to fit, got {array.size}"
+        )
+    if not presorted:
+        array = np.sort(array)[::-1]
+    if max_rank is None or max_rank > array.size:
+        max_rank = array.size
+    if not 1 <= min_rank < max_rank:
+        raise ConfigurationError(
+            f"invalid rank window [{min_rank}, {max_rank}] for {array.size} values"
+        )
+    window = array[min_rank - 1 : max_rank]
+    ranks = np.arange(min_rank, min_rank + window.size, dtype=np.float64)
+    log_ranks = np.log(ranks)
+    log_values = np.log(window)
+    slope, intercept = np.polyfit(log_ranks, log_values, 1)
+    predicted = slope * log_ranks + intercept
+    residual = np.sum((log_values - predicted) ** 2)
+    total = np.sum((log_values - log_values.mean()) ** 2)
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return PowerLawFit(
+        alpha=-float(slope),
+        intercept=float(intercept),
+        r_squared=float(r_squared),
+        rank_range=(min_rank, min_rank + window.size - 1),
+        points=int(window.size),
+    )
+
+
+def fit_personalized_exponent(
+    scores: np.ndarray, friend_count: int, *, window: tuple[int, int] = (2, 20)
+) -> PowerLawFit:
+    """The paper's Remark-4 protocol: fit ranks ``[2f, 20f]`` only.
+
+    ``friend_count`` is the seed's number of friends ``f``; the head of the
+    personalized vector (dominated by direct friends) is skipped because
+    recommendation systems never surface existing friends anyway.
+    """
+    if friend_count <= 0:
+        raise ConfigurationError(f"friend_count must be positive, got {friend_count}")
+    low, high = window
+    return fit_rank_exponent(
+        scores, min_rank=low * friend_count, max_rank=high * friend_count
+    )
+
+
+def empirical_cdf(samples: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Plain CDF: returns ``(sorted unique values, P(X ≤ value))``."""
+    array = np.asarray(samples, dtype=np.float64)
+    if array.size == 0:
+        return np.zeros(0), np.zeros(0)
+    values, counts = np.unique(array, return_counts=True)
+    return values, np.cumsum(counts) / array.size
+
+
+def weighted_degree_cdf(degrees: Sequence[int] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 1's *existing degree cdf* ``e(d)``: the fraction of total
+    degree mass held by nodes of degree ≤ d (``s(d)/m``)."""
+    array = np.asarray(degrees, dtype=np.float64)
+    array = array[array > 0]
+    if array.size == 0:
+        return np.zeros(0), np.zeros(0)
+    values, counts = np.unique(array, return_counts=True)
+    mass = values * counts
+    return values, np.cumsum(mass) / mass.sum()
+
+
+def cdf_at(
+    values: np.ndarray, cdf: np.ndarray, query: Sequence[float] | np.ndarray
+) -> np.ndarray:
+    """Evaluate a step CDF at arbitrary points (right-continuous)."""
+    indices = np.searchsorted(values, np.asarray(query, dtype=np.float64), side="right")
+    padded = np.concatenate([[0.0], cdf])
+    return padded[indices]

@@ -1,0 +1,83 @@
+"""IR metrics for the retrieval experiments (Figure 5, Table 1).
+
+Figure 5 plots the **11-point interpolated average precision** curve
+(Manning et al., IR book §8.4): for recall levels 0.0, 0.1, …, 1.0, the
+interpolated precision is the *maximum* precision attained at any recall
+≥ that level, averaged over query users.
+
+Table 1 counts, per user, how many of the new friendships actually made
+between two snapshots appear in a predictor's top-100 / top-1000 list
+(:func:`capture_count`), averaged over users.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "precision_recall_points",
+    "interpolated_precision_11pt",
+    "average_precision_11pt",
+    "capture_count",
+    "RECALL_LEVELS",
+]
+
+RECALL_LEVELS = np.linspace(0.0, 1.0, 11)
+
+
+def precision_recall_points(
+    retrieved: Sequence[int], relevant: Iterable[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """(recall, precision) after each retrieved item, in rank order."""
+    relevant_set = set(relevant)
+    if not relevant_set:
+        raise ConfigurationError("relevant set must be non-empty")
+    hits = 0
+    recalls = np.zeros(len(retrieved))
+    precisions = np.zeros(len(retrieved))
+    for rank, item in enumerate(retrieved, start=1):
+        if item in relevant_set:
+            hits += 1
+        recalls[rank - 1] = hits / len(relevant_set)
+        precisions[rank - 1] = hits / rank
+    return recalls, precisions
+
+
+def interpolated_precision_11pt(
+    retrieved: Sequence[int], relevant: Iterable[int]
+) -> np.ndarray:
+    """Interpolated precision at the 11 standard recall levels.
+
+    ``p_interp(r) = max { precision(r') : r' ≥ r }``; recall levels never
+    reached get interpolated precision 0.
+    """
+    recalls, precisions = precision_recall_points(retrieved, relevant)
+    result = np.zeros(11)
+    for index, level in enumerate(RECALL_LEVELS):
+        mask = recalls >= level - 1e-12
+        result[index] = precisions[mask].max() if mask.any() else 0.0
+    return result
+
+
+def average_precision_11pt(
+    runs: Iterable[tuple[Sequence[int], Iterable[int]]]
+) -> np.ndarray:
+    """Average the 11-point curve over ``(retrieved, relevant)`` pairs."""
+    curves = [interpolated_precision_11pt(ret, rel) for ret, rel in runs]
+    if not curves:
+        raise ConfigurationError("no runs supplied")
+    return np.mean(np.stack(curves), axis=0)
+
+
+def capture_count(
+    predictions: Sequence[int], actual: Iterable[int], *, top: int
+) -> int:
+    """How many of ``actual`` appear among the first ``top`` predictions."""
+    if top <= 0:
+        raise ConfigurationError(f"top must be positive, got {top}")
+    actual_set = set(actual)
+    return sum(1 for item in list(predictions)[:top] if item in actual_set)

@@ -1,0 +1,33 @@
+"""Baselines the paper compares against (and exact references for tests).
+
+* :mod:`power_iteration` — Equation (1) power iteration, personalized
+  variants, and exact sparse linear-solve references.
+* :mod:`monte_carlo_static` — the naive rebuild-per-arrival Monte Carlo
+  strawman (the Ω(mn/ε) row of the paper's cost comparisons).
+* :mod:`hits`, :mod:`cosine`, :mod:`salsa_iterative` — the Appendix-A
+  link-prediction contestants.
+"""
+
+from repro.baselines.cosine import cosine_scores
+from repro.baselines.hits import hits_scores, personalized_hits
+from repro.baselines.monte_carlo_static import NaiveMonteCarloRebuild
+from repro.baselines.power_iteration import (
+    PowerIterationResult,
+    exact_pagerank,
+    exact_personalized_pagerank,
+    power_iteration_pagerank,
+)
+from repro.baselines.salsa_iterative import global_salsa, personalized_salsa
+
+__all__ = [
+    "PowerIterationResult",
+    "power_iteration_pagerank",
+    "exact_pagerank",
+    "exact_personalized_pagerank",
+    "NaiveMonteCarloRebuild",
+    "hits_scores",
+    "personalized_hits",
+    "cosine_scores",
+    "global_salsa",
+    "personalized_salsa",
+]

@@ -1,0 +1,81 @@
+"""The naive Monte Carlo strawman: rebuild the store on every arrival.
+
+§1.3: "the Ω(n/ε) time complexity of the Monte Carlo method results in a
+total Ω(mn/ε) work over m edge arrivals, which is also very inefficient."
+This class *is* that strawman, with work counted in simulated walk steps,
+so the update-cost experiment can plot measured naive-vs-incremental
+curves on small graphs and extrapolate with
+:func:`repro.core.theory.naive_monte_carlo_total_work` for large ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.core.monte_carlo import PAPER, build_walk_store, scores_from_store
+from repro.core.walks import WalkStore
+from repro.errors import ConfigurationError
+from repro.graph.arrival import ArrivalEvent
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["NaiveMonteCarloRebuild"]
+
+
+class NaiveMonteCarloRebuild:
+    """Recompute-from-scratch Monte Carlo PageRank over a mutation stream."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        *,
+        reset_probability: float = 0.2,
+        walks_per_node: int = 10,
+        rng: RngLike = None,
+    ) -> None:
+        if walks_per_node <= 0:
+            raise ConfigurationError(
+                f"walks_per_node must be positive, got {walks_per_node}"
+            )
+        self.graph = DynamicDiGraph(num_nodes, allow_self_loops=False)
+        self.reset_probability = reset_probability
+        self.walks_per_node = walks_per_node
+        self._rng = ensure_rng(rng)
+        self._store: Optional[WalkStore] = None
+        #: Walk steps simulated across all rebuilds — the Ω(mn/ε) quantity.
+        self.total_work = 0
+        self.rebuilds = 0
+
+    def apply(self, event: ArrivalEvent) -> None:
+        """Apply one mutation and rebuild the whole store."""
+        self.graph.ensure_node(max(event.source, event.target))
+        if event.kind == "add":
+            self.graph.add_edge(event.source, event.target)
+        else:
+            self.graph.remove_edge(event.source, event.target)
+        self._rebuild()
+
+    def process(self, events: Iterable[ArrivalEvent]) -> None:
+        for event in events:
+            self.apply(event)
+
+    def _rebuild(self) -> None:
+        self._store = build_walk_store(
+            self.graph, self.walks_per_node, self.reset_probability, self._rng
+        )
+        self.total_work += self._store.total_visits
+        self.rebuilds += 1
+
+    def pagerank(self) -> np.ndarray:
+        if self._store is None:
+            self._rebuild()
+        assert self._store is not None
+        return scores_from_store(
+            self._store,
+            self.graph.num_nodes,
+            self.walks_per_node,
+            self.reset_probability,
+            PAPER,
+        )

@@ -1,0 +1,109 @@
+"""SALSA by iteration (the paper's §1.1 equations) — reference + Table 1.
+
+Personalized SALSA over seed ``u``:
+
+    h_v = ε·δ_{u,v} + (1−ε) Σ_{x: (v,x)∈E} a_x / indeg(x)
+    a_x =             Σ_{v: (v,x)∈E} h_v / outdeg(v)
+
+Global SALSA replaces the ε·δ jump with a uniform ε/n jump.  Both sums are
+contraction-friendly (degree-normalized), so no renormalization is needed;
+the paper's 10 iterations are the default.  These serve two roles: the
+Table-1 contestant ("We performed 10 iterations for each method") and the
+reference the Monte Carlo SALSA estimates are validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DynamicDiGraph
+
+__all__ = ["salsa_operators", "global_salsa", "personalized_salsa"]
+
+
+def salsa_operators(
+    graph: DynamicDiGraph,
+) -> tuple[scipy.sparse.csr_matrix, scipy.sparse.csr_matrix]:
+    """``(forward, backward)`` operators.
+
+    ``forward[x, v] = 1/outdeg(v)`` for each edge ``(v, x)`` — maps hub
+    scores to authority scores.  ``backward[v, x] = 1/indeg(x)`` for each
+    edge ``(v, x)`` — maps authority scores back to hub scores.
+    """
+    n = graph.num_nodes
+    edges = graph.edge_list()
+    if not edges:
+        empty = scipy.sparse.csr_matrix((n, n))
+        return empty, empty
+    sources = np.fromiter((u for u, _ in edges), dtype=np.int64, count=len(edges))
+    targets = np.fromiter((v for _, v in edges), dtype=np.int64, count=len(edges))
+    out_degrees = graph.out_degree_array().astype(np.float64)
+    in_degrees = graph.in_degree_array().astype(np.float64)
+    forward = scipy.sparse.csr_matrix(
+        (1.0 / out_degrees[sources], (targets, sources)), shape=(n, n)
+    )
+    backward = scipy.sparse.csr_matrix(
+        (1.0 / in_degrees[targets], (sources, targets)), shape=(n, n)
+    )
+    return forward, backward
+
+
+def _iterate(
+    hub: np.ndarray,
+    jump: np.ndarray,
+    reset_probability: float,
+    forward: scipy.sparse.csr_matrix,
+    backward: scipy.sparse.csr_matrix,
+    iterations: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    authority = np.zeros_like(hub)
+    for _ in range(iterations):
+        authority = forward @ hub
+        hub = reset_probability * jump + (1.0 - reset_probability) * (
+            backward @ authority
+        )
+    return hub, authority
+
+
+def global_salsa(
+    graph: DynamicDiGraph,
+    *,
+    reset_probability: float = 0.2,
+    iterations: int = 10,
+    operators: Optional[tuple] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global SALSA ``(hub, authority)``; authority → indeg/m as ε→0."""
+    n = graph.num_nodes
+    if n == 0:
+        return np.zeros(0), np.zeros(0)
+    forward, backward = operators if operators is not None else salsa_operators(graph)
+    jump = np.full(n, 1.0 / n)
+    return _iterate(
+        jump.copy(), jump, reset_probability, forward, backward, iterations
+    )
+
+
+def personalized_salsa(
+    graph: DynamicDiGraph,
+    seed: int,
+    *,
+    reset_probability: float = 0.2,
+    iterations: int = 10,
+    operators: Optional[tuple] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Personalized SALSA ``(hub, authority)`` for ``seed``."""
+    n = graph.num_nodes
+    if not 0 <= seed < n:
+        raise ConfigurationError(f"seed {seed} outside [0, {n})")
+    if iterations <= 0:
+        raise ConfigurationError(f"iterations must be positive, got {iterations}")
+    forward, backward = operators if operators is not None else salsa_operators(graph)
+    jump = np.zeros(n, dtype=np.float64)
+    jump[seed] = 1.0
+    return _iterate(
+        jump.copy(), jump, reset_probability, forward, backward, iterations
+    )

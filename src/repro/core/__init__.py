@@ -1,0 +1,55 @@
+"""Core contribution: Monte Carlo walk-segment PageRank/SALSA machinery."""
+
+from repro.core import theory
+from repro.core.incremental import (
+    REROUTE_REDIRECT,
+    REROUTE_RESIMULATE,
+    IncrementalPageRank,
+    UpdateReport,
+)
+from repro.core.monte_carlo import MonteCarloPageRank, build_walk_store
+from repro.core.personalized import PersonalizedPageRank, StitchedWalkResult
+from repro.core.salsa import (
+    IncrementalSALSA,
+    PersonalizedSALSA,
+    SalsaWalkResult,
+    batch_salsa_walks,
+    simulate_salsa_walk,
+)
+from repro.core.topk import TopKResult, top_k_personalized, walk_length_for_top_k
+from repro.core.walks import (
+    END_DANGLING,
+    END_RESET,
+    SIDE_AUTHORITY,
+    SIDE_HUB,
+    WalkSegment,
+    WalkStore,
+    simulate_reset_walk,
+)
+
+__all__ = [
+    "theory",
+    "WalkSegment",
+    "WalkStore",
+    "END_RESET",
+    "END_DANGLING",
+    "SIDE_HUB",
+    "SIDE_AUTHORITY",
+    "simulate_reset_walk",
+    "simulate_salsa_walk",
+    "batch_salsa_walks",
+    "MonteCarloPageRank",
+    "build_walk_store",
+    "IncrementalPageRank",
+    "UpdateReport",
+    "REROUTE_REDIRECT",
+    "REROUTE_RESIMULATE",
+    "IncrementalSALSA",
+    "PersonalizedSALSA",
+    "SalsaWalkResult",
+    "PersonalizedPageRank",
+    "StitchedWalkResult",
+    "TopKResult",
+    "top_k_personalized",
+    "walk_length_for_top_k",
+]

@@ -1,0 +1,440 @@
+"""Incremental Monte Carlo PageRank (§2.2) — the paper's core contribution.
+
+The engine keeps ``R`` stored walk segments per node *distributionally
+correct at all times* as edges arrive and depart, touching only the
+segments that can possibly be affected:
+
+* **Edge arrival** ``(u, v)`` with post-insertion out-degree ``d``: only
+  segments that took a step out of ``u`` matter.  Each such step redirects
+  through the new edge with probability ``1/d`` (uniform over ``d`` edges,
+  conditioned against the old uniform-over-``d−1`` choice); the first
+  redirected step truncates the segment there, appends ``v``, and the rest
+  is resimulated with fresh ε-coins.  Segments stranded at a previously
+  dangling ``u`` (``END_DANGLING``) take their pending step and resume.
+* **Edge removal** ``(u, v)``: segments that never stepped ``u → v`` are
+  *already* correctly distributed for the new graph (uniform over ``d``
+  conditioned on ≠ removed edge = uniform over ``d−1``), so only segments
+  whose walk used the removed edge are touched: truncate at the first use,
+  re-take that step over the remaining out-edges (no new ε-coin — the
+  "continue" was already decided), and resimulate onward.
+
+Every mutation returns an :class:`UpdateReport` whose fields are the units
+of Theorem 4 / Proposition 5: segments rerouted (``M_t``) and walk steps
+resimulated.  The engine also evaluates the paper's §2.2 *activation
+probability* ``1 − (1 − 1/d(u))^{W(u)}`` for each arrival — the probability
+with which the PageRank Store would be called at all in the deployed
+two-store layout — so experiments can report predicted-vs-actual store
+traffic (an ablation DESIGN.md calls out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.monte_carlo import PAPER, scores_from_store
+from repro.core.walks import (
+    END_DANGLING,
+    END_RESET,
+    WalkSegment,
+    WalkStore,
+    simulate_reset_walk,
+)
+from repro.errors import ConfigurationError
+from repro.graph.arrival import ArrivalEvent
+from repro.graph.csr import batch_reset_walks
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike, ensure_rng
+from repro.store.pagerank_store import PageRankStore
+from repro.store.social_store import SocialStore
+
+__all__ = ["IncrementalPageRank", "UpdateReport", "REROUTE_REDIRECT", "REROUTE_RESIMULATE"]
+
+REROUTE_REDIRECT = "redirect"
+REROUTE_RESIMULATE = "resimulate_source"
+
+
+@dataclass
+class UpdateReport:
+    """Cost accounting for one graph mutation (the paper's per-edge work)."""
+
+    operation: str
+    edge: tuple[int, int]
+    #: M_t — number of stored segments that were modified.
+    segments_rerouted: int = 0
+    #: Walk steps freshly simulated while repairing segments.
+    steps_resimulated: int = 0
+    #: Visits removed from the index by truncations.
+    steps_discarded: int = 0
+    #: Segments examined (visited the endpoint) but left untouched.
+    segments_examined: int = 0
+    #: Steps spent creating R fresh segments for newly arrived nodes
+    #: (initialization cost, kept separate from maintenance cost).
+    steps_initialized: int = 0
+    #: Paper's activation probability 1 − (1 − 1/d)^W at this arrival.
+    activation_probability: float = 0.0
+    #: Whether any store mutation actually happened.
+    store_called: bool = False
+
+    @property
+    def work(self) -> int:
+        """Total touched walk steps — the unit summed by Theorem 4 plots."""
+        return self.steps_resimulated + self.steps_discarded
+
+
+class IncrementalPageRank:
+    """Always-fresh PageRank over a dynamic graph via stored walk segments."""
+
+    def __init__(
+        self,
+        social_store: Optional[SocialStore] = None,
+        *,
+        reset_probability: float = 0.2,
+        walks_per_node: int = 10,
+        rng: RngLike = None,
+        reroute_policy: str = REROUTE_REDIRECT,
+        pagerank_store: Optional[PageRankStore] = None,
+    ) -> None:
+        if not 0.0 < reset_probability <= 1.0:
+            raise ConfigurationError(
+                f"reset_probability must be in (0, 1], got {reset_probability}"
+            )
+        if walks_per_node <= 0:
+            raise ConfigurationError(
+                f"walks_per_node must be positive, got {walks_per_node}"
+            )
+        if reroute_policy not in (REROUTE_REDIRECT, REROUTE_RESIMULATE):
+            raise ConfigurationError(f"unknown reroute_policy {reroute_policy!r}")
+        self.social_store = social_store if social_store is not None else SocialStore()
+        self.reset_probability = reset_probability
+        self.walks_per_node = walks_per_node
+        self.reroute_policy = reroute_policy
+        self._rng = ensure_rng(rng)
+        self.pagerank_store = (
+            pagerank_store
+            if pagerank_store is not None
+            else PageRankStore(self.social_store)
+        )
+        # Cumulative counters across the engine's lifetime.
+        self.total_segments_rerouted = 0
+        self.total_steps_resimulated = 0
+        self.total_steps_discarded = 0
+        self.arrivals_processed = 0
+        self.removals_processed = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: DynamicDiGraph,
+        *,
+        reset_probability: float = 0.2,
+        walks_per_node: int = 10,
+        rng: RngLike = None,
+        reroute_policy: str = REROUTE_REDIRECT,
+    ) -> "IncrementalPageRank":
+        """Wrap an existing graph and initialize all walk segments (batch)."""
+        engine = cls(
+            SocialStore.of_graph(graph),
+            reset_probability=reset_probability,
+            walks_per_node=walks_per_node,
+            rng=rng,
+            reroute_policy=reroute_policy,
+        )
+        engine.initialize()
+        return engine
+
+    def initialize(self) -> None:
+        """(Re)simulate ``R`` segments per existing node, vectorized."""
+        graph = self.graph
+        store = WalkStore(graph.num_nodes)
+        if graph.num_nodes:
+            csr = graph.to_csr("out")
+            starts = np.repeat(
+                np.arange(graph.num_nodes, dtype=np.int64), self.walks_per_node
+            )
+            result = batch_reset_walks(
+                csr, starts, self.reset_probability, self._rng
+            )
+            for nodes, reason in zip(result.segments, result.end_reasons):
+                store.add_segment(WalkSegment(nodes, int(reason)))
+        self.pagerank_store.walks = store
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> DynamicDiGraph:
+        return self.social_store.graph
+
+    @property
+    def walks(self) -> WalkStore:
+        return self.pagerank_store.walks
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    # ------------------------------------------------------------------
+    # Node arrival
+    # ------------------------------------------------------------------
+
+    def add_node(self) -> int:
+        """Add a fresh node with its ``R`` (trivial) walk segments."""
+        node = self.graph.add_node()
+        self._ensure_walks(node)
+        return node
+
+    def _ensure_walks(self, node: int) -> int:
+        """Make sure ``node`` owns R segments; returns steps simulated."""
+        self.walks.ensure_node(node)
+        existing = len(self.walks.segments_of[node])
+        steps = 0
+        for _ in range(existing, self.walks_per_node):
+            segment = simulate_reset_walk(
+                self.graph, node, self.reset_probability, self._rng
+            )
+            self.walks.add_segment(segment)
+            steps += len(segment.nodes) - 1
+        return steps
+
+    # ------------------------------------------------------------------
+    # Edge arrival (Theorem 4's operation)
+    # ------------------------------------------------------------------
+
+    def add_edge(self, source: int, target: int) -> UpdateReport:
+        """Insert an edge and repair exactly the affected segments."""
+        nodes_before = self.graph.num_nodes
+        self.graph.ensure_node(max(source, target))
+        # W(u) must be read before mutation for the paper's activation
+        # statistic (the deployed system checks it from cached counters),
+        # and the affected-segment snapshot must be taken before any new
+        # walks are created: segments simulated after the insertion are
+        # already correct for the new graph and must NOT be redirected.
+        walk_count_before = self.walks.distinct_segment_count(source)
+        affected_ids = self.walks.segment_ids_visiting(source)
+        self.social_store.add_edge(source, target)
+        report = UpdateReport(operation="add", edge=(source, target))
+        for node in range(nodes_before, self.graph.num_nodes):
+            report.steps_initialized += self._ensure_walks(node)
+        degree = self.graph.out_degree(source)
+        report.activation_probability = (
+            1.0 - (1.0 - 1.0 / degree) ** walk_count_before
+            if walk_count_before
+            else 0.0
+        )
+
+        rng = self._rng
+        redirect_probability = 1.0 / degree
+        for segment_id in affected_ids:
+            segment = self.walks.get(segment_id)
+            handled = self._maybe_redirect(
+                segment_id, segment, source, target, redirect_probability, report, rng
+            )
+            if not handled:
+                if (
+                    segment.end_reason == END_DANGLING
+                    and segment.nodes[-1] == source
+                ):
+                    self._extend_dangling(segment_id, segment, report, rng)
+                else:
+                    report.segments_examined += 1
+
+        self._finish_report(report)
+        self.arrivals_processed += 1
+        return report
+
+    def _maybe_redirect(
+        self,
+        segment_id: int,
+        segment: WalkSegment,
+        source: int,
+        target: int,
+        redirect_probability: float,
+        report: UpdateReport,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Flip a 1/d coin per step taken at ``source``; reroute on first hit."""
+        nodes = segment.nodes
+        for position in range(len(nodes) - 1):
+            if nodes[position] != source:
+                continue
+            if rng.random() >= redirect_probability:
+                continue
+            if self.reroute_policy == REROUTE_RESIMULATE:
+                self._resimulate_from_source(segment_id, segment, report, rng)
+            else:
+                discarded = len(nodes) - (position + 1)
+                continuation = simulate_reset_walk(
+                    self.graph, target, self.reset_probability, rng
+                )
+                self.walks.replace_suffix(
+                    segment_id, position, continuation.nodes, continuation.end_reason
+                )
+                report.steps_discarded += discarded
+                report.steps_resimulated += len(continuation.nodes)
+                report.segments_rerouted += 1
+            return True
+        return False
+
+    def _extend_dangling(
+        self,
+        segment_id: int,
+        segment: WalkSegment,
+        report: UpdateReport,
+        rng: np.random.Generator,
+    ) -> None:
+        """Resume a segment stranded at a node that just gained an out-edge.
+
+        The segment's final ε-coin already came up "continue"; the pending
+        step is taken uniformly over the node's *current* out-edges, then
+        the walk proceeds normally.
+        """
+        node = segment.nodes[-1]
+        next_node = self.graph.random_out_neighbor(node, rng)
+        continuation = simulate_reset_walk(
+            self.graph, next_node, self.reset_probability, rng
+        )
+        self.walks.replace_suffix(
+            segment_id,
+            len(segment.nodes) - 1,
+            continuation.nodes,
+            continuation.end_reason,
+        )
+        report.steps_resimulated += len(continuation.nodes)
+        report.segments_rerouted += 1
+
+    def _resimulate_from_source(
+        self,
+        segment_id: int,
+        segment: WalkSegment,
+        report: UpdateReport,
+        rng: np.random.Generator,
+    ) -> None:
+        """§2.2's simplified policy: throw the segment away and re-walk."""
+        report.steps_discarded += len(segment.nodes) - 1
+        replacement = simulate_reset_walk(
+            self.graph, segment.source, self.reset_probability, rng
+        )
+        self.walks.rebuild_segment(
+            segment_id, replacement.nodes, replacement.end_reason
+        )
+        report.steps_resimulated += len(replacement.nodes) - 1
+        report.segments_rerouted += 1
+
+    # ------------------------------------------------------------------
+    # Edge removal (Proposition 5's operation)
+    # ------------------------------------------------------------------
+
+    def remove_edge(self, source: int, target: int) -> UpdateReport:
+        """Delete an edge; repair segments whose walk used it."""
+        # Affected set must be computed against the *stored* segments, but
+        # resimulation must use the post-removal graph — so mutate first.
+        self.social_store.remove_edge(source, target)
+        report = UpdateReport(operation="remove", edge=(source, target))
+        rng = self._rng
+        for segment_id in self.walks.segment_ids_visiting(source):
+            segment = self.walks.get(segment_id)
+            position = self._first_use_of_edge(segment, source, target)
+            if position is None:
+                report.segments_examined += 1
+                continue
+            if self.reroute_policy == REROUTE_RESIMULATE:
+                self._resimulate_from_source(segment_id, segment, report, rng)
+                continue
+            discarded = len(segment.nodes) - (position + 1)
+            # Re-take the step over the remaining edges; the ε-coin at
+            # ``source`` already came up "continue", so it is NOT reflipped.
+            if self.graph.out_degree(source) == 0:
+                self.walks.replace_suffix(segment_id, position, [], END_DANGLING)
+                resimulated = 0
+            else:
+                next_node = self.graph.random_out_neighbor(source, rng)
+                continuation = simulate_reset_walk(
+                    self.graph, next_node, self.reset_probability, rng
+                )
+                self.walks.replace_suffix(
+                    segment_id, position, continuation.nodes, continuation.end_reason
+                )
+                resimulated = len(continuation.nodes)
+            report.steps_discarded += discarded
+            report.steps_resimulated += resimulated
+            report.segments_rerouted += 1
+
+        self._finish_report(report)
+        self.removals_processed += 1
+        return report
+
+    @staticmethod
+    def _first_use_of_edge(
+        segment: WalkSegment, source: int, target: int
+    ) -> Optional[int]:
+        nodes = segment.nodes
+        for position in range(len(nodes) - 1):
+            if nodes[position] == source and nodes[position + 1] == target:
+                return position
+        return None
+
+    # ------------------------------------------------------------------
+    # Event-log replay
+    # ------------------------------------------------------------------
+
+    def apply(self, event: ArrivalEvent) -> UpdateReport:
+        """Apply one :class:`ArrivalEvent` (add or remove)."""
+        if event.kind == "add":
+            return self.add_edge(event.source, event.target)
+        return self.remove_edge(event.source, event.target)
+
+    def _finish_report(self, report: UpdateReport) -> None:
+        report.store_called = report.segments_rerouted > 0
+        self.total_segments_rerouted += report.segments_rerouted
+        self.total_steps_resimulated += report.steps_resimulated
+        self.total_steps_discarded += report.steps_discarded
+
+    @property
+    def total_work(self) -> int:
+        """Lifetime touched-step count (Theorem 4's summed quantity)."""
+        return self.total_steps_resimulated + self.total_steps_discarded
+
+    # ------------------------------------------------------------------
+    # Estimates (available in O(1) per node at all times)
+    # ------------------------------------------------------------------
+
+    def pagerank(self, normalization: str = PAPER) -> np.ndarray:
+        """Current PageRank estimates for all nodes."""
+        return scores_from_store(
+            self.walks,
+            self.num_nodes,
+            self.walks_per_node,
+            self.reset_probability,
+            normalization,
+        )
+
+    def pagerank_of(self, node: int) -> float:
+        """Current estimate for one node — a counter read, no computation."""
+        return self.walks.visit_count(node) / (
+            self.num_nodes * self.walks_per_node / self.reset_probability
+        )
+
+    def top(self, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nodes with the highest current estimates."""
+        scores = self.pagerank()
+        if k >= len(scores):
+            order = np.argsort(-scores)
+        else:
+            partition = np.argpartition(-scores, k)[:k]
+            order = partition[np.argsort(-scores[partition])]
+        return [(int(node), float(scores[node])) for node in order[:k]]
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalPageRank(nodes={self.num_nodes}, "
+            f"edges={self.graph.num_edges}, R={self.walks_per_node}, "
+            f"eps={self.reset_probability}, arrivals={self.arrivals_processed})"
+        )

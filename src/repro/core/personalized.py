@@ -1,0 +1,253 @@
+"""Personalized PageRank by walk stitching (§3, Algorithm 1).
+
+A personalized query for seed ``w`` runs one long reset walk that jumps
+back to ``w`` instead of to a uniform node.  Instead of paying one store
+round-trip per step, Algorithm 1 opportunistically splices in the ``R``
+walk segments already stored for global PageRank:
+
+* an ε-coin resets the walk to the seed;
+* otherwise, if the current node has an unused stored segment, the whole
+  segment is appended and the walk resets to the seed (the segment already
+  ended with a reset);
+* otherwise, if the node's state is in memory, one plain random step is
+  taken;
+* otherwise the node is *fetched* — the single expensive operation, whose
+  count Theorem 8 bounds by ``1 + (2(1−α)/nR)^{1/α−1} · s^{1/α}``.
+
+Dangling nodes reset to the seed (standard PPR-with-restart convention;
+the paper's Twitter graph makes the case vanishingly rare).
+
+The result object records everything the experiments need: per-node visit
+counts, the fetch count, and the composition of the walk (segment visits
+vs single steps vs resets).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import RngLike, ensure_rng
+from repro.store.pagerank_store import FETCH_FULL, FetchResult, PageRankStore
+
+__all__ = ["PersonalizedPageRank", "StitchedWalkResult"]
+
+
+@dataclass
+class _FetchedState:
+    """In-memory cache entry for a fetched node."""
+
+    neighbors: list[int]
+    segments: list[list[int]]
+    next_unused: int = 0
+    out_degree: int = 0
+
+    def take_segment(self) -> Optional[list[int]]:
+        if self.next_unused < len(self.segments):
+            segment = self.segments[self.next_unused]
+            self.next_unused += 1
+            return segment
+        return None
+
+
+@dataclass
+class StitchedWalkResult:
+    """Outcome of one Algorithm-1 walk."""
+
+    seed: int
+    length: int
+    visit_counts: Counter
+    fetches: int
+    segments_used: int = 0
+    segment_steps: int = 0
+    plain_steps: int = 0
+    resets: int = 0
+
+    def frequencies(self, num_nodes: int) -> np.ndarray:
+        """Visit frequencies as a dense vector (≈ personalized PageRank)."""
+        scores = np.zeros(num_nodes, dtype=np.float64)
+        for node, count in self.visit_counts.items():
+            if node < num_nodes:
+                scores[node] = count
+        return scores / max(self.length, 1)
+
+    def top(
+        self, k: int, *, exclude: Iterable[int] = ()
+    ) -> list[tuple[int, int]]:
+        """Most-visited ``k`` nodes as ``(node, visits)``, minus ``exclude``.
+
+        Ties broken by node id for determinism.
+        """
+        banned = set(exclude)
+        ranked = sorted(
+            (
+                (node, count)
+                for node, count in self.visit_counts.items()
+                if node not in banned
+            ),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:k]
+
+
+class PersonalizedPageRank:
+    """Algorithm-1 query engine over a :class:`PageRankStore`."""
+
+    def __init__(
+        self,
+        pagerank_store: PageRankStore,
+        *,
+        reset_probability: float = 0.2,
+        rng: RngLike = None,
+    ) -> None:
+        if not 0.0 < reset_probability <= 1.0:
+            raise ConfigurationError(
+                f"reset_probability must be in (0, 1], got {reset_probability}"
+            )
+        self.store = pagerank_store
+        self.reset_probability = reset_probability
+        self._rng = ensure_rng(rng)
+
+    def stitched_walk(
+        self,
+        seed: int,
+        length: int,
+        *,
+        rng: RngLike = None,
+        use_segments: bool = True,
+    ) -> StitchedWalkResult:
+        """Run Algorithm 1 from ``seed`` until the path reaches ``length``.
+
+        ``use_segments=False`` disables splicing (the "crude way" of
+        Remark 2: every step pays its own store traffic), which is the
+        baseline the fetch experiments compare against.
+        """
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive, got {length}")
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        reset_probability = self.reset_probability
+
+        result = StitchedWalkResult(
+            seed=seed, length=0, visit_counts=Counter(), fetches=0
+        )
+        fetched: dict[int, _FetchedState] = {}
+        counts = result.visit_counts
+
+        current = seed
+        counts[seed] += 1
+        result.length = 1
+
+        while result.length < length:
+            if generator.random() < reset_probability:
+                current = seed
+                counts[seed] += 1
+                result.length += 1
+                result.resets += 1
+                continue
+
+            state = fetched.get(current)
+            if state is None:
+                state = self._fetch(current, generator)
+                fetched[current] = state
+                result.fetches += 1
+                continue  # re-enter the loop with the node now in memory
+
+            segment = state.take_segment() if use_segments else None
+            if segment is not None:
+                appended = len(segment) - 1  # segment[0] is `current` itself
+                for node in segment[1:]:
+                    counts[node] += 1
+                result.length += appended
+                result.segment_steps += appended
+                result.segments_used += 1
+                # The segment ended with its own reset; jump back to seed.
+                current = seed
+                counts[seed] += 1
+                result.length += 1
+                result.resets += 1
+                continue
+
+            if state.out_degree == 0:
+                # Dangling: reset to the seed (PPR-with-restart convention).
+                current = seed
+                counts[seed] += 1
+                result.length += 1
+                result.resets += 1
+                continue
+
+            current = self._step(current, state, generator)
+            counts[current] += 1
+            result.length += 1
+            result.plain_steps += 1
+
+        return result
+
+    def _fetch(self, node: int, rng: np.random.Generator) -> _FetchedState:
+        fetch = self.store.fetch(node, rng)
+        return _FetchedState(
+            neighbors=list(fetch.neighbors),
+            segments=fetch.segments,
+            out_degree=fetch.out_degree,
+        )
+
+    def _step(
+        self, node: int, state: _FetchedState, rng: np.random.Generator
+    ) -> int:
+        if self.store.fetch_mode == FETCH_FULL:
+            return state.neighbors[int(rng.integers(len(state.neighbors)))]
+        # Remark-1 mode: the fetch carried one sampled edge; further steps
+        # at this node must sample fresh edges from the social store.
+        if state.neighbors:
+            sampled = state.neighbors[0]
+            state.neighbors = []
+            return sampled
+        return self.store.social_store.random_out_neighbor(node, rng)
+
+    # ------------------------------------------------------------------
+
+    def scores(
+        self,
+        seed: int,
+        length: int,
+        *,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Personalized PageRank estimates (visit frequencies) for ``seed``."""
+        walk = self.stitched_walk(seed, length, rng=rng)
+        return walk.frequencies(self.store.social_store.num_nodes)
+
+    def top_k(
+        self,
+        seed: int,
+        k: int,
+        length: int,
+        *,
+        exclude_seed: bool = True,
+        exclude_friends: bool = False,
+        rng: RngLike = None,
+    ) -> StitchedWalkResult:
+        """Run a walk sized for a top-``k`` query and leave ranking to caller.
+
+        ``exclude_friends`` reproduces the paper's evaluation protocol
+        (recommendation systems never surface existing friends).
+        The walk result is returned so fetch counts stay inspectable;
+        call ``.top(k, exclude=...)`` on it for the ranking.
+        """
+        walk = self.stitched_walk(seed, length, rng=rng)
+        excluded: set[int] = set()
+        if exclude_seed:
+            excluded.add(seed)
+        if exclude_friends:
+            excluded.update(self.store.social_store.out_neighbors(seed))
+        walk.visit_counts = Counter(
+            {
+                node: count
+                for node, count in walk.visit_counts.items()
+                if node not in excluded
+            }
+        )
+        return walk

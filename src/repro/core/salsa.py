@@ -1,0 +1,674 @@
+"""Incremental and personalized SALSA (§2.3 and the §3 extension).
+
+SALSA's random walk alternates *forward* steps (hub → authority via a
+uniform out-edge) and *backward* steps (authority → hub via a uniform
+in-edge).  The personalized variant resets to the seed at forward steps
+only.  Per the paper, each node stores ``2R`` segments: ``R`` starting with
+a forward step (the node acting as a hub) and ``R`` starting with a
+backward step (the node acting as an authority); mean segment length is
+``2/ε`` visits because only every other visit flips the ε-coin.
+
+Maintenance differs from PageRank in one structural way (Theorem 6): an
+arriving edge ``(u, v)`` can invalidate *forward* steps taken at ``u``
+(probability ``1/outdeg(u)`` each) *and* *backward* steps taken at ``v``
+(probability ``1/indeg(v)`` each), so both endpoints' visit lists are
+scanned.  Together with the doubled segment count and doubled length this
+is the paper's factor-16 over Theorem 4.
+
+Scores: a segment position's *side* is ``(position + parity_offset) % 2``
+(0 = hub visit, 1 = authority visit); authority scores are authority-side
+visit frequencies, hub scores hub-side frequencies.  As ε → 0 the global
+authority distribution converges to ``indegree/m`` (§2.2's remark) — a
+property the tests pin down.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.incremental import UpdateReport
+from repro.core.walks import (
+    END_DANGLING,
+    END_RESET,
+    SIDE_AUTHORITY,
+    SIDE_HUB,
+    WalkSegment,
+    WalkStore,
+    default_max_steps,
+)
+from repro.errors import ConfigurationError
+from repro.graph.arrival import ArrivalEvent
+from repro.graph.csr import CSRGraph, assemble_segments
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike, ensure_rng
+from repro.store.pagerank_store import PageRankStore
+from repro.store.social_store import SocialStore
+
+__all__ = [
+    "IncrementalSALSA",
+    "PersonalizedSALSA",
+    "SalsaWalkResult",
+    "simulate_salsa_walk",
+    "batch_salsa_walks",
+]
+
+
+def simulate_salsa_walk(
+    graph: DynamicDiGraph,
+    start: int,
+    start_side: int,
+    reset_probability: float,
+    rng: RngLike = None,
+    *,
+    max_steps: Optional[int] = None,
+) -> WalkSegment:
+    """Scalar alternating walk starting at ``start`` on ``start_side``.
+
+    Hub visits flip the ε-coin before stepping forward; authority visits
+    step backward unconditionally.  Dangling (no edge in the required
+    direction) ends the segment with :data:`END_DANGLING`.
+    """
+    generator = ensure_rng(rng)
+    if max_steps is None:
+        max_steps = 2 * default_max_steps(reset_probability)
+    nodes = [start]
+    side = start_side
+    current = start
+    for _ in range(max_steps):
+        if side == SIDE_HUB:
+            if generator.random() < reset_probability:
+                return WalkSegment(nodes, END_RESET, parity_offset=start_side)
+            adjacency = graph.out_view(current)
+            if not adjacency:
+                return WalkSegment(nodes, END_DANGLING, parity_offset=start_side)
+        else:
+            adjacency = graph.in_view(current)
+            if not adjacency:
+                return WalkSegment(nodes, END_DANGLING, parity_offset=start_side)
+        current = adjacency[int(generator.integers(len(adjacency)))]
+        nodes.append(current)
+        side = 1 - side
+    return WalkSegment(nodes, END_RESET, parity_offset=start_side)  # cap
+
+
+def batch_salsa_walks(
+    out_csr: CSRGraph,
+    in_csr: CSRGraph,
+    starts: np.ndarray,
+    start_side: int,
+    reset_probability: float,
+    rng: RngLike = None,
+    *,
+    max_steps: Optional[int] = None,
+) -> tuple[list[list[int]], np.ndarray]:
+    """Vectorized alternating walks (all starting on the same side).
+
+    Returns ``(segments, end_reasons)``; round parity decides whether the
+    round flips ε-coins (hub rounds) or steps unconditionally backward.
+    """
+    generator = ensure_rng(rng)
+    if max_steps is None:
+        max_steps = 2 * default_max_steps(reset_probability)
+    starts_arr = np.asarray(starts, dtype=np.int64)
+    num_walks = len(starts_arr)
+    end_reasons = np.zeros(num_walks, dtype=np.int8)
+    if num_walks == 0:
+        return [], end_reasons
+
+    active = np.arange(num_walks, dtype=np.int64)
+    current = starts_arr.copy()
+    round_ids: list[np.ndarray] = []
+    round_nodes: list[np.ndarray] = []
+
+    for round_index in range(max_steps):
+        side = (start_side + round_index) % 2
+        csr = out_csr if side == SIDE_HUB else in_csr
+        positions = current[active]
+        if side == SIDE_HUB:
+            continues = generator.random(active.size) >= reset_probability
+        else:
+            continues = np.ones(active.size, dtype=bool)
+        degrees = csr.indptr[positions + 1] - csr.indptr[positions]
+        dangling = continues & (degrees == 0)
+        stepping = continues & (degrees > 0)
+        end_reasons[active[dangling]] = END_DANGLING
+
+        if stepping.any():
+            step_nodes = positions[stepping]
+            step_degrees = degrees[stepping]
+            offsets = (generator.random(step_nodes.size) * step_degrees).astype(
+                np.int64
+            )
+            successors = csr.indices[csr.indptr[step_nodes] + offsets]
+            stepping_ids = active[stepping]
+            round_ids.append(stepping_ids)
+            round_nodes.append(successors)
+            current[stepping_ids] = successors
+            active = stepping_ids
+        else:
+            active = active[:0]
+            break
+
+    if active.size:
+        end_reasons[active] = END_RESET  # safety cap
+    segments = assemble_segments(starts_arr, round_ids, round_nodes)
+    return segments, end_reasons
+
+
+class IncrementalSALSA:
+    """Always-fresh SALSA hub/authority scores over a dynamic graph."""
+
+    def __init__(
+        self,
+        social_store: Optional[SocialStore] = None,
+        *,
+        reset_probability: float = 0.2,
+        walks_per_node: int = 10,
+        rng: RngLike = None,
+    ) -> None:
+        if not 0.0 < reset_probability <= 1.0:
+            raise ConfigurationError(
+                f"reset_probability must be in (0, 1], got {reset_probability}"
+            )
+        if walks_per_node <= 0:
+            raise ConfigurationError(
+                f"walks_per_node must be positive, got {walks_per_node}"
+            )
+        self.social_store = social_store if social_store is not None else SocialStore()
+        self.reset_probability = reset_probability
+        self.walks_per_node = walks_per_node
+        self._rng = ensure_rng(rng)
+        self.pagerank_store = PageRankStore(
+            self.social_store, track_sides=True, include_in_neighbors=True
+        )
+        self.total_segments_rerouted = 0
+        self.total_steps_resimulated = 0
+        self.total_steps_discarded = 0
+        self.arrivals_processed = 0
+        self.removals_processed = 0
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: DynamicDiGraph,
+        *,
+        reset_probability: float = 0.2,
+        walks_per_node: int = 10,
+        rng: RngLike = None,
+    ) -> "IncrementalSALSA":
+        engine = cls(
+            SocialStore.of_graph(graph),
+            reset_probability=reset_probability,
+            walks_per_node=walks_per_node,
+            rng=rng,
+        )
+        engine.initialize()
+        return engine
+
+    def initialize(self) -> None:
+        """Simulate ``R`` forward-start + ``R`` backward-start segments per node."""
+        graph = self.graph
+        store = WalkStore(graph.num_nodes, track_sides=True)
+        if graph.num_nodes:
+            out_csr = graph.to_csr("out")
+            in_csr = graph.to_csr("in")
+            starts = np.repeat(
+                np.arange(graph.num_nodes, dtype=np.int64), self.walks_per_node
+            )
+            for side in (SIDE_HUB, SIDE_AUTHORITY):
+                segments, reasons = batch_salsa_walks(
+                    out_csr, in_csr, starts, side, self.reset_probability, self._rng
+                )
+                for nodes, reason in zip(segments, reasons):
+                    store.add_segment(
+                        WalkSegment(nodes, int(reason), parity_offset=side)
+                    )
+        self.pagerank_store.walks = store
+
+    @property
+    def graph(self) -> DynamicDiGraph:
+        return self.social_store.graph
+
+    @property
+    def walks(self) -> WalkStore:
+        return self.pagerank_store.walks
+
+    def _ensure_walks(self, node: int) -> int:
+        """Give ``node`` its 2R segments if missing; returns steps simulated."""
+        self.walks.ensure_node(node)
+        owned = self.walks.segments_of[node]
+        steps = 0
+        for side in (SIDE_HUB, SIDE_AUTHORITY):
+            existing = sum(
+                1
+                for sid in owned
+                if self.walks.get(sid).parity_offset == side
+            )
+            for _ in range(existing, self.walks_per_node):
+                segment = simulate_salsa_walk(
+                    self.graph, node, side, self.reset_probability, self._rng
+                )
+                self.walks.add_segment(segment)
+                steps += len(segment.nodes) - 1
+        return steps
+
+    def add_node(self) -> int:
+        node = self.graph.add_node()
+        self._ensure_walks(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Edge arrival (Theorem 6's operation)
+    # ------------------------------------------------------------------
+
+    def add_edge(self, source: int, target: int) -> UpdateReport:
+        """Insert an edge; repair forward steps at ``source`` and backward
+        steps at ``target``."""
+        nodes_before = self.graph.num_nodes
+        self.graph.ensure_node(max(source, target))
+        affected = list(
+            dict.fromkeys(
+                self.walks.segment_ids_visiting(source)
+                + self.walks.segment_ids_visiting(target)
+            )
+        )
+        self.social_store.add_edge(source, target)
+        report = UpdateReport(operation="add", edge=(source, target))
+        for node in range(nodes_before, self.graph.num_nodes):
+            report.steps_initialized += self._ensure_walks(node)
+        out_degree = self.graph.out_degree(source)
+        in_degree = self.graph.in_degree(target)
+        forward_probability = 1.0 / out_degree
+        backward_probability = 1.0 / in_degree
+        rng = self._rng
+
+        for segment_id in affected:
+            segment = self.walks.get(segment_id)
+            if self._maybe_redirect(
+                segment_id,
+                segment,
+                source,
+                target,
+                forward_probability,
+                backward_probability,
+                report,
+                rng,
+            ):
+                continue
+            if segment.end_reason == END_DANGLING and self._extend_dangling(
+                segment_id, segment, source, target, report, rng
+            ):
+                continue
+            report.segments_examined += 1
+
+        self._finish_report(report)
+        self.arrivals_processed += 1
+        return report
+
+    def _maybe_redirect(
+        self,
+        segment_id: int,
+        segment: WalkSegment,
+        source: int,
+        target: int,
+        forward_probability: float,
+        backward_probability: float,
+        report: UpdateReport,
+        rng: np.random.Generator,
+    ) -> bool:
+        nodes = segment.nodes
+        for position in range(len(nodes) - 1):
+            side = segment.side_of(position)
+            if side == SIDE_HUB and nodes[position] == source:
+                if rng.random() < forward_probability:
+                    self._splice(
+                        segment_id, position, target, SIDE_AUTHORITY, report, rng
+                    )
+                    return True
+            elif side == SIDE_AUTHORITY and nodes[position] == target:
+                if rng.random() < backward_probability:
+                    self._splice(segment_id, position, source, SIDE_HUB, report, rng)
+                    return True
+        return False
+
+    def _extend_dangling(
+        self,
+        segment_id: int,
+        segment: WalkSegment,
+        source: int,
+        target: int,
+        report: UpdateReport,
+        rng: np.random.Generator,
+    ) -> bool:
+        """Resume a stranded segment whose pending step just became possible."""
+        last_position = len(segment.nodes) - 1
+        last_node = segment.nodes[-1]
+        side = segment.side_of(last_position)
+        if side == SIDE_HUB and last_node == source:
+            next_node = self.graph.random_out_neighbor(source, rng)
+            self._splice(
+                segment_id, last_position, next_node, SIDE_AUTHORITY, report, rng
+            )
+            return True
+        if side == SIDE_AUTHORITY and last_node == target:
+            next_node = self.graph.random_in_neighbor(target, rng)
+            self._splice(segment_id, last_position, next_node, SIDE_HUB, report, rng)
+            return True
+        return False
+
+    def _splice(
+        self,
+        segment_id: int,
+        keep_until: int,
+        next_node: int,
+        next_side: int,
+        report: UpdateReport,
+        rng: np.random.Generator,
+    ) -> None:
+        """Truncate after ``keep_until``, step to ``next_node``, resimulate."""
+        segment = self.walks.get(segment_id)
+        discarded = len(segment.nodes) - (keep_until + 1)
+        continuation = simulate_salsa_walk(
+            self.graph, next_node, next_side, self.reset_probability, rng
+        )
+        self.walks.replace_suffix(
+            segment_id, keep_until, continuation.nodes, continuation.end_reason
+        )
+        report.steps_discarded += discarded
+        report.steps_resimulated += len(continuation.nodes)
+        report.segments_rerouted += 1
+
+    # ------------------------------------------------------------------
+    # Edge removal
+    # ------------------------------------------------------------------
+
+    def remove_edge(self, source: int, target: int) -> UpdateReport:
+        """Delete an edge; repair segments that used it in either direction."""
+        self.social_store.remove_edge(source, target)
+        report = UpdateReport(operation="remove", edge=(source, target))
+        rng = self._rng
+        affected = list(
+            dict.fromkeys(
+                self.walks.segment_ids_visiting(source)
+                + self.walks.segment_ids_visiting(target)
+            )
+        )
+        for segment_id in affected:
+            segment = self.walks.get(segment_id)
+            use = self._first_use(segment, source, target)
+            if use is None:
+                report.segments_examined += 1
+                continue
+            position, direction = use
+            if direction == "forward":
+                if self.graph.out_degree(source) == 0:
+                    self._truncate_dangling(segment_id, position, report)
+                else:
+                    next_node = self.graph.random_out_neighbor(source, rng)
+                    self._splice(
+                        segment_id, position, next_node, SIDE_AUTHORITY, report, rng
+                    )
+            else:
+                if self.graph.in_degree(target) == 0:
+                    self._truncate_dangling(segment_id, position, report)
+                else:
+                    next_node = self.graph.random_in_neighbor(target, rng)
+                    self._splice(
+                        segment_id, position, next_node, SIDE_HUB, report, rng
+                    )
+        self._finish_report(report)
+        self.removals_processed += 1
+        return report
+
+    def _truncate_dangling(
+        self, segment_id: int, position: int, report: UpdateReport
+    ) -> None:
+        segment = self.walks.get(segment_id)
+        discarded = len(segment.nodes) - (position + 1)
+        self.walks.replace_suffix(segment_id, position, [], END_DANGLING)
+        report.steps_discarded += discarded
+        report.segments_rerouted += 1
+
+    @staticmethod
+    def _first_use(
+        segment: WalkSegment, source: int, target: int
+    ) -> Optional[tuple[int, str]]:
+        nodes = segment.nodes
+        for position in range(len(nodes) - 1):
+            side = segment.side_of(position)
+            if (
+                side == SIDE_HUB
+                and nodes[position] == source
+                and nodes[position + 1] == target
+            ):
+                return position, "forward"
+            if (
+                side == SIDE_AUTHORITY
+                and nodes[position] == target
+                and nodes[position + 1] == source
+            ):
+                return position, "backward"
+        return None
+
+    def apply(self, event: ArrivalEvent) -> UpdateReport:
+        if event.kind == "add":
+            return self.add_edge(event.source, event.target)
+        return self.remove_edge(event.source, event.target)
+
+    def _finish_report(self, report: UpdateReport) -> None:
+        report.store_called = report.segments_rerouted > 0
+        self.total_segments_rerouted += report.segments_rerouted
+        self.total_steps_resimulated += report.steps_resimulated
+        self.total_steps_discarded += report.steps_discarded
+
+    @property
+    def total_work(self) -> int:
+        return self.total_steps_resimulated + self.total_steps_discarded
+
+    # ------------------------------------------------------------------
+    # Scores
+    # ------------------------------------------------------------------
+
+    def authority_scores(self) -> np.ndarray:
+        """Authority-side visit frequencies (sum to 1; → indeg/m as ε→0)."""
+        counts = self.walks.side_visit_count_array(SIDE_AUTHORITY).astype(np.float64)
+        counts = self._pad(counts)
+        total = counts.sum()
+        return counts / total if total else counts
+
+    def hub_scores(self) -> np.ndarray:
+        """Hub-side visit frequencies (sum to 1)."""
+        counts = self.walks.side_visit_count_array(SIDE_HUB).astype(np.float64)
+        counts = self._pad(counts)
+        total = counts.sum()
+        return counts / total if total else counts
+
+    def _pad(self, counts: np.ndarray) -> np.ndarray:
+        if len(counts) < self.graph.num_nodes:
+            counts = np.pad(counts, (0, self.graph.num_nodes - len(counts)))
+        return counts
+
+    def top_authorities(self, k: int) -> list[tuple[int, float]]:
+        scores = self.authority_scores()
+        order = np.argsort(-scores)[:k]
+        return [(int(node), float(scores[node])) for node in order]
+
+    def __repr__(self) -> str:
+        return (
+            f"IncrementalSALSA(nodes={self.graph.num_nodes}, "
+            f"edges={self.graph.num_edges}, R={self.walks_per_node}, "
+            f"eps={self.reset_probability})"
+        )
+
+
+@dataclass
+class SalsaWalkResult:
+    """Outcome of one personalized-SALSA stitched walk."""
+
+    seed: int
+    length: int
+    hub_counts: Counter
+    authority_counts: Counter
+    fetches: int
+    segments_used: int = 0
+    plain_steps: int = 0
+    resets: int = 0
+
+    def top_authorities(
+        self, k: int, *, exclude: tuple[int, ...] | set[int] = ()
+    ) -> list[tuple[int, int]]:
+        banned = set(exclude)
+        ranked = sorted(
+            (
+                (node, count)
+                for node, count in self.authority_counts.items()
+                if node not in banned
+            ),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        return ranked[:k]
+
+
+class _SalsaFetchState:
+    """In-memory cache entry for a fetched node (both segment kinds)."""
+
+    __slots__ = ("out_neighbors", "in_neighbors", "forward", "backward")
+
+    def __init__(
+        self,
+        out_neighbors: list[int],
+        in_neighbors: list[int],
+        forward: list[list[int]],
+        backward: list[list[int]],
+    ) -> None:
+        self.out_neighbors = out_neighbors
+        self.in_neighbors = in_neighbors
+        self.forward = forward
+        self.backward = backward
+
+    def take(self, side: int) -> Optional[list[int]]:
+        pool = self.forward if side == SIDE_HUB else self.backward
+        if pool:
+            return pool.pop()
+        return None
+
+
+class PersonalizedSALSA:
+    """Algorithm-1-style stitched walks for personalized SALSA queries.
+
+    The walk alternates sides; ε-resets (to the seed's hub side) happen at
+    hub visits only, matching the paper's personalized SALSA equations.
+    Stored forward-start segments splice at hub visits, backward-start
+    segments at authority visits; each splice ends in the segment's own
+    reset, so the walk jumps back to the seed afterwards.
+    """
+
+    def __init__(
+        self,
+        pagerank_store: PageRankStore,
+        *,
+        reset_probability: float = 0.2,
+        rng: RngLike = None,
+    ) -> None:
+        if not pagerank_store.walks.track_sides:
+            raise ConfigurationError(
+                "PersonalizedSALSA needs a side-tracking walk store "
+                "(build it via IncrementalSALSA)"
+            )
+        self.store = pagerank_store
+        self.reset_probability = reset_probability
+        self._rng = ensure_rng(rng)
+
+    def stitched_walk(
+        self, seed: int, length: int, *, rng: RngLike = None
+    ) -> SalsaWalkResult:
+        if length <= 0:
+            raise ConfigurationError(f"length must be positive, got {length}")
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        result = SalsaWalkResult(
+            seed=seed,
+            length=0,
+            hub_counts=Counter(),
+            authority_counts=Counter(),
+            fetches=0,
+        )
+        fetched: dict[int, _SalsaFetchState] = {}
+        current, side = seed, SIDE_HUB
+        result.hub_counts[seed] += 1
+        result.length = 1
+
+        while result.length < length:
+            if side == SIDE_HUB and generator.random() < self.reset_probability:
+                current, side = seed, SIDE_HUB
+                self._count(result, current, side)
+                result.resets += 1
+                continue
+
+            state = fetched.get(current)
+            if state is None:
+                state = self._fetch(current, generator)
+                fetched[current] = state
+                result.fetches += 1
+                continue
+
+            segment = state.take(side)
+            if segment is not None:
+                self._splice(result, segment, side)
+                result.segments_used += 1
+                current, side = seed, SIDE_HUB
+                self._count(result, current, side)
+                result.resets += 1
+                continue
+
+            adjacency = (
+                state.out_neighbors if side == SIDE_HUB else state.in_neighbors
+            )
+            if not adjacency:
+                current, side = seed, SIDE_HUB
+                self._count(result, current, side)
+                result.resets += 1
+                continue
+            current = adjacency[int(generator.integers(len(adjacency)))]
+            side = 1 - side
+            self._count(result, current, side)
+            result.plain_steps += 1
+
+        return result
+
+    def _fetch(self, node: int, rng: np.random.Generator) -> _SalsaFetchState:
+        fetch = self.store.fetch(node, rng)
+        forward = [
+            segment
+            for segment, offset in zip(fetch.segments, fetch.parity_offsets)
+            if offset == SIDE_HUB
+        ]
+        backward = [
+            segment
+            for segment, offset in zip(fetch.segments, fetch.parity_offsets)
+            if offset == SIDE_AUTHORITY
+        ]
+        return _SalsaFetchState(
+            out_neighbors=list(fetch.neighbors),
+            in_neighbors=list(fetch.in_neighbors),
+            forward=forward,
+            backward=backward,
+        )
+
+    def _splice(self, result: SalsaWalkResult, segment: list[int], side: int) -> None:
+        """Append segment[1:]; parity alternates from the splice point."""
+        for offset, node in enumerate(segment[1:], start=1):
+            self._count(result, node, (side + offset) % 2)
+
+    @staticmethod
+    def _count(result: SalsaWalkResult, node: int, side: int) -> None:
+        if side == SIDE_HUB:
+            result.hub_counts[node] += 1
+        else:
+            result.authority_counts[node] += 1
+        result.length += 1

@@ -1,0 +1,179 @@
+"""Closed-form expressions from the paper, kept in one auditable place.
+
+Every bound the experiments overlay on measured data comes from here, so a
+reader can check each formula against the paper once and trust the plots.
+References are to the arXiv v2 numbering.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "harmonic_number",
+    "mc_initialization_work",
+    "thm4_total_update_work",
+    "thm4_update_work_at",
+    "prop5_deletion_work",
+    "dirichlet_total_update_work",
+    "thm6_salsa_total_update_work",
+    "naive_power_iteration_total_work",
+    "naive_monte_carlo_total_work",
+    "eq3_powerlaw_scores",
+    "eq3_normalizer",
+    "eq4_walk_length",
+    "thm8_fetch_bound",
+    "cor9_topk_fetch_bound",
+    "thm1_required_walks",
+    "rank_exponent_to_tail_exponent",
+    "tail_exponent_to_rank_exponent",
+]
+
+
+def harmonic_number(m: int) -> float:
+    """``H_m = Σ_{t=1..m} 1/t`` (exact below 10⁶, asymptotic above)."""
+    if m < 0:
+        raise ConfigurationError(f"m must be non-negative, got {m}")
+    if m == 0:
+        return 0.0
+    if m < 1_000_000:
+        return float(np.sum(1.0 / np.arange(1, m + 1)))
+    gamma = 0.57721566490153286
+    return math.log(m) + gamma + 1.0 / (2 * m) - 1.0 / (12 * m * m)
+
+
+def mc_initialization_work(n: int, R: int, eps: float) -> float:
+    """Expected walk steps to initialize the store: ``nR/ε`` (§2.1)."""
+    return n * R / eps
+
+
+def thm4_total_update_work(n: int, R: int, eps: float, m: int) -> float:
+    """Theorem 4: expected total update work over ``m`` random-order
+    arrivals is at most ``(nR/ε²)·H_m ≤ (nR/ε²)·ln m``."""
+    return n * R / (eps * eps) * harmonic_number(m)
+
+
+def thm4_update_work_at(n: int, R: int, eps: float, t: int) -> float:
+    """Theorem 4 (per-arrival form): expected work at arrival ``t`` is at
+    most ``nR/(t·ε²)``."""
+    if t <= 0:
+        raise ConfigurationError(f"t must be positive, got {t}")
+    return n * R / (t * eps * eps)
+
+
+def prop5_deletion_work(n: int, R: int, eps: float, m: int) -> float:
+    """Proposition 5: expected work for one random deletion from an
+    ``m``-edge graph is at most ``nR/(m·ε²)``."""
+    if m <= 0:
+        raise ConfigurationError(f"m must be positive, got {m}")
+    return n * R / (m * eps * eps)
+
+
+def dirichlet_total_update_work(n: int, R: int, eps: float, m: int) -> float:
+    """§2.2 remark: under the Dirichlet arrival model the total expected
+    update work over ``m`` arrivals is ``(nR/ε²)·ln((m+n)/n)``."""
+    return n * R / (eps * eps) * math.log((m + n) / n)
+
+
+def thm6_salsa_total_update_work(n: int, R: int, eps: float, m: int) -> float:
+    """Theorem 6: SALSA pays a factor 16 over Theorem 4 (2R walks ×
+    mean length 2/ε (a factor 4 through ε²) × both endpoints)."""
+    return 16.0 * n * R / (eps * eps) * math.log(max(m, 2))
+
+
+def naive_power_iteration_total_work(m: int, eps: float) -> float:
+    """§1.3: recomputing PageRank by power iteration on every arrival costs
+    ``Σ_{x=1..m} x / ln(1/(1−ε)) = Ω(m²/ln(1/(1−ε)))`` edge-touches."""
+    if not 0.0 < eps < 1.0:
+        raise ConfigurationError(f"eps must be in (0, 1), got {eps}")
+    return (m * (m + 1) / 2.0) / math.log(1.0 / (1.0 - eps))
+
+def naive_monte_carlo_total_work(n: int, m: int, eps: float) -> float:
+    """§1.3: rebuilding the Monte Carlo store on every arrival costs
+    ``Ω(mn/ε)`` walk steps."""
+    return m * n / eps
+
+
+# ----------------------------------------------------------------------
+# Power-law model (§3.1) and the personalized query bounds (§3.2)
+# ----------------------------------------------------------------------
+
+
+def eq3_normalizer(n: int, alpha: float) -> float:
+    """``η = (1−α)/n^{1−α}`` (Equation 3's integral approximation)."""
+    _check_alpha(alpha)
+    return (1.0 - alpha) / n ** (1.0 - alpha)
+
+
+def eq3_powerlaw_scores(n: int, alpha: float) -> np.ndarray:
+    """Equation 3: ``π_j = (1−α)·j^{−α} / n^{1−α}`` for ``j = 1..n``."""
+    _check_alpha(alpha)
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return (1.0 - alpha) * ranks ** (-alpha) / n ** (1.0 - alpha)
+
+
+def eq4_walk_length(k: int, n: int, alpha: float, c: float = 5.0) -> float:
+    """Equation 4: walk length ``s_k = (c/(1−α))·k·(n/k)^{1−α}`` needed to
+    see each of the top-``k`` nodes ``c`` times in expectation."""
+    _check_alpha(alpha)
+    if not 1 <= k <= n:
+        raise ConfigurationError(f"k must be in [1, n]; got k={k}, n={n}")
+    return c / (1.0 - alpha) * k * (n / k) ** (1.0 - alpha)
+
+
+def thm8_fetch_bound(s: float, n: int, R: int, alpha: float) -> float:
+    """Theorem 8: expected fetches for a stitched walk of length ``s`` is at
+    most ``1 + (2(1−α)/(nR))^{1/α−1} · s^{1/α}``."""
+    _check_alpha(alpha)
+    if s < 0:
+        raise ConfigurationError(f"s must be non-negative, got {s}")
+    prefactor = (2.0 * (1.0 - alpha) / (n * R)) ** (1.0 / alpha - 1.0)
+    return 1.0 + prefactor * s ** (1.0 / alpha)
+
+
+def cor9_topk_fetch_bound(k: int, alpha: float, c: float = 5.0, R: int = 10) -> float:
+    """Corollary 9: expected fetches to find the top ``k`` is at most
+    ``1 + c^{1/α} / ((1−α)·(R/2)^{1/α−1}) · k``."""
+    _check_alpha(alpha)
+    if k < 0:
+        raise ConfigurationError(f"k must be non-negative, got {k}")
+    return 1.0 + (c ** (1.0 / alpha)) / (
+        (1.0 - alpha) * (R / 2.0) ** (1.0 / alpha - 1.0)
+    ) * k
+
+
+def thm1_required_walks(n: int, pi_v: float, constant: float = 1.0) -> float:
+    """Theorem 1 discussion: ``R = Ω(ln n / (n·π_v))`` walks per node give
+    exponentially decaying tails for a node of PageRank ``π_v``; for
+    average nodes (``π_v ≈ 1/n``) this is ``O(ln n)``."""
+    if pi_v <= 0:
+        raise ConfigurationError(f"pi_v must be positive, got {pi_v}")
+    return constant * math.log(max(n, 2)) / (n * pi_v)
+
+
+# ----------------------------------------------------------------------
+# Exponent conventions
+# ----------------------------------------------------------------------
+
+
+def rank_exponent_to_tail_exponent(alpha: float) -> float:
+    """Rank-size exponent α (``π_j ∝ j^{−α}``) → CCDF tail exponent
+    ``γ = 1 + 1/α`` (``P(X > x) ∝ x^{−1/α}``, density exponent γ)."""
+    _check_alpha(alpha)
+    return 1.0 + 1.0 / alpha
+
+
+def tail_exponent_to_rank_exponent(gamma: float) -> float:
+    """Inverse of :func:`rank_exponent_to_tail_exponent`."""
+    if gamma <= 1.0:
+        raise ConfigurationError(f"gamma must exceed 1, got {gamma}")
+    return 1.0 / (gamma - 1.0)
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")

@@ -1,0 +1,107 @@
+"""Top-k personalized queries (§3.2).
+
+The paper's observation: applications never need the full personalized
+vector — only its top ``k`` entries.  Under the power-law model the walk
+length needed so each of the true top ``k`` is seen ``c`` times in
+expectation is ``s_k`` (Equation 4), and the fetch cost of that walk is
+bounded by Corollary 9.  This module packages the query: size the walk,
+run it, rank, and report both the measured and the theoretical fetch cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core import theory
+from repro.core.personalized import PersonalizedPageRank, StitchedWalkResult
+from repro.errors import ConfigurationError
+from repro.rng import RngLike
+
+__all__ = ["TopKResult", "top_k_personalized", "walk_length_for_top_k"]
+
+
+def walk_length_for_top_k(
+    k: int, num_nodes: int, alpha: float, c: float = 5.0
+) -> int:
+    """Integer walk length from Equation 4 (rounded up, at least ``k``)."""
+    length = theory.eq4_walk_length(k, num_nodes, alpha, c)
+    return max(int(length) + 1, k)
+
+
+@dataclass
+class TopKResult:
+    """Top-``k`` personalized ranking with its cost accounting."""
+
+    seed: int
+    k: int
+    ranking: list[tuple[int, int]]
+    walk_length: int
+    fetches: int
+    fetch_bound: float
+    alpha: float
+    c: float
+
+    @property
+    def nodes(self) -> list[int]:
+        return [node for node, _ in self.ranking]
+
+    @property
+    def within_bound(self) -> bool:
+        return self.fetches <= self.fetch_bound
+
+
+def top_k_personalized(
+    engine: PersonalizedPageRank,
+    seed: int,
+    k: int,
+    *,
+    alpha: float = 0.77,
+    c: float = 5.0,
+    exclude_friends: bool = True,
+    length: Optional[int] = None,
+    rng: RngLike = None,
+) -> TopKResult:
+    """Find the ``k`` nodes with highest personalized PageRank for ``seed``.
+
+    ``alpha`` is the power-law exponent assumed for this seed's personalized
+    vector (§3.1; measure it with
+    :func:`repro.analysis.power_law.fit_rank_exponent` when unknown).
+    ``length`` overrides the Equation-4 walk length when given.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    num_nodes = engine.store.social_store.num_nodes
+    walk_length = (
+        length
+        if length is not None
+        else walk_length_for_top_k(k, num_nodes, alpha, c)
+    )
+    before = engine.store.fetch_count
+    walk = engine.top_k(
+        seed,
+        k,
+        walk_length,
+        exclude_seed=True,
+        exclude_friends=exclude_friends,
+        rng=rng,
+    )
+    fetches = engine.store.fetch_count - before
+    walks_per_node = max(
+        (
+            len(engine.store.walks.segments_of[seed])
+            if seed < engine.store.walks.num_nodes
+            else 0
+        ),
+        1,
+    )
+    return TopKResult(
+        seed=seed,
+        k=k,
+        ranking=walk.top(k),
+        walk_length=walk_length,
+        fetches=fetches,
+        fetch_bound=theory.cor9_topk_fetch_bound(k, alpha, c, walks_per_node),
+        alpha=alpha,
+        c=c,
+    )

@@ -1,0 +1,333 @@
+"""Walk segments, the walk store, and scalar walk simulation.
+
+A *walk segment* ``[x₀, …, x_k]`` (paper §2.1) is one random-surfer session:
+steps were taken at ``x₀ … x_{k−1}`` and the segment ended at ``x_k`` —
+either because the ε-coin came up "reset" (:data:`END_RESET`) or because
+``x_k`` had no out-edges after the coin came up "continue"
+(:data:`END_DANGLING`; the pending step resumes if ``x_k`` ever gains an
+out-edge).  These semantics are normative — see DESIGN.md §5.
+
+:class:`WalkStore` owns all segments plus the inverted *visit index* the
+incremental algorithms live on:
+
+* ``X(v)`` — total visits to ``v`` over all segments (the paper's ``X_v``),
+* ``W(v)`` — number of distinct segments visiting ``v`` (the paper's
+  counter used in the activation probability ``1 − (1 − 1/d(v))^{W(v)}``),
+* ``visits_of(v)`` — which segments visit ``v`` and how often, so an edge
+  arrival touches only the segments that can possibly need a reroute.
+
+SALSA reuses the same store with ``track_sides=True``: each segment carries
+a ``parity_offset`` and position ``p`` of a segment counts toward side
+``(p + parity_offset) % 2`` (0 = hub visit, 1 = authority visit).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import WalkStateError
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "END_RESET",
+    "END_DANGLING",
+    "WalkSegment",
+    "WalkStore",
+    "simulate_reset_walk",
+    "default_max_steps",
+]
+
+#: Segment ended because the ε-coin came up "reset".
+END_RESET = 0
+#: Segment ended at a node with no out-edges, with "continue" already decided.
+END_DANGLING = 1
+
+SIDE_HUB = 0
+SIDE_AUTHORITY = 1
+
+
+def default_max_steps(reset_probability: float) -> int:
+    """Safety cap on segment length (P(exceed) < 1e-40 for sane ε)."""
+    return max(1000, int(50.0 / reset_probability))
+
+
+class WalkSegment:
+    """One stored random-walk session."""
+
+    __slots__ = ("nodes", "end_reason", "parity_offset")
+
+    def __init__(
+        self, nodes: list[int], end_reason: int, parity_offset: int = 0
+    ) -> None:
+        if not nodes:
+            raise WalkStateError("a walk segment must contain at least its source")
+        if end_reason not in (END_RESET, END_DANGLING):
+            raise WalkStateError(f"unknown end_reason {end_reason!r}")
+        self.nodes = nodes
+        self.end_reason = end_reason
+        self.parity_offset = parity_offset
+
+    @property
+    def source(self) -> int:
+        return self.nodes[0]
+
+    @property
+    def last(self) -> int:
+        return self.nodes[-1]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def step_positions_at(self, node: int) -> list[int]:
+        """Positions where this segment *took a step* out of ``node``.
+
+        The final position is excluded: no step was taken there (the walk
+        reset or is dangling-pending).
+        """
+        return [
+            position
+            for position, visited in enumerate(self.nodes[:-1])
+            if visited == node
+        ]
+
+    def side_of(self, position: int) -> int:
+        """Hub/authority side of ``position`` (SALSA bookkeeping)."""
+        return (position + self.parity_offset) % 2
+
+    def __repr__(self) -> str:
+        reason = "RESET" if self.end_reason == END_RESET else "DANGLING"
+        return f"WalkSegment({self.nodes!r}, {reason})"
+
+
+class WalkStore:
+    """All stored segments plus the inverted visit index and counters."""
+
+    def __init__(self, num_nodes: int = 0, *, track_sides: bool = False) -> None:
+        self.segments: list[Optional[WalkSegment]] = []
+        self.segments_of: list[list[int]] = [[] for _ in range(num_nodes)]
+        # visit index: node -> {segment id -> number of visits}
+        self._visits: list[dict[int, int]] = [{} for _ in range(num_nodes)]
+        self._visit_count: list[int] = [0] * num_nodes
+        self.track_sides = track_sides
+        self._side_count: list[list[int]] = (
+            [[0] * num_nodes, [0] * num_nodes] if track_sides else [[], []]
+        )
+        self.total_visits = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._visits)
+
+    @property
+    def num_segments(self) -> int:
+        return sum(1 for segment in self.segments if segment is not None)
+
+    def ensure_node(self, node: int) -> None:
+        while node >= self.num_nodes:
+            self.segments_of.append([])
+            self._visits.append({})
+            self._visit_count.append(0)
+            if self.track_sides:
+                self._side_count[0].append(0)
+                self._side_count[1].append(0)
+
+    # ------------------------------------------------------------------
+    # Index maintenance primitives
+    # ------------------------------------------------------------------
+
+    def _index_range(
+        self, segment_id: int, segment: WalkSegment, start: int, sign: int
+    ) -> None:
+        """Add (+1) or remove (−1) index entries for positions ≥ ``start``."""
+        visits = self._visits
+        count = self._visit_count
+        for position in range(start, len(segment.nodes)):
+            node = segment.nodes[position]
+            bucket = visits[node]
+            updated = bucket.get(segment_id, 0) + sign
+            if updated:
+                bucket[segment_id] = updated
+            else:
+                del bucket[segment_id]
+            count[node] += sign
+            if self.track_sides:
+                self._side_count[segment.side_of(position)][node] += sign
+        self.total_visits += sign * (len(segment.nodes) - start)
+
+    # ------------------------------------------------------------------
+    # Segment lifecycle
+    # ------------------------------------------------------------------
+
+    def add_segment(self, segment: WalkSegment) -> int:
+        """Register a fresh segment; returns its id."""
+        self.ensure_node(max(segment.nodes))
+        segment_id = len(self.segments)
+        self.segments.append(segment)
+        self.segments_of[segment.source].append(segment_id)
+        self._index_range(segment_id, segment, 0, +1)
+        return segment_id
+
+    def get(self, segment_id: int) -> WalkSegment:
+        segment = self.segments[segment_id]
+        if segment is None:
+            raise WalkStateError(f"segment {segment_id} has been removed")
+        return segment
+
+    def replace_suffix(
+        self,
+        segment_id: int,
+        keep_until: int,
+        new_suffix: list[int],
+        end_reason: int,
+    ) -> None:
+        """Rewrite a segment as ``nodes[:keep_until+1] + new_suffix``.
+
+        ``keep_until`` is the last preserved position.  The visit index and
+        all counters are updated incrementally — only the changed suffix is
+        touched, which is what makes Theorem 4's accounting real.
+        """
+        segment = self.get(segment_id)
+        if not 0 <= keep_until < len(segment.nodes):
+            raise WalkStateError(
+                f"keep_until={keep_until} out of range for segment of length "
+                f"{len(segment.nodes)}"
+            )
+        if new_suffix:
+            self.ensure_node(max(new_suffix))
+        self._index_range(segment_id, segment, keep_until + 1, -1)
+        del segment.nodes[keep_until + 1 :]
+        segment.nodes.extend(new_suffix)
+        segment.end_reason = end_reason
+        self._index_range(segment_id, segment, keep_until + 1, +1)
+
+    def rebuild_segment(
+        self, segment_id: int, nodes: list[int], end_reason: int
+    ) -> None:
+        """Replace a segment wholesale (resimulate-from-source policy)."""
+        segment = self.get(segment_id)
+        if nodes[0] != segment.source:
+            raise WalkStateError(
+                f"rebuilt segment must keep source {segment.source}, got {nodes[0]}"
+            )
+        self.ensure_node(max(nodes))
+        self._index_range(segment_id, segment, 0, -1)
+        segment.nodes = list(nodes)
+        segment.end_reason = end_reason
+        self._index_range(segment_id, segment, 0, +1)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def visits_of(self, node: int) -> dict[int, int]:
+        """Mapping ``segment id -> visit count`` for segments visiting ``node``."""
+        if node >= self.num_nodes:
+            return {}
+        return dict(self._visits[node])
+
+    def segment_ids_visiting(self, node: int) -> list[int]:
+        if node >= self.num_nodes:
+            return []
+        return list(self._visits[node])
+
+    def visit_count(self, node: int) -> int:
+        """``X(v)``: total visits to ``node`` across all segments."""
+        if node >= self.num_nodes:
+            return 0
+        return self._visit_count[node]
+
+    def distinct_segment_count(self, node: int) -> int:
+        """``W(v)``: number of distinct segments visiting ``node``."""
+        if node >= self.num_nodes:
+            return 0
+        return len(self._visits[node])
+
+    def side_visit_count(self, node: int, side: int) -> int:
+        """Visits to ``node`` on ``side`` (0 = hub, 1 = authority)."""
+        if not self.track_sides:
+            raise WalkStateError("store was built without side tracking")
+        if node >= self.num_nodes:
+            return 0
+        return self._side_count[side][node]
+
+    def visit_count_array(self) -> np.ndarray:
+        return np.asarray(self._visit_count, dtype=np.int64)
+
+    def side_visit_count_array(self, side: int) -> np.ndarray:
+        if not self.track_sides:
+            raise WalkStateError("store was built without side tracking")
+        return np.asarray(self._side_count[side], dtype=np.int64)
+
+    def iter_segments(self) -> Iterator[tuple[int, WalkSegment]]:
+        for segment_id, segment in enumerate(self.segments):
+            if segment is not None:
+                yield segment_id, segment
+
+    # ------------------------------------------------------------------
+    # Invariant checking (tests and failure injection)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Recompute the index from scratch and compare (O(total visits)).
+
+        Raises :class:`WalkStateError` on any inconsistency.  Used heavily
+        by tests; cheap enough to run on moderate stores.
+        """
+        expected_visits: list[dict[int, int]] = [{} for _ in range(self.num_nodes)]
+        expected_count = [0] * self.num_nodes
+        expected_sides = [[0] * self.num_nodes, [0] * self.num_nodes]
+        expected_total = 0
+        for segment_id, segment in self.iter_segments():
+            for position, node in enumerate(segment.nodes):
+                bucket = expected_visits[node]
+                bucket[segment_id] = bucket.get(segment_id, 0) + 1
+                expected_count[node] += 1
+                expected_total += 1
+                if self.track_sides:
+                    expected_sides[segment.side_of(position)][node] += 1
+        if expected_count != self._visit_count:
+            raise WalkStateError("visit_count diverged from segments")
+        if expected_visits != self._visits:
+            raise WalkStateError("visit index diverged from segments")
+        if expected_total != self.total_visits:
+            raise WalkStateError("total_visits diverged from segments")
+        if self.track_sides and expected_sides != self._side_count:
+            raise WalkStateError("side counters diverged from segments")
+
+
+def simulate_reset_walk(
+    graph: DynamicDiGraph,
+    start: int,
+    reset_probability: float,
+    rng: RngLike = None,
+    *,
+    max_steps: Optional[int] = None,
+) -> WalkSegment:
+    """Scalar reset walk from ``start`` (coin flipped at every node, start
+    included).  Used for reroute continuations; bulk initialization goes
+    through :func:`repro.graph.csr.batch_reset_walks` instead.
+    """
+    generator = ensure_rng(rng)
+    if max_steps is None:
+        max_steps = default_max_steps(reset_probability)
+    nodes = [start]
+    current = start
+    out_view = graph.out_view
+    integers = generator.integers
+    random = generator.random
+    for _ in range(max_steps):
+        if random() < reset_probability:
+            return WalkSegment(nodes, END_RESET)
+        adjacency = out_view(current)
+        if not adjacency:
+            return WalkSegment(nodes, END_DANGLING)
+        current = adjacency[int(integers(len(adjacency)))]
+        nodes.append(current)
+    return WalkSegment(nodes, END_RESET)  # safety cap; probability ≈ 0

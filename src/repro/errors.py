@@ -1,0 +1,79 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause, while
+still letting genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced that does not exist in the graph."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"node {node!r} does not exist")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge was referenced that does not exist in the graph."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) does not exist")
+        self.source = source
+        self.target = target
+
+
+class DuplicateEdgeError(GraphError, ValueError):
+    """An edge was inserted that already exists (multi-edges unsupported)."""
+
+    def __init__(self, source: int, target: int) -> None:
+        super().__init__(f"edge ({source!r}, {target!r}) already exists")
+        self.source = source
+        self.target = target
+
+
+class SelfLoopError(GraphError, ValueError):
+    """A self-loop was inserted into a graph configured to reject them."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"self-loop at node {node!r} is not allowed")
+        self.node = node
+
+
+class EmptyNeighborhoodError(GraphError):
+    """Uniform neighbour sampling was requested at a node with no neighbours."""
+
+    def __init__(self, node: int, direction: str) -> None:
+        super().__init__(f"node {node!r} has no {direction}-neighbours to sample")
+        self.node = node
+        self.direction = direction
+
+
+class StoreError(ReproError):
+    """Base class for storage-layer errors (social store / pagerank store)."""
+
+
+class StoreClosedError(StoreError):
+    """An operation was issued against a store that has been closed."""
+
+
+class WalkStateError(ReproError):
+    """A walk segment or walk store reached an internal inconsistency."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid parameter passed to an estimator, engine, or experiment."""
+
+
+class NotSupportedError(ReproError):
+    """A valid-but-unimplemented combination of options was requested."""

@@ -1,0 +1,23 @@
+"""Experiment drivers — one per figure/table of the paper (see DESIGN.md §4).
+
+Each driver returns an :class:`~repro.experiments.common.ExperimentResult`
+with the rows the paper reports plus ASCII renderings of the figures.  The
+registry maps experiment ids (``E-F1`` … ``E-T1``, ``E-THM4`` …) to
+drivers; ``python -m repro.experiments <id>`` runs one from the shell, and
+the ``benchmarks/`` tree wraps the same drivers in pytest-benchmark.
+"""
+
+from repro.experiments.common import ExperimentResult, get_experiment, list_experiments
+
+# Importing the modules registers their drivers.
+from repro.experiments import (  # noqa: E402,F401  (registration side effects)
+    exp_arrival,
+    exp_concentration,
+    exp_fetches,
+    exp_linkpred,
+    exp_powerlaw,
+    exp_precision,
+    exp_update_cost,
+)
+
+__all__ = ["ExperimentResult", "get_experiment", "list_experiments"]

@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` — see :mod:`repro.experiments.runner`."""
+
+from repro.experiments.runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Experiment result containers and the driver registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "list_experiments",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's outcome, ready for printing or EXPERIMENTS.md."""
+
+    experiment_id: str
+    title: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    figures: Dict[str, str] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        """Render ``rows`` as a GitHub-style markdown table."""
+        if not self.rows:
+            return "(no rows)"
+        columns = list(self.rows[0].keys())
+        header = "| " + " | ".join(columns) + " |"
+        divider = "|" + "|".join("---" for _ in columns) + "|"
+        body = []
+        for row in self.rows:
+            cells = [_format_cell(row.get(column)) for column in columns]
+            body.append("| " + " | ".join(cells) + " |")
+        return "\n".join([header, divider, *body])
+
+    def render(self) -> str:
+        """Full human-readable report: params, table, figures, notes."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.params:
+            settings = ", ".join(f"{k}={v}" for k, v in self.params.items())
+            parts.append(f"params: {settings}")
+        parts.append(self.table())
+        for label, figure in self.figures.items():
+            parts.append(f"\n-- {label} --\n{figure}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator: add a driver to the registry under ``experiment_id``."""
+
+    def decorator(func: Callable[..., ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ConfigurationError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        func.experiment_id = experiment_id
+        return func
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_experiments() -> Mapping[str, Callable[..., ExperimentResult]]:
+    return dict(sorted(_REGISTRY.items()))

@@ -1,0 +1,192 @@
+"""E-MX and E-F1: validating the random-order arrival assumption (§4.2).
+
+The paper validates its random-permutation model on Twitter two ways:
+
+1. (§4.2 item 1) the statistic ``m·E[π_u / outdeg_u]`` over arriving edges
+   ``(u, w)`` should be ≈ 1 — Lemma 3's only real requirement.  Twitter
+   measured 0.81 over 4.63M arrivals (edges from brand-new nodes removed).
+2. (Figure 1) the *arrival degree cdf* ``a(d)`` (fraction of new edges
+   whose source has out-degree ≤ d) should coincide with the *existing
+   degree cdf* ``e(d)`` (fraction of degree mass on nodes of degree ≤ d).
+
+Both are run here on the synthetic stream — plus an adversarial control
+(the same edges ordered by source degree) to show the statistics actually
+discriminate: under the hostile order ``mX`` blows up and the CDFs split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.power_law import cdf_at, empirical_cdf, weighted_degree_cdf
+from repro.baselines.power_iteration import exact_pagerank
+from repro.experiments.common import ExperimentResult, register
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import ensure_rng
+from repro.workloads.twitter_like import twitter_like_stream
+
+__all__ = ["run_mx_validation", "run_fig1"]
+
+
+def _snapshot_and_window(stream, split: float):
+    cut = int(len(stream) * split)
+    graph = stream.snapshot_at(cut)
+    window = stream.suffix(cut)
+    return graph, window
+
+
+def _mx_statistic(
+    graph: DynamicDiGraph, window, scores: np.ndarray
+) -> tuple[float, int]:
+    """Average of m·π_u/outdeg_u over window arrivals with existing sources."""
+    total = 0.0
+    used = 0
+    m = graph.num_edges
+    for event in window:
+        source = event.source
+        degree = graph.out_degree(source) if source < graph.num_nodes else 0
+        if degree == 0:
+            continue  # paper: "we removed edges originating from new nodes"
+        total += m * scores[source] / degree
+        used += 1
+    return (total / used if used else float("nan")), used
+
+
+@register("E-MX")
+def run_mx_validation(
+    num_nodes: int = 5000,
+    num_edges: int = 60_000,
+    split: float = 0.66,
+    rng=42,
+) -> ExperimentResult:
+    """§4.2 item 1: measure mX on random-order and adversarial streams."""
+    generator = ensure_rng(rng)
+    stream = twitter_like_stream(num_nodes, num_edges, rng=generator)
+    graph, window = _snapshot_and_window(stream, split)
+    scores = exact_pagerank(graph, reset_probability=0.2)
+
+    random_mx, used = _mx_statistic(graph, window, scores)
+
+    # Adversarial control: the same window's edges ordered by π_u/outdeg_u
+    # descending — the order an adversary maximizing update cost would
+    # present (each arrival hits the most walk-trafficked low-degree
+    # source available).  An online system sees the early prefix first.
+    existing = [
+        e
+        for e in window
+        if e.source < graph.num_nodes and graph.out_degree(e.source) > 0
+    ]
+    hostile = sorted(
+        existing,
+        key=lambda e: -(scores[e.source] / graph.out_degree(e.source)),
+    )
+    prefix = hostile[: max(len(hostile) // 5, 1)]
+    hostile_mx, hostile_used = _mx_statistic(graph, prefix, scores)
+
+    result = ExperimentResult(
+        experiment_id="E-MX",
+        title="Random-order validation: m·E[pi_u/outdeg_u] (paper: 0.81)",
+        params={
+            "n": num_nodes,
+            "m": num_edges,
+            "split": split,
+            "window_arrivals": used,
+        },
+        rows=[
+            {"arrival order": "stream (random-ish)", "mX": random_mx, "arrivals": used},
+            {
+                "arrival order": "adversarial (hot sources first)",
+                "mX": hostile_mx,
+                "arrivals": hostile_used,
+            },
+            {"arrival order": "paper (Twitter)", "mX": 0.81, "arrivals": 4_630_000},
+        ],
+    )
+    result.notes.append(
+        "mX ≈ 1 is the only assumption Theorem 4 needs (Lemma 3); values "
+        "≤ 1 only make the bound better."
+    )
+    return result
+
+
+@register("E-F1")
+def run_fig1(
+    num_nodes: int = 5000,
+    num_edges: int = 60_000,
+    split: float = 0.66,
+    rng=42,
+) -> ExperimentResult:
+    """Figure 1: arrival degree cdf vs existing degree cdf."""
+    generator = ensure_rng(rng)
+    stream = twitter_like_stream(num_nodes, num_edges, rng=generator)
+    graph, window = _snapshot_and_window(stream, split)
+
+    degrees = graph.out_degree_array()
+    existing_values, existing_cdf = weighted_degree_cdf(degrees)
+
+    arrival_degrees = [
+        graph.out_degree(e.source)
+        for e in window
+        if e.source < graph.num_nodes and graph.out_degree(e.source) > 0
+    ]
+    arrival_values, arrival_cdf = empirical_cdf(arrival_degrees)
+
+    # Evaluate both CDFs on a common grid for the table and the gap stat.
+    grid = np.unique(np.concatenate([existing_values, arrival_values]))
+    existing_on_grid = cdf_at(existing_values, existing_cdf, grid)
+    arrival_on_grid = cdf_at(arrival_values, arrival_cdf, grid)
+    max_gap = float(np.abs(existing_on_grid - arrival_on_grid).max())
+
+    # Adversarial control: arrivals drawn uniformly over *nodes* rather
+    # than proportionally to degree — the proportionality assumption fails.
+    uniform_sources = generator.choice(
+        [v for v in graph.nodes() if graph.out_degree(v) > 0], size=len(arrival_degrees)
+    )
+    uniform_degrees = [graph.out_degree(int(v)) for v in uniform_sources]
+    uniform_values, uniform_cdf = empirical_cdf(uniform_degrees)
+    uniform_on_grid = cdf_at(uniform_values, uniform_cdf, grid)
+    uniform_gap = float(np.abs(existing_on_grid - uniform_on_grid).max())
+
+    sample_points = [1, 2, 5, 10, 20, 50, 100, 200]
+    rows = []
+    for d in sample_points:
+        rows.append(
+            {
+                "degree d": d,
+                "existing e(d)": float(cdf_at(existing_values, existing_cdf, [d])[0]),
+                "arrival a(d)": float(cdf_at(arrival_values, arrival_cdf, [d])[0]),
+                "uniform control": float(cdf_at(uniform_values, uniform_cdf, [d])[0]),
+            }
+        )
+    rows.append(
+        {
+            "degree d": "max |gap|",
+            "existing e(d)": 0.0,
+            "arrival a(d)": max_gap,
+            "uniform control": uniform_gap,
+        }
+    )
+
+    figure = ascii_plot(
+        {
+            "existing e(d)": (grid.tolist(), existing_on_grid.tolist()),
+            "arrival a(d)": (grid.tolist(), arrival_on_grid.tolist()),
+        },
+        log_x=True,
+        title="Figure 1: arrival vs existing degree CDFs",
+    )
+
+    result = ExperimentResult(
+        experiment_id="E-F1",
+        title="Figure 1: arrival degree cdf tracks existing degree cdf",
+        params={"n": num_nodes, "m": num_edges, "split": split},
+        rows=rows,
+        figures={"fig1": figure},
+    )
+    result.notes.append(
+        "Paper's Figure 1 shows the two CDFs nearly coinciding on Twitter; "
+        "the uniform control shows what a violated proportionality "
+        "assumption looks like."
+    )
+    return result

@@ -1,0 +1,261 @@
+"""E-F2/E-F3/E-F4: power-law structure of degrees and (P)PR vectors (§4.3).
+
+Figure 2: in-degree and global PageRank follow power laws with roughly the
+same rank-size exponent (paper: ≈ 0.76 on Twitter).  Figure 3: personalized
+PageRank vectors follow power laws too.  Figure 4: per-user exponents —
+fitted on the window ``[2f, 20f]`` (Remark 4) — cluster around the global
+exponent (paper: mean 0.77, sd 0.08).
+
+The global PageRank here comes from the *system under test* (the walk
+store), not the baseline — dogfooding the estimator; personalized vectors
+use the exact solver (ground truth is what's being characterized).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.power_law import fit_personalized_exponent, fit_rank_exponent
+from repro.baselines.power_iteration import exact_personalized_pagerank
+from repro.core.incremental import IncrementalPageRank
+from repro.experiments.common import ExperimentResult, register
+from repro.rng import ensure_rng
+from repro.workloads.seeds import users_with_friend_count
+from repro.workloads.twitter_like import twitter_like_graph
+
+__all__ = ["run_fig2", "run_fig3", "run_fig4"]
+
+#: Head-window used for global fits: at synthetic scale (n≈10⁴ vs Twitter's
+#: 10⁸) the scaling regime is narrower, so the fit window is the head/mid
+#: section before the finite-size cutoff.  EXPERIMENTS.md discusses this.
+GLOBAL_FIT_WINDOW = (5, 300)
+
+
+@register("E-F2")
+def run_fig2(
+    num_nodes: int = 10_000,
+    num_edges: int = 120_000,
+    walks_per_node: int = 10,
+    rng=42,
+) -> ExperimentResult:
+    """Figure 2: in-degree and global PageRank power laws."""
+    generator = ensure_rng(rng)
+    graph = twitter_like_graph(num_nodes, num_edges, rng=generator)
+    indegree = np.sort(graph.in_degree_array().astype(float))[::-1]
+    indeg_fit = fit_rank_exponent(
+        indegree, min_rank=GLOBAL_FIT_WINDOW[0], max_rank=GLOBAL_FIT_WINDOW[1],
+        presorted=True,
+    )
+
+    engine = IncrementalPageRank.from_graph(
+        graph, reset_probability=0.2, walks_per_node=walks_per_node, rng=generator
+    )
+    pagerank = np.sort(engine.pagerank())[::-1]
+    pr_fit = fit_rank_exponent(
+        pagerank, min_rank=GLOBAL_FIT_WINDOW[0], max_rank=GLOBAL_FIT_WINDOW[1],
+        presorted=True,
+    )
+
+    ranks = np.arange(1, len(indegree) + 1)
+    figure = ascii_plot(
+        {
+            "indegree": (ranks[indegree > 0].tolist(), indegree[indegree > 0].tolist()),
+            "pagerank(x n)": (
+                ranks[pagerank > 0].tolist(),
+                (pagerank[pagerank > 0] * num_nodes).tolist(),
+            ),
+        },
+        log_x=True,
+        log_y=True,
+        title="Figure 2: rank-size power laws (log-log)",
+    )
+
+    result = ExperimentResult(
+        experiment_id="E-F2",
+        title="Figure 2: in-degree and PageRank power laws",
+        params={
+            "n": num_nodes,
+            "m": num_edges,
+            "R": walks_per_node,
+            "fit_window": GLOBAL_FIT_WINDOW,
+        },
+        rows=[
+            {
+                "quantity": "in-degree",
+                "alpha": indeg_fit.alpha,
+                "r^2": indeg_fit.r_squared,
+                "paper alpha": 0.76,
+            },
+            {
+                "quantity": "PageRank (MC store)",
+                "alpha": pr_fit.alpha,
+                "r^2": pr_fit.r_squared,
+                "paper alpha": 0.76,
+            },
+        ],
+        figures={"fig2": figure},
+    )
+    result.notes.append(
+        "The reproduction target is that both exponents are < 1, roughly "
+        "EQUAL to each other (Litvak et al.'s theorem), with high r^2 — "
+        "not the literal Twitter value."
+    )
+    return result
+
+
+def _personalized_vectors(graph, seeds, reset_probability=0.2):
+    return exact_personalized_pagerank(
+        graph, seeds, reset_probability=reset_probability
+    )
+
+
+@register("E-F3")
+def run_fig3(
+    num_nodes: int = 10_000,
+    num_edges: int = 120_000,
+    num_users: int = 6,
+    rng=42,
+) -> ExperimentResult:
+    """Figure 3: personalized PageRank vectors of random users."""
+    generator = ensure_rng(rng)
+    graph = twitter_like_graph(num_nodes, num_edges, rng=generator)
+    seeds = users_with_friend_count(
+        graph, minimum=15, maximum=40, count=num_users, rng=generator
+    )
+    vectors = _personalized_vectors(graph, seeds)
+
+    rows = []
+    series = {}
+    for seed, vector in zip(seeds, vectors):
+        friends = graph.out_degree(seed)
+        fit = fit_personalized_exponent(vector, friends)
+        rows.append(
+            {
+                "user": seed,
+                "friends f": friends,
+                "alpha [2f,20f]": fit.alpha,
+                "r^2": fit.r_squared,
+            }
+        )
+        ordered = np.sort(vector[vector > 0])[::-1]
+        ranks = np.arange(1, len(ordered) + 1)
+        series[f"user {seed} (f={friends})"] = (
+            ranks.tolist(),
+            ordered.tolist(),
+        )
+
+    figure = ascii_plot(
+        series,
+        log_x=True,
+        log_y=True,
+        title="Figure 3: personalized PageRank rank-size plots",
+    )
+    result = ExperimentResult(
+        experiment_id="E-F3",
+        title="Figure 3: personalized PageRank power laws (random users)",
+        params={"n": num_nodes, "m": num_edges, "users": num_users},
+        rows=rows,
+        figures={"fig3": figure},
+    )
+    result.notes.append(
+        "Paper Remark 3: the head of each vector (direct friends) follows "
+        "a different law; the [2f, 20f] window skips it."
+    )
+    return result
+
+
+@register("E-F4")
+def run_fig4(
+    num_nodes: int = 10_000,
+    num_edges: int = 120_000,
+    num_users: int = 100,
+    rng=42,
+) -> ExperimentResult:
+    """Figure 4: distribution of per-user PPR exponents vs the global one."""
+    generator = ensure_rng(rng)
+    graph = twitter_like_graph(num_nodes, num_edges, rng=generator)
+    seeds = users_with_friend_count(
+        graph, minimum=15, maximum=40, count=num_users, rng=generator
+    )
+    vectors = _personalized_vectors(graph, seeds)
+
+    exponents = []
+    friend_counts = []
+    skipped = 0
+    for seed, vector in zip(seeds, vectors):
+        friends = graph.out_degree(seed)
+        try:
+            fit = fit_personalized_exponent(vector, friends)
+        except Exception:
+            skipped += 1
+            continue
+        exponents.append(fit.alpha)
+        friend_counts.append(friends)
+    exponents_arr = np.array(exponents)
+
+    indegree = graph.in_degree_array().astype(float)
+    global_fit = fit_rank_exponent(
+        indegree,
+        min_rank=GLOBAL_FIT_WINDOW[0],
+        max_rank=GLOBAL_FIT_WINDOW[1],
+    )
+    # Window-matched comparison: at synthetic scale the [2f, 20f] window
+    # sits partly in the finite-size cutoff, steepening every fit; fitting
+    # the *global* law over the same rank window is the like-for-like
+    # comparison (at Twitter scale the two windows see the same regime).
+    mean_friends = int(np.mean(friend_counts)) if friend_counts else 25
+    global_window_fit = fit_rank_exponent(
+        indegree, min_rank=2 * mean_friends, max_rank=20 * mean_friends
+    )
+    above_one = float((exponents_arr > 1.0).mean())
+
+    ordered = np.sort(exponents_arr)
+    figure = ascii_plot(
+        {"per-user alpha": (list(range(1, len(ordered) + 1)), ordered.tolist())},
+        title="Figure 4: sorted per-user power-law exponents",
+    )
+
+    result = ExperimentResult(
+        experiment_id="E-F4",
+        title="Figure 4: per-user PPR exponents cluster near the global exponent",
+        params={"n": num_nodes, "m": num_edges, "users": len(exponents)},
+        rows=[
+            {
+                "statistic": "mean per-user alpha",
+                "measured": float(exponents_arr.mean()),
+                "paper": 0.77,
+            },
+            {
+                "statistic": "std per-user alpha",
+                "measured": float(exponents_arr.std()),
+                "paper": 0.08,
+            },
+            {
+                "statistic": "global in-degree alpha (head window)",
+                "measured": global_fit.alpha,
+                "paper": 0.76,
+            },
+            {
+                "statistic": "global in-degree alpha (same [2f,20f] window)",
+                "measured": global_window_fit.alpha,
+                "paper": 0.76,
+            },
+            {
+                "statistic": "fraction alpha > 1",
+                "measured": above_one,
+                "paper": 0.02,
+            },
+        ],
+        figures={"fig4": figure},
+    )
+    if skipped:
+        result.notes.append(f"{skipped} users skipped (window exceeded vector).")
+    result.notes.append(
+        "Reproduction target: mean per-user alpha ≈ global alpha fitted on "
+        "the same window, with small sd. At n~10^4 the [2f,20f] window "
+        "clips the finite-size cutoff, pushing all fits above the Twitter "
+        "values and many above 1 (the paper saw 2% above 1 at n~10^8; its "
+        "Remark that the analysis adapts to alpha > 1 applies)."
+    )
+    return result

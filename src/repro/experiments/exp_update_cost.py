@@ -1,0 +1,449 @@
+"""E-THM4 / E-PROP5 / E-DIR / E-ADV / E-THM6: maintenance cost experiments.
+
+These validate the paper's §2 cost claims with *measured* work (walk steps
+touched per mutation, as reported by the engines) against the closed
+forms in :mod:`repro.core.theory`:
+
+* Theorem 4: per-arrival work decays like ``nR/(t·ε²)``; total work over m
+  random-order arrivals is ≤ ``(nR/ε²)·H_m`` — and both naive strategies
+  (power iteration per arrival, Monte Carlo rebuild per arrival) are
+  orders of magnitude worse.
+* Proposition 5: a random deletion from an m-edge graph costs ≈ ``nR/(mε²)``.
+* Dirichlet arrivals: total ≈ ``(nR/ε²)·ln((m+n)/n)``.
+* Example 1: an adversarial arrival order breaks all of the above — the
+  killer edge alone costs Ω(n).
+* Theorem 6: SALSA maintenance tracks PageRank's with the ×16 constant
+  (2R walks × length 2/ε × both endpoints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.core import theory
+from repro.core.incremental import IncrementalPageRank
+from repro.core.salsa import IncrementalSALSA
+from repro.experiments.common import ExperimentResult, register
+from repro.graph.arrival import DirichletArrival, RandomPermutationArrival
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import example1_adversarial_gadget
+from repro.rng import ensure_rng, spawn
+from repro.workloads.twitter_like import twitter_like_graph
+
+__all__ = [
+    "run_thm4",
+    "run_prop5",
+    "run_dirichlet",
+    "run_adversarial",
+    "run_thm6",
+]
+
+
+def _feed_stream(engine, events):
+    """Replay events; returns per-arrival resimulated steps and reroutes.
+
+    Resimulated steps are the paper's work unit: each affected segment is
+    repaired by re-walking, at expected cost 1/ε (Theorem 4's accounting).
+    Truncation/discard bookkeeping is cheap counter updates and is tracked
+    separately by the engines.
+    """
+    work = np.zeros(len(events), dtype=np.int64)
+    rerouted = np.zeros(len(events), dtype=np.int64)
+    for index, event in enumerate(events):
+        report = engine.apply(event)
+        work[index] = report.steps_resimulated
+        rerouted[index] = report.segments_rerouted
+    return work, rerouted
+
+
+def _log_buckets(length: int, count: int = 10) -> list[tuple[int, int]]:
+    edges = np.unique(
+        np.geomspace(1, length, count + 1).astype(int)
+    )
+    return [(int(a), int(b)) for a, b in zip(edges, edges[1:])]
+
+
+@register("E-THM4")
+def run_thm4(
+    num_nodes: int = 2000,
+    num_edges: int = 24_000,
+    walks_per_node: int = 5,
+    reset_probability: float = 0.3,
+    rng=42,
+) -> ExperimentResult:
+    """Theorem 4: measured incremental work under random-order arrivals."""
+    generator = ensure_rng(rng)
+    graph_rng, perm_rng, engine_rng = spawn(generator, 3)
+    final_graph = twitter_like_graph(num_nodes, num_edges, rng=graph_rng)
+    m = final_graph.num_edges
+    events = list(RandomPermutationArrival.of_graph(final_graph, rng=perm_rng))
+
+    engine = IncrementalPageRank(
+        reset_probability=reset_probability,
+        walks_per_node=walks_per_node,
+        rng=engine_rng,
+    )
+    for _ in range(num_nodes):
+        engine.add_node()
+    work, rerouted = _feed_stream(engine, events)
+
+    rows = []
+    for low, high in _log_buckets(m):
+        bucket = slice(low - 1, high)
+        measured = float(work[bucket].mean())
+        bound = float(
+            np.mean(
+                [
+                    theory.thm4_update_work_at(
+                        num_nodes, walks_per_node, reset_probability, t
+                    )
+                    for t in range(low, high + 1)
+                ]
+            )
+        )
+        rows.append(
+            {
+                "arrival t": f"{low}-{high}",
+                "measured mean work": measured,
+                "thm4 bound nR/(t eps^2)": bound,
+                "mean segments rerouted": float(rerouted[bucket].mean()),
+            }
+        )
+
+    total_measured = int(work.sum())
+    total_bound = theory.thm4_total_update_work(
+        num_nodes, walks_per_node, reset_probability, m
+    )
+    init_work = theory.mc_initialization_work(
+        num_nodes, walks_per_node, reset_probability
+    )
+    naive_pi = theory.naive_power_iteration_total_work(m, reset_probability)
+    naive_mc = theory.naive_monte_carlo_total_work(num_nodes, m, reset_probability)
+    rows.extend(
+        [
+            {
+                "arrival t": "TOTAL measured",
+                "measured mean work": total_measured,
+                "thm4 bound nR/(t eps^2)": total_bound,
+                "mean segments rerouted": int(rerouted.sum()),
+            },
+            {
+                "arrival t": "naive power-iteration total (analytic)",
+                "measured mean work": naive_pi,
+                "thm4 bound nR/(t eps^2)": "-",
+                "mean segments rerouted": "-",
+            },
+            {
+                "arrival t": "naive MC-rebuild total (analytic)",
+                "measured mean work": naive_mc,
+                "thm4 bound nR/(t eps^2)": "-",
+                "mean segments rerouted": "-",
+            },
+        ]
+    )
+
+    midpoints = [int(np.sqrt(low * high)) for low, high in _log_buckets(m)]
+    figure = ascii_plot(
+        {
+            "measured": (
+                midpoints,
+                [row["measured mean work"] for row in rows[: len(midpoints)]],
+            ),
+            "bound": (
+                midpoints,
+                [
+                    row["thm4 bound nR/(t eps^2)"]
+                    for row in rows[: len(midpoints)]
+                ],
+            ),
+        },
+        log_x=True,
+        log_y=True,
+        title="Theorem 4: per-arrival update work decays ~1/t",
+    )
+
+    result = ExperimentResult(
+        experiment_id="E-THM4",
+        title="Theorem 4: total incremental work ~ (nR/eps^2) ln m",
+        params={
+            "n": num_nodes,
+            "m": m,
+            "R": walks_per_node,
+            "eps": reset_probability,
+        },
+        rows=rows,
+        figures={"thm4": figure},
+    )
+    result.notes.append(
+        f"Total measured work {total_measured} vs bound {total_bound:.0f} "
+        f"(x{total_bound / max(total_measured, 1):.1f} headroom); "
+        f"initialization alone costs {init_work:.0f} — maintenance is only "
+        f"x{total_measured / init_work:.1f} that, the paper's 'logarithmic "
+        "factor' claim."
+    )
+    return result
+
+
+@register("E-PROP5")
+def run_prop5(
+    num_nodes: int = 2000,
+    num_edges: int = 24_000,
+    deletions: int = 2000,
+    walks_per_node: int = 5,
+    reset_probability: float = 0.3,
+    rng=42,
+) -> ExperimentResult:
+    """Proposition 5: cost of deleting random edges."""
+    generator = ensure_rng(rng)
+    graph_rng, engine_rng, pick_rng = spawn(generator, 3)
+    graph = twitter_like_graph(num_nodes, num_edges, rng=graph_rng)
+    m = graph.num_edges
+    engine = IncrementalPageRank.from_graph(
+        graph,
+        reset_probability=reset_probability,
+        walks_per_node=walks_per_node,
+        rng=engine_rng,
+    )
+    resimulated = []
+    touched = []
+    segments = []
+    for _ in range(deletions):
+        edge = engine.graph.random_edge(pick_rng)
+        report = engine.remove_edge(*edge)
+        resimulated.append(report.steps_resimulated)
+        touched.append(report.work)
+        segments.append(report.segments_rerouted)
+    measured = float(np.mean(resimulated))
+    bound = theory.prop5_deletion_work(
+        num_nodes, walks_per_node, reset_probability, m
+    )
+    result = ExperimentResult(
+        experiment_id="E-PROP5",
+        title="Proposition 5: random deletion cost ~ nR/(m eps^2)",
+        params={
+            "n": num_nodes,
+            "m": m,
+            "R": walks_per_node,
+            "eps": reset_probability,
+            "deletions": deletions,
+        },
+        rows=[
+            {
+                "quantity": "mean resimulated steps per deletion",
+                "measured": measured,
+                "prop5 bound": bound,
+                "measured/bound": measured / bound,
+            },
+            {
+                "quantity": "mean segments repaired per deletion",
+                "measured": float(np.mean(segments)),
+                "prop5 bound": bound * reset_probability,
+                "measured/bound": float(np.mean(segments))
+                / (bound * reset_probability),
+            },
+            {
+                "quantity": "mean touched steps (incl. discards)",
+                "measured": float(np.mean(touched)),
+                "prop5 bound": "-",
+                "measured/bound": "-",
+            },
+        ],
+    )
+    result.notes.append(
+        "Prop-5's bound is E[segments]·(1/eps); the measured/bound ratio "
+        "should be ≈ 1 (the bound is tight under uniform edge deletion)."
+    )
+    return result
+
+
+@register("E-DIR")
+def run_dirichlet(
+    num_nodes: int = 2000,
+    num_edges: int = 24_000,
+    walks_per_node: int = 5,
+    reset_probability: float = 0.3,
+    rng=42,
+) -> ExperimentResult:
+    """§2.2 remark: Dirichlet-model arrivals cost ~ (nR/eps^2) ln((m+n)/n)."""
+    generator = ensure_rng(rng)
+    stream_rng, engine_rng = spawn(generator, 2)
+    events = list(
+        DirichletArrival(num_nodes, num_edges, rng=stream_rng)
+    )
+    engine = IncrementalPageRank(
+        reset_probability=reset_probability,
+        walks_per_node=walks_per_node,
+        rng=engine_rng,
+    )
+    for _ in range(num_nodes):
+        engine.add_node()
+    work, _ = _feed_stream(engine, events)
+    measured = int(work.sum())
+    bound = theory.dirichlet_total_update_work(
+        num_nodes, walks_per_node, reset_probability, len(events)
+    )
+    permutation_bound = theory.thm4_total_update_work(
+        num_nodes, walks_per_node, reset_probability, len(events)
+    )
+    result = ExperimentResult(
+        experiment_id="E-DIR",
+        title="Dirichlet arrivals: total work ~ (nR/eps^2) ln((m+n)/n)",
+        params={
+            "n": num_nodes,
+            "m": len(events),
+            "R": walks_per_node,
+            "eps": reset_probability,
+        },
+        rows=[
+            {
+                "quantity": "total measured work",
+                "value": measured,
+            },
+            {"quantity": "dirichlet bound", "value": bound},
+            {
+                "quantity": "random-permutation bound (for scale)",
+                "value": permutation_bound,
+            },
+        ],
+    )
+    result.notes.append(
+        "The Dirichlet bound is smaller than the permutation bound because "
+        "ln((m+n)/n) < ln m; measured work must sit below both."
+    )
+    return result
+
+
+@register("E-ADV")
+def run_adversarial(
+    sizes: tuple[int, ...] = (20, 40, 80),
+    walks_per_node: int = 5,
+    reset_probability: float = 0.2,
+    repetitions: int = 5,
+    rng=42,
+) -> ExperimentResult:
+    """Example 1: the adversarial order forces Ω(n) updates at one arrival."""
+    generator = ensure_rng(rng)
+    rows = []
+    for size in sizes:
+        killer_costs = []
+        random_costs = []
+        for rep in range(repetitions):
+            gadget, killer, deferred = example1_adversarial_gadget(size)
+            # capture the full edge set before the engine mutates the gadget
+            full_edges = gadget.edge_list() + [killer] + deferred
+            engine = IncrementalPageRank.from_graph(
+                gadget,
+                reset_probability=reset_probability,
+                walks_per_node=walks_per_node,
+                rng=generator,
+            )
+            killer_costs.append(engine.add_edge(*killer).segments_rerouted)
+            # control: the same graph built in random order — mean cost of
+            # the final arrival position (Theorem 4 regime)
+            control = IncrementalPageRank(
+                reset_probability=reset_probability,
+                walks_per_node=walks_per_node,
+                rng=generator,
+            )
+            for _ in range(gadget.num_nodes):
+                control.add_node()
+            events = list(
+                RandomPermutationArrival(
+                    full_edges, num_nodes=gadget.num_nodes, rng=generator
+                )
+            )
+            last_report = None
+            for event in events:
+                last_report = control.apply(event)
+            random_costs.append(last_report.segments_rerouted)
+        n = 3 * size + 1
+        rows.append(
+            {
+                "gadget N": size,
+                "n": n,
+                "killer-edge reroutes": float(np.mean(killer_costs)),
+                "reroutes / nR": float(
+                    np.mean(killer_costs) / (n * walks_per_node)
+                ),
+                "random-order last arrival": float(np.mean(random_costs)),
+            }
+        )
+    result = ExperimentResult(
+        experiment_id="E-ADV",
+        title="Example 1: adversarial arrival costs Omega(n); random order does not",
+        params={
+            "R": walks_per_node,
+            "eps": reset_probability,
+            "repetitions": repetitions,
+        },
+        rows=rows,
+    )
+    result.notes.append(
+        "'reroutes / nR' stays roughly constant as n grows — the Ω(n) "
+        "claim — while the random-order control stays near zero."
+    )
+    return result
+
+
+@register("E-THM6")
+def run_thm6(
+    num_nodes: int = 800,
+    num_edges: int = 8000,
+    walks_per_node: int = 3,
+    reset_probability: float = 0.3,
+    rng=42,
+) -> ExperimentResult:
+    """Theorem 6: SALSA maintenance cost vs PageRank's (the x16 factor)."""
+    generator = ensure_rng(rng)
+    graph_rng, perm_rng, pr_rng, salsa_rng = spawn(generator, 4)
+    final_graph = twitter_like_graph(num_nodes, num_edges, rng=graph_rng)
+    m = final_graph.num_edges
+    events = list(RandomPermutationArrival.of_graph(final_graph, rng=perm_rng))
+
+    pagerank_engine = IncrementalPageRank(
+        reset_probability=reset_probability,
+        walks_per_node=walks_per_node,
+        rng=pr_rng,
+    )
+    salsa_engine = IncrementalSALSA(
+        reset_probability=reset_probability,
+        walks_per_node=walks_per_node,
+        rng=salsa_rng,
+    )
+    for _ in range(num_nodes):
+        pagerank_engine.add_node()
+        salsa_engine.add_node()
+    pr_work, _ = _feed_stream(pagerank_engine, events)
+    salsa_work, _ = _feed_stream(salsa_engine, events)
+
+    measured_ratio = salsa_work.sum() / max(pr_work.sum(), 1)
+    bound = theory.thm6_salsa_total_update_work(
+        num_nodes, walks_per_node, reset_probability, m
+    )
+    result = ExperimentResult(
+        experiment_id="E-THM6",
+        title="Theorem 6: SALSA update cost vs PageRank",
+        params={
+            "n": num_nodes,
+            "m": m,
+            "R": walks_per_node,
+            "eps": reset_probability,
+        },
+        rows=[
+            {"quantity": "PageRank total work", "value": int(pr_work.sum())},
+            {"quantity": "SALSA total work", "value": int(salsa_work.sum())},
+            {"quantity": "measured SALSA/PageRank ratio", "value": float(measured_ratio)},
+            {"quantity": "theorem-6 constant", "value": 16.0},
+            {"quantity": "thm6 total bound", "value": bound},
+            {
+                "quantity": "SALSA within bound",
+                "value": bool(salsa_work.sum() <= bound),
+            },
+        ],
+    )
+    result.notes.append(
+        "The x16 is an upper-bound constant (2R walks x (2/eps)^... x both "
+        "endpoints); measured ratios land below it."
+    )
+    return result

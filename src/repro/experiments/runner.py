@@ -1,0 +1,99 @@
+"""Command-line front end: ``python -m repro.experiments [ids…]``.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments E-F1 E-MX
+    python -m repro.experiments E-F6 --quick
+    python -m repro.experiments all --quick --seed 7
+
+``--quick`` shrinks every workload (tiny graphs, few users) so a full pass
+finishes in about a minute — useful as a smoke test; EXPERIMENTS.md numbers
+come from default-size runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import get_experiment, list_experiments
+
+#: Parameter overrides applied by --quick, per experiment.
+QUICK_OVERRIDES = {
+    "E-MX": {"num_nodes": 1000, "num_edges": 12_000},
+    "E-F1": {"num_nodes": 1000, "num_edges": 12_000},
+    "E-F2": {"num_nodes": 2000, "num_edges": 24_000},
+    "E-F3": {"num_nodes": 2000, "num_edges": 24_000, "num_users": 3},
+    "E-F4": {"num_nodes": 2000, "num_edges": 24_000, "num_users": 25},
+    "E-F5": {
+        "num_nodes": 2000,
+        "num_edges": 24_000,
+        "num_users": 5,
+        "true_length": 20_000,
+        "query_length": 2000,
+    },
+    "E-F6": {
+        "num_nodes": 2000,
+        "num_edges": 24_000,
+        "num_users": 4,
+        "lengths": (100, 1000, 5000),
+    },
+    "E-T1": {"num_nodes": 4000, "num_edges": 48_000, "max_users": 10},
+    "E-THM1": {"num_nodes": 500, "num_edges": 6000, "walk_counts": (1, 5, 10)},
+    "E-THM4": {"num_nodes": 500, "num_edges": 6000},
+    "E-PROP5": {"num_nodes": 500, "num_edges": 6000, "deletions": 300},
+    "E-DIR": {"num_nodes": 500, "num_edges": 6000},
+    "E-ADV": {"sizes": (10, 20), "repetitions": 3},
+    "E-THM6": {"num_nodes": 300, "num_edges": 3000},
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Run the paper-reproduction experiments.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids (e.g. E-F1 E-T1), or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument(
+        "--quick", action="store_true", help="shrunken workloads (smoke test)"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master RNG seed")
+    args = parser.parse_args(argv)
+
+    registry = list_experiments()
+    if args.list or not args.ids:
+        print("available experiments:")
+        for experiment_id, driver in registry.items():
+            doc = (driver.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"  {experiment_id:10s} {summary}")
+        return 0
+
+    requested = list(registry) if args.ids == ["all"] else args.ids
+    failures = 0
+    for experiment_id in requested:
+        driver = get_experiment(experiment_id)
+        overrides = dict(QUICK_OVERRIDES.get(experiment_id, {})) if args.quick else {}
+        overrides["rng"] = args.seed
+        start = time.perf_counter()
+        try:
+            result = driver(**overrides)
+        except Exception as error:  # surface, keep going
+            print(f"!! {experiment_id} failed: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"(elapsed: {elapsed:.1f}s)\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

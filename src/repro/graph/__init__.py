@@ -1,0 +1,42 @@
+"""Graph substrate: dynamic digraphs, CSR snapshots, generators, arrivals."""
+
+from repro.graph.arrival import (
+    AdversarialArrival,
+    ArrivalEvent,
+    ArrivalProcess,
+    DirichletArrival,
+    RandomPermutationArrival,
+    TimestampedStream,
+)
+from repro.graph.csr import CSRGraph, batch_reset_walks
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import (
+    directed_complete,
+    directed_configuration_power_law,
+    directed_cycle,
+    directed_erdos_renyi,
+    directed_preferential_attachment,
+    directed_star,
+    example1_adversarial_gadget,
+    zipf_rank_weights,
+)
+
+__all__ = [
+    "DynamicDiGraph",
+    "CSRGraph",
+    "batch_reset_walks",
+    "ArrivalEvent",
+    "ArrivalProcess",
+    "RandomPermutationArrival",
+    "DirichletArrival",
+    "AdversarialArrival",
+    "TimestampedStream",
+    "directed_preferential_attachment",
+    "directed_configuration_power_law",
+    "directed_erdos_renyi",
+    "directed_cycle",
+    "directed_star",
+    "directed_complete",
+    "example1_adversarial_gadget",
+    "zipf_rank_weights",
+]

@@ -1,0 +1,307 @@
+"""A dynamic directed graph tuned for random-walk workloads.
+
+The paper's data access model ("Social Store") requires, per node, O(1)
+random access to the adjacency list, O(1) degree queries, and O(1)
+edge insertion/deletion — this class provides exactly that:
+
+* adjacency is a Python list per node, so uniform neighbour sampling is a
+  single random index;
+* a position map per node makes ``remove_edge`` an O(1) swap-pop;
+* a global edge arena supports O(1) uniform random *edge* sampling, which
+  the deletion experiments (Proposition 5) need.
+
+Node ids are dense integers ``0 … n−1``.  Multi-edges are rejected
+(:class:`~repro.errors.DuplicateEdgeError`); self-loops are accepted unless
+the graph was built with ``allow_self_loops=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import (
+    DuplicateEdgeError,
+    EdgeNotFoundError,
+    EmptyNeighborhoodError,
+    NodeNotFoundError,
+    SelfLoopError,
+)
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["DynamicDiGraph"]
+
+
+class DynamicDiGraph:
+    """Mutable directed graph with O(1) edge updates and neighbour sampling."""
+
+    __slots__ = (
+        "_out",
+        "_in",
+        "_out_pos",
+        "_in_pos",
+        "_edges",
+        "_edge_pos",
+        "allow_self_loops",
+    )
+
+    def __init__(self, num_nodes: int = 0, *, allow_self_loops: bool = True) -> None:
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._out: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._in: list[list[int]] = [[] for _ in range(num_nodes)]
+        # _out_pos[u][v] = index of v inside _out[u]; mirrored for _in_pos.
+        self._out_pos: list[dict[int, int]] = [{} for _ in range(num_nodes)]
+        self._in_pos: list[dict[int, int]] = [{} for _ in range(num_nodes)]
+        self._edges: list[tuple[int, int]] = []
+        self._edge_pos: dict[tuple[int, int], int] = {}
+        self.allow_self_loops = allow_self_loops
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]],
+        *,
+        num_nodes: Optional[int] = None,
+        allow_self_loops: bool = True,
+    ) -> "DynamicDiGraph":
+        """Build a graph from an edge iterable, growing nodes as needed."""
+        graph = cls(num_nodes or 0, allow_self_loops=allow_self_loops)
+        for u, v in edges:
+            graph.ensure_node(max(u, v))
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "DynamicDiGraph":
+        """Build from a ``networkx.DiGraph`` whose nodes are dense ints."""
+        graph = cls(nx_graph.number_of_nodes())
+        for u, v in nx_graph.edges():
+            graph.add_edge(int(u), int(v))
+        return graph
+
+    def to_networkx(self):
+        """Export to a ``networkx.DiGraph`` (for interop and sanity checks)."""
+        import networkx as nx
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(range(self.num_nodes))
+        nx_graph.add_edges_from(self._edges)
+        return nx_graph
+
+    def copy(self) -> "DynamicDiGraph":
+        """Return a deep structural copy (shares no mutable state)."""
+        clone = DynamicDiGraph(self.num_nodes, allow_self_loops=self.allow_self_loops)
+        for u, v in self._edges:
+            clone.add_edge(u, v)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def add_node(self) -> int:
+        """Append a fresh node and return its id."""
+        self._out.append([])
+        self._in.append([])
+        self._out_pos.append({})
+        self._in_pos.append({})
+        return len(self._out) - 1
+
+    def ensure_node(self, node: int) -> None:
+        """Grow the graph so that ``node`` is a valid id."""
+        if node < 0:
+            raise NodeNotFoundError(node)
+        while node >= self.num_nodes:
+            self.add_node()
+
+    def has_node(self, node: int) -> bool:
+        return 0 <= node < self.num_nodes
+
+    def _check_node(self, node: int) -> None:
+        if not self.has_node(node):
+            raise NodeNotFoundError(node)
+
+    def nodes(self) -> range:
+        return range(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # Edge operations
+    # ------------------------------------------------------------------
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Insert edge ``(source, target)``; O(1).
+
+        Raises :class:`DuplicateEdgeError` if the edge exists and
+        :class:`SelfLoopError` for self-loops on graphs that reject them.
+        """
+        self._check_node(source)
+        self._check_node(target)
+        if source == target and not self.allow_self_loops:
+            raise SelfLoopError(source)
+        key = (source, target)
+        if key in self._edge_pos:
+            raise DuplicateEdgeError(source, target)
+        self._edge_pos[key] = len(self._edges)
+        self._edges.append(key)
+        self._out_pos[source][target] = len(self._out[source])
+        self._out[source].append(target)
+        self._in_pos[target][source] = len(self._in[target])
+        self._in[target].append(source)
+
+    def remove_edge(self, source: int, target: int) -> None:
+        """Delete edge ``(source, target)``; O(1) via swap-pop."""
+        key = (source, target)
+        pos = self._edge_pos.pop(key, None)
+        if pos is None:
+            raise EdgeNotFoundError(source, target)
+        last = self._edges.pop()
+        if last != key:
+            self._edges[pos] = last
+            self._edge_pos[last] = pos
+        self._swap_pop(self._out[source], self._out_pos[source], target)
+        self._swap_pop(self._in[target], self._in_pos[target], source)
+
+    @staticmethod
+    def _swap_pop(adjacency: list[int], positions: dict[int, int], member: int) -> None:
+        idx = positions.pop(member)
+        tail = adjacency.pop()
+        if tail != member:
+            adjacency[idx] = tail
+            positions[tail] = idx
+
+    def has_edge(self, source: int, target: int) -> bool:
+        return (source, target) in self._edge_pos
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges in arena order (not insertion order after deletes)."""
+        return iter(self._edges)
+
+    def edge_list(self) -> list[tuple[int, int]]:
+        return list(self._edges)
+
+    # ------------------------------------------------------------------
+    # Degrees and neighbourhoods
+    # ------------------------------------------------------------------
+
+    def out_degree(self, node: int) -> int:
+        self._check_node(node)
+        return len(self._out[node])
+
+    def in_degree(self, node: int) -> int:
+        self._check_node(node)
+        return len(self._in[node])
+
+    def out_neighbors(self, node: int) -> list[int]:
+        """A *copy* of the out-adjacency list of ``node``."""
+        self._check_node(node)
+        return list(self._out[node])
+
+    def in_neighbors(self, node: int) -> list[int]:
+        """A *copy* of the in-adjacency list of ``node``."""
+        self._check_node(node)
+        return list(self._in[node])
+
+    def out_view(self, node: int) -> Sequence[int]:
+        """Read-only *view* of the out-adjacency (hot paths; do not mutate)."""
+        return self._out[node]
+
+    def in_view(self, node: int) -> Sequence[int]:
+        """Read-only *view* of the in-adjacency (hot paths; do not mutate)."""
+        return self._in[node]
+
+    def out_degree_array(self) -> np.ndarray:
+        """Out-degrees of all nodes as an int64 array."""
+        return np.fromiter(
+            (len(adj) for adj in self._out), dtype=np.int64, count=self.num_nodes
+        )
+
+    def in_degree_array(self) -> np.ndarray:
+        """In-degrees of all nodes as an int64 array."""
+        return np.fromiter(
+            (len(adj) for adj in self._in), dtype=np.int64, count=self.num_nodes
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def random_out_neighbor(self, node: int, rng: RngLike = None) -> int:
+        """Uniform random out-neighbour of ``node``; O(1)."""
+        self._check_node(node)
+        adjacency = self._out[node]
+        if not adjacency:
+            raise EmptyNeighborhoodError(node, "out")
+        generator = ensure_rng(rng)
+        return adjacency[int(generator.integers(len(adjacency)))]
+
+    def random_in_neighbor(self, node: int, rng: RngLike = None) -> int:
+        """Uniform random in-neighbour of ``node``; O(1)."""
+        self._check_node(node)
+        adjacency = self._in[node]
+        if not adjacency:
+            raise EmptyNeighborhoodError(node, "in")
+        generator = ensure_rng(rng)
+        return adjacency[int(generator.integers(len(adjacency)))]
+
+    def random_edge(self, rng: RngLike = None) -> tuple[int, int]:
+        """Uniform random existing edge; O(1) (Proposition 5 workloads)."""
+        if not self._edges:
+            raise EdgeNotFoundError(-1, -1)
+        generator = ensure_rng(rng)
+        return self._edges[int(generator.integers(len(self._edges)))]
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def to_csr(self, direction: str = "out"):
+        """Freeze the current adjacency into a :class:`~repro.graph.csr.CSRGraph`.
+
+        ``direction='out'`` follows out-edges (PageRank forward steps);
+        ``direction='in'`` follows in-edges (SALSA backward steps).
+        """
+        from repro.graph.csr import CSRGraph
+
+        if direction == "out":
+            lists = self._out
+        elif direction == "in":
+            lists = self._in
+        else:
+            raise ValueError(f"direction must be 'out' or 'in', got {direction!r}")
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        for node, adjacency in enumerate(lists):
+            indptr[node + 1] = indptr[node] + len(adjacency)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for node, adjacency in enumerate(lists):
+            indices[indptr[node] : indptr[node + 1]] = adjacency
+        return CSRGraph(indptr=indptr, indices=indices)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        return edge in self._edge_pos
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_nodes={self.num_nodes}, "
+            f"num_edges={self.num_edges})"
+        )

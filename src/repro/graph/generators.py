@@ -1,0 +1,271 @@
+"""Synthetic graph generators.
+
+The paper's experiments run on the Twitter follow graph, which we cannot
+ship.  The theory, however, only needs graphs with (a) power-law in-degrees
+with rank-size exponent ``α < 1`` and (b) an edge stream presentable in
+random order.  Two generator families supply those:
+
+* :func:`directed_preferential_attachment` — a grown network (Krapivsky-
+  Redner mixture: each new edge picks its target uniformly with probability
+  ``uniform_prob``, else proportionally to in-degree).  The in-degree tail
+  exponent is ``γ = 1 + 1/(1 − uniform_prob)``, hence the rank-size exponent
+  is ``α = 1/(γ−1) = 1 − uniform_prob``.  The default ``uniform_prob=0.23``
+  targets Twitter's measured ``α ≈ 0.77`` (paper §4.3).
+* :func:`directed_configuration_power_law` — a static graph whose targets
+  are drawn from an exact Zipf(α) rank-size law, for experiments that need
+  a controlled exponent rather than an organic growth process.
+
+:func:`example1_adversarial_gadget` builds the exact counterexample of the
+paper's Example 1, where a single adversarial edge arrival invalidates
+``Ω(n)`` stored walk segments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "directed_preferential_attachment",
+    "directed_configuration_power_law",
+    "directed_erdos_renyi",
+    "directed_cycle",
+    "directed_star",
+    "directed_complete",
+    "example1_adversarial_gadget",
+    "zipf_rank_weights",
+]
+
+OutDegreeSpec = Union[int, Callable[[np.random.Generator], int]]
+
+
+def directed_preferential_attachment(
+    num_nodes: int,
+    *,
+    edges_per_node: OutDegreeSpec = 5,
+    uniform_prob: float = 0.23,
+    seed_nodes: int = 5,
+    rng: RngLike = None,
+) -> DynamicDiGraph:
+    """Grow a directed power-law graph, one node (plus out-edges) at a time.
+
+    Starts from a ``seed_nodes``-cycle.  Each subsequent node draws its
+    out-degree from ``edges_per_node`` (an int, or a callable on the rng) and
+    wires each out-edge to a target chosen uniformly with probability
+    ``uniform_prob`` and proportionally to current in-degree otherwise.
+    Self-loops and duplicate edges are re-drawn (bounded retries).
+
+    The resulting in-degree rank-size exponent is ``≈ 1 − uniform_prob``.
+    """
+    if num_nodes < seed_nodes:
+        raise ConfigurationError(
+            f"num_nodes={num_nodes} must be at least seed_nodes={seed_nodes}"
+        )
+    if not 0.0 <= uniform_prob <= 1.0:
+        raise ConfigurationError(f"uniform_prob must be in [0, 1], got {uniform_prob}")
+    generator = ensure_rng(rng)
+    graph = DynamicDiGraph(seed_nodes, allow_self_loops=False)
+    # target_arena holds one entry per unit of in-degree, so a uniform draw
+    # from it is an in-degree-proportional draw over nodes.
+    target_arena: list[int] = []
+    for node in range(seed_nodes):
+        successor = (node + 1) % seed_nodes
+        graph.add_edge(node, successor)
+        target_arena.append(successor)
+
+    for _ in range(seed_nodes, num_nodes):
+        new_node = graph.add_node()
+        wanted = _draw_out_degree(edges_per_node, generator)
+        wanted = min(wanted, new_node)  # cannot exceed number of candidates
+        added = 0
+        attempts = 0
+        max_attempts = 20 * (wanted + 1)
+        while added < wanted and attempts < max_attempts:
+            attempts += 1
+            if not target_arena or generator.random() < uniform_prob:
+                target = int(generator.integers(new_node))
+            else:
+                target = target_arena[int(generator.integers(len(target_arena)))]
+            if target == new_node or graph.has_edge(new_node, target):
+                continue
+            graph.add_edge(new_node, target)
+            target_arena.append(target)
+            added += 1
+    return graph
+
+
+def _draw_out_degree(spec: OutDegreeSpec, rng: np.random.Generator) -> int:
+    if callable(spec):
+        value = int(spec(rng))
+    else:
+        value = int(spec)
+    if value < 0:
+        raise ConfigurationError(f"out-degree draw must be non-negative, got {value}")
+    return value
+
+
+def zipf_rank_weights(num_nodes: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf rank-size weights ``w_j ∝ j^(−α)`` (paper Eq. 3 form)."""
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    ranks = np.arange(1, num_nodes + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+def directed_configuration_power_law(
+    num_nodes: int,
+    num_edges: int,
+    *,
+    alpha: float = 0.76,
+    source_alpha: Optional[float] = None,
+    rng: RngLike = None,
+    max_rounds: int = 50,
+) -> DynamicDiGraph:
+    """Static graph with Zipf(α) in-degree rank-size law.
+
+    Each edge's target is drawn from Zipf(α) weights over a random node
+    permutation; sources are uniform unless ``source_alpha`` is given (drawn
+    from an independent permutation, modelling heavy out-degree tails).
+    Duplicate edges and self-loops are discarded and redrawn for up to
+    ``max_rounds`` top-up rounds, so the realized edge count can fall
+    slightly short of ``num_edges`` only on absurdly dense requests.
+    """
+    if num_nodes < 2:
+        raise ConfigurationError(f"num_nodes must be >= 2, got {num_nodes}")
+    if num_edges < 0:
+        raise ConfigurationError(f"num_edges must be >= 0, got {num_edges}")
+    generator = ensure_rng(rng)
+    target_perm = generator.permutation(num_nodes)
+    target_weights = zipf_rank_weights(num_nodes, alpha)
+    if source_alpha is not None:
+        source_perm = generator.permutation(num_nodes)
+        source_weights = zipf_rank_weights(num_nodes, source_alpha)
+    graph = DynamicDiGraph(num_nodes, allow_self_loops=False)
+
+    remaining = num_edges
+    for _ in range(max_rounds):
+        if remaining <= 0:
+            break
+        batch = max(remaining, 16)
+        targets = target_perm[
+            generator.choice(num_nodes, size=batch, p=target_weights)
+        ]
+        if source_alpha is None:
+            sources = generator.integers(num_nodes, size=batch)
+        else:
+            sources = source_perm[
+                generator.choice(num_nodes, size=batch, p=source_weights)
+            ]
+        for source, target in zip(sources.tolist(), targets.tolist()):
+            if remaining <= 0:
+                break
+            if source == target or graph.has_edge(source, target):
+                continue
+            graph.add_edge(source, target)
+            remaining -= 1
+    return graph
+
+
+def directed_erdos_renyi(
+    num_nodes: int, num_edges: int, rng: RngLike = None
+) -> DynamicDiGraph:
+    """Uniform random simple digraph with exactly ``num_edges`` edges."""
+    if num_nodes < 2 and num_edges > 0:
+        raise ConfigurationError("need at least 2 nodes to place edges")
+    max_edges = num_nodes * (num_nodes - 1)
+    if num_edges > max_edges:
+        raise ConfigurationError(
+            f"num_edges={num_edges} exceeds simple-digraph maximum {max_edges}"
+        )
+    generator = ensure_rng(rng)
+    graph = DynamicDiGraph(num_nodes, allow_self_loops=False)
+    while graph.num_edges < num_edges:
+        source = int(generator.integers(num_nodes))
+        target = int(generator.integers(num_nodes))
+        if source == target or graph.has_edge(source, target):
+            continue
+        graph.add_edge(source, target)
+    return graph
+
+
+def directed_cycle(num_nodes: int) -> DynamicDiGraph:
+    """The directed ``num_nodes``-cycle (strongly connected test fixture)."""
+    graph = DynamicDiGraph(num_nodes, allow_self_loops=False)
+    for node in range(num_nodes):
+        graph.add_edge(node, (node + 1) % num_nodes)
+    return graph
+
+
+def directed_star(num_leaves: int, *, inward: bool = True) -> DynamicDiGraph:
+    """Star on ``num_leaves + 1`` nodes; hub is node 0.
+
+    ``inward=True`` points all edges at the hub (hub becomes a dangling
+    authority); ``inward=False`` points them outwards.
+    """
+    graph = DynamicDiGraph(num_leaves + 1, allow_self_loops=False)
+    for leaf in range(1, num_leaves + 1):
+        if inward:
+            graph.add_edge(leaf, 0)
+        else:
+            graph.add_edge(0, leaf)
+    return graph
+
+
+def directed_complete(num_nodes: int) -> DynamicDiGraph:
+    """Complete simple digraph (every ordered pair, no self-loops)."""
+    graph = DynamicDiGraph(num_nodes, allow_self_loops=False)
+    for source in range(num_nodes):
+        for target in range(num_nodes):
+            if source != target:
+                graph.add_edge(source, target)
+    return graph
+
+
+def example1_adversarial_gadget(
+    cycle_size: int,
+) -> tuple[DynamicDiGraph, tuple[int, int], list[tuple[int, int]]]:
+    """The paper's Example 1 gadget, staged for the adversarial arrival.
+
+    Nodes (``n = 3N + 1`` with ``N = cycle_size``):
+
+    * ``v_1 … v_N`` = ids ``0 … N−1``, wired as a directed cycle;
+    * ``u`` = id ``N``;
+    * ``x_1 … x_N`` = ids ``N+1 … 2N``;
+    * ``y_1 … y_N`` = ids ``2N+1 … 3N``.
+
+    Full edge set: every ``v_j → u``; ``u → x_j`` and ``x_j → u`` for every
+    ``j``; ``v_1 → y_j`` and ``y_j → v_1`` for every ``j``.
+
+    Returns ``(graph, killer, deferred)``.  The adversary presents every
+    edge *except* ``u``'s out-edges first (that is ``graph``); every stored
+    walk segment funnels into ``u`` and strands there (``u`` is dangling),
+    so ``W(u) = Ω(nR)``.  The killer edge ``u → v_1`` then forces *all* of
+    those stranded segments to resume at once — ``Ω(n)`` updates for a
+    single arrival, which is the paper's proof that the random-order
+    assumption is doing real work.  ``deferred`` holds the remaining
+    ``u → x_j`` edges; feeding them afterwards keeps costing ``Ω(n/k)``
+    per arrival (redirect probability ``1/k`` on ``Ω(n)`` visits).
+    """
+    if cycle_size < 2:
+        raise ConfigurationError(f"cycle_size must be >= 2, got {cycle_size}")
+    size = cycle_size
+    graph = DynamicDiGraph(3 * size + 1, allow_self_loops=False)
+    hub = size
+    first_cycle_node = 0
+    deferred: list[tuple[int, int]] = []
+    for j in range(size):
+        graph.add_edge(j, (j + 1) % size)  # the directed N-cycle
+        graph.add_edge(j, hub)  # v_j -> u
+        x_j = size + 1 + j
+        deferred.append((hub, x_j))  # u -> x_j: held back by the adversary
+        graph.add_edge(x_j, hub)  # x_j -> u
+        y_j = 2 * size + 1 + j
+        graph.add_edge(first_cycle_node, y_j)  # v_1 -> y_j
+        graph.add_edge(y_j, first_cycle_node)  # y_j -> v_1
+    return graph, (hub, first_cycle_node), deferred

@@ -1,0 +1,61 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in this library accepts either a seed (``int``),
+an existing :class:`numpy.random.Generator`, or ``None`` (fresh entropy), and
+normalizes it through :func:`ensure_rng`.  Components that need *independent*
+streams (e.g. a workload generator and the walk engine consuming it) should
+split a parent generator with :func:`spawn`.
+
+Keeping all randomness on ``numpy.random.Generator`` (instead of the global
+``random`` module) makes experiments reproducible end to end: a single seed
+at the experiment driver determines the graph, the arrival order, the stored
+walk segments, and the queries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+__all__ = ["RngLike", "ensure_rng", "spawn", "geometric_reset_length"]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    ``None`` yields a generator seeded from OS entropy, an ``int`` yields a
+    deterministically seeded generator, and an existing generator is returned
+    unchanged (shared, not copied).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"expected int seed, numpy Generator, or None; got {type(rng).__name__}"
+    )
+
+
+def spawn(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` statistically independent generators."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    return [np.random.default_rng(s) for s in parent.bit_generator.seed_seq.spawn(count)]
+
+
+def geometric_reset_length(rng: np.random.Generator, reset_probability: float) -> int:
+    """Sample the number of *steps before reset* of a reset walk.
+
+    A walk flips an ε-coin before every step; the number of steps taken until
+    the first reset is ``Geometric(ε) − 1`` (support ``{0, 1, 2, …}``, mean
+    ``(1−ε)/ε``).  The number of *nodes* on such a segment is one more than
+    the value returned here, making the expected segment node count ``1/ε``
+    — the constant the paper normalizes by.
+    """
+    return int(rng.geometric(reset_probability)) - 1

@@ -1,0 +1,102 @@
+"""Graph storage backends.
+
+:class:`GraphBackend` is the minimal random-access contract the paper's
+algorithms need from the "Social Store": O(1)-ish adjacency reads, degree
+queries, uniform neighbour sampling, and edge mutation.
+:class:`InMemoryGraphBackend` fulfils it with a
+:class:`~repro.graph.digraph.DynamicDiGraph`; the sharded variant lives in
+:mod:`repro.store.sharded`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike
+
+__all__ = ["GraphBackend", "InMemoryGraphBackend"]
+
+
+@runtime_checkable
+class GraphBackend(Protocol):
+    """Random-access storage contract for a directed social graph."""
+
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def num_edges(self) -> int: ...
+
+    def ensure_node(self, node: int) -> None: ...
+
+    def add_edge(self, source: int, target: int) -> None: ...
+
+    def remove_edge(self, source: int, target: int) -> None: ...
+
+    def has_edge(self, source: int, target: int) -> bool: ...
+
+    def out_degree(self, node: int) -> int: ...
+
+    def in_degree(self, node: int) -> int: ...
+
+    def out_neighbors(self, node: int) -> Sequence[int]: ...
+
+    def in_neighbors(self, node: int) -> Sequence[int]: ...
+
+    def random_out_neighbor(self, node: int, rng: RngLike = None) -> int: ...
+
+    def random_in_neighbor(self, node: int, rng: RngLike = None) -> int: ...
+
+
+class InMemoryGraphBackend:
+    """Single-process backend over :class:`DynamicDiGraph`."""
+
+    def __init__(self, graph: DynamicDiGraph | None = None) -> None:
+        self.graph = graph if graph is not None else DynamicDiGraph()
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def ensure_node(self, node: int) -> None:
+        self.graph.ensure_node(node)
+
+    def add_edge(self, source: int, target: int) -> None:
+        self.graph.add_edge(source, target)
+
+    def remove_edge(self, source: int, target: int) -> None:
+        self.graph.remove_edge(source, target)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        return self.graph.has_edge(source, target)
+
+    def out_degree(self, node: int) -> int:
+        return self.graph.out_degree(node)
+
+    def in_degree(self, node: int) -> int:
+        return self.graph.in_degree(node)
+
+    def out_neighbors(self, node: int) -> Sequence[int]:
+        return self.graph.out_neighbors(node)
+
+    def in_neighbors(self, node: int) -> Sequence[int]:
+        return self.graph.in_neighbors(node)
+
+    def random_out_neighbor(self, node: int, rng: RngLike = None) -> int:
+        return self.graph.random_out_neighbor(node, rng)
+
+    def random_in_neighbor(self, node: int, rng: RngLike = None) -> int:
+        return self.graph.random_in_neighbor(node, rng)
+
+    def out_degree_array(self) -> np.ndarray:
+        return self.graph.out_degree_array()
+
+    def in_degree_array(self) -> np.ndarray:
+        return self.graph.in_degree_array()

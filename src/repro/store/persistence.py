@@ -1,0 +1,189 @@
+"""Snapshot/restore for walk stores and engines.
+
+A production PageRank Store is expensive to initialize (``nR/ε`` walk
+steps) and must survive process restarts; §2.2's whole point is never
+recomputing it.  This module serializes a :class:`~repro.core.walks.
+WalkStore` (and a whole :class:`~repro.core.incremental.IncrementalPageRank`
+engine: graph + parameters + store) to a single ``.npz`` file.
+
+Format (version 1): segments are flattened into one int64 arena plus a
+lengths vector — compact, numpy-native, order-preserving.  Loading replays
+``add_segment``, so the inverted visit index is rebuilt and validated by
+construction rather than trusted from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+import numpy as np
+
+from repro.core.walks import END_DANGLING, END_RESET, WalkSegment, WalkStore
+from repro.errors import ConfigurationError, WalkStateError
+from repro.graph.digraph import DynamicDiGraph
+from repro.store.social_store import SocialStore
+
+if TYPE_CHECKING:  # engine import is deferred at runtime (circular import)
+    from repro.core.incremental import IncrementalPageRank
+
+__all__ = [
+    "save_walk_store",
+    "load_walk_store",
+    "save_engine",
+    "load_engine",
+]
+
+FORMAT_VERSION = 1
+PathLike = Union[str, Path]
+
+
+def _store_arrays(store: WalkStore) -> dict[str, np.ndarray]:
+    lengths = []
+    reasons = []
+    parities = []
+    flat: list[int] = []
+    for _, segment in store.iter_segments():
+        lengths.append(len(segment.nodes))
+        reasons.append(segment.end_reason)
+        parities.append(segment.parity_offset)
+        flat.extend(segment.nodes)
+    return {
+        "segment_lengths": np.asarray(lengths, dtype=np.int64),
+        "segment_end_reasons": np.asarray(reasons, dtype=np.int8),
+        "segment_parities": np.asarray(parities, dtype=np.int8),
+        "segment_nodes": np.asarray(flat, dtype=np.int64),
+    }
+
+
+def save_walk_store(store: WalkStore, path: PathLike) -> None:
+    """Serialize ``store`` to ``path`` (``.npz``)."""
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "kind": "walk_store",
+        "num_nodes": store.num_nodes,
+        "track_sides": store.track_sides,
+    }
+    np.savez_compressed(
+        Path(path),
+        meta=json.dumps(meta),
+        **_store_arrays(store),
+    )
+
+
+def _load_segments_into(store: WalkStore, data) -> None:
+    lengths = data["segment_lengths"]
+    reasons = data["segment_end_reasons"]
+    parities = data["segment_parities"]
+    flat = data["segment_nodes"]
+    if lengths.sum() != len(flat):
+        raise WalkStateError("corrupt snapshot: arena length mismatch")
+    offset = 0
+    for length, reason, parity in zip(lengths, reasons, parities):
+        nodes = flat[offset : offset + int(length)].tolist()
+        offset += int(length)
+        if reason not in (END_RESET, END_DANGLING):
+            raise WalkStateError(f"corrupt snapshot: end reason {reason}")
+        store.add_segment(
+            WalkSegment([int(n) for n in nodes], int(reason), parity_offset=int(parity))
+        )
+
+
+def _read_meta(data, expected_kind: str) -> dict:
+    meta = json.loads(str(data["meta"]))
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported snapshot version {meta.get('format_version')!r}"
+        )
+    if meta.get("kind") != expected_kind:
+        raise ConfigurationError(
+            f"snapshot holds a {meta.get('kind')!r}, expected {expected_kind!r}"
+        )
+    return meta
+
+
+def load_walk_store(path: PathLike) -> WalkStore:
+    """Load a store saved by :func:`save_walk_store`; index is rebuilt."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = _read_meta(data, "walk_store")
+        store = WalkStore(
+            int(meta["num_nodes"]), track_sides=bool(meta["track_sides"])
+        )
+        _load_segments_into(store, data)
+    return store
+
+
+def save_engine(engine: "IncrementalPageRank", path: PathLike) -> None:
+    """Serialize an engine: parameters, graph edges, and walk store."""
+    graph = engine.graph
+    edges = graph.edge_list()
+    sources = np.asarray([u for u, _ in edges], dtype=np.int64)
+    targets = np.asarray([v for _, v in edges], dtype=np.int64)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "kind": "incremental_pagerank",
+        "num_nodes": graph.num_nodes,
+        "track_sides": engine.walks.track_sides,
+        "reset_probability": engine.reset_probability,
+        "walks_per_node": engine.walks_per_node,
+        "reroute_policy": engine.reroute_policy,
+        "allow_self_loops": graph.allow_self_loops,
+    }
+    np.savez_compressed(
+        Path(path),
+        meta=json.dumps(meta),
+        edge_sources=sources,
+        edge_targets=targets,
+        **_store_arrays(engine.walks),
+    )
+
+
+def load_engine(path: PathLike, *, rng=None) -> "IncrementalPageRank":
+    """Restore an engine saved by :func:`save_engine`.
+
+    The walk store is revalidated against the restored graph: every stored
+    step must traverse an existing edge, and dangling ends must sit at
+    out-degree-zero nodes — a corrupt or mismatched snapshot fails loudly
+    instead of silently skewing estimates.
+    """
+    from repro.core.incremental import IncrementalPageRank
+
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = _read_meta(data, "incremental_pagerank")
+        graph = DynamicDiGraph(
+            int(meta["num_nodes"]), allow_self_loops=bool(meta["allow_self_loops"])
+        )
+        for source, target in zip(data["edge_sources"], data["edge_targets"]):
+            graph.add_edge(int(source), int(target))
+        engine = IncrementalPageRank(
+            SocialStore.of_graph(graph),
+            reset_probability=float(meta["reset_probability"]),
+            walks_per_node=int(meta["walks_per_node"]),
+            reroute_policy=str(meta["reroute_policy"]),
+            rng=rng,
+        )
+        store = WalkStore(graph.num_nodes, track_sides=bool(meta["track_sides"]))
+        _load_segments_into(store, data)
+        engine.pagerank_store.walks = store
+
+    _validate_against_graph(engine)
+    return engine
+
+
+def _validate_against_graph(engine: "IncrementalPageRank") -> None:
+    graph = engine.graph
+    for _, segment in engine.walks.iter_segments():
+        for a, b in zip(segment.nodes, segment.nodes[1:]):
+            if not graph.has_edge(a, b):
+                raise WalkStateError(
+                    f"snapshot mismatch: segment step {a}->{b} not in graph"
+                )
+        if (
+            segment.end_reason == END_DANGLING
+            and graph.out_degree(segment.last) != 0
+        ):
+            raise WalkStateError(
+                f"snapshot mismatch: DANGLING end at non-dangling node "
+                f"{segment.last}"
+            )

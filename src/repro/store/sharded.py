@@ -1,0 +1,118 @@
+"""Hash-sharded backend: distributed-shared-memory accounting.
+
+FlockDB spreads adjacency over shards keyed by node id.  For the paper's
+analysis only two aspects of that matter: (1) adjacency reads stay O(1)
+random-access, and (2) costs can be attributed per shard (hot shards are the
+operational failure mode of walk-heavy workloads).  This backend keeps the
+*data* in one process — a laptop cannot helpfully fake a network — but
+routes every operation through a shard map and keeps per-shard
+:class:`~repro.store.stats.CallStats`, which is exactly the observable the
+experiments need.  Out-edge operations bill the source's shard; in-edge
+operations bill the target's shard (edges are doubly indexed, as in
+FlockDB's forward/backward tables).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike
+from repro.store.stats import CallStats
+
+__all__ = ["ShardedGraphBackend"]
+
+
+class ShardedGraphBackend:
+    """Shard-aware wrapper over :class:`DynamicDiGraph`."""
+
+    def __init__(
+        self, graph: DynamicDiGraph | None = None, *, num_shards: int = 8
+    ) -> None:
+        if num_shards <= 0:
+            raise ConfigurationError(f"num_shards must be positive, got {num_shards}")
+        self.graph = graph if graph is not None else DynamicDiGraph()
+        self.num_shards = num_shards
+        self.shard_stats = [CallStats() for _ in range(num_shards)]
+
+    def shard_of(self, node: int) -> int:
+        """Shard owning ``node``'s adjacency rows (splittable hash)."""
+        # Fibonacci hashing keeps consecutive ids off the same shard.
+        return ((node * 0x9E3779B9) & 0xFFFFFFFF) % self.num_shards
+
+    def _record(self, node: int, operation: str) -> None:
+        self.shard_stats[self.shard_of(node)].record(operation)
+
+    # -- GraphBackend contract -----------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def ensure_node(self, node: int) -> None:
+        self.graph.ensure_node(node)
+
+    def add_edge(self, source: int, target: int) -> None:
+        self.graph.add_edge(source, target)
+        self._record(source, "add_edge_out")
+        self._record(target, "add_edge_in")
+
+    def remove_edge(self, source: int, target: int) -> None:
+        self.graph.remove_edge(source, target)
+        self._record(source, "remove_edge_out")
+        self._record(target, "remove_edge_in")
+
+    def has_edge(self, source: int, target: int) -> bool:
+        self._record(source, "has_edge")
+        return self.graph.has_edge(source, target)
+
+    def out_degree(self, node: int) -> int:
+        self._record(node, "out_degree")
+        return self.graph.out_degree(node)
+
+    def in_degree(self, node: int) -> int:
+        self._record(node, "in_degree")
+        return self.graph.in_degree(node)
+
+    def out_neighbors(self, node: int) -> Sequence[int]:
+        self._record(node, "out_neighbors")
+        return self.graph.out_neighbors(node)
+
+    def in_neighbors(self, node: int) -> Sequence[int]:
+        self._record(node, "in_neighbors")
+        return self.graph.in_neighbors(node)
+
+    def random_out_neighbor(self, node: int, rng: RngLike = None) -> int:
+        self._record(node, "random_out_neighbor")
+        return self.graph.random_out_neighbor(node, rng)
+
+    def random_in_neighbor(self, node: int, rng: RngLike = None) -> int:
+        self._record(node, "random_in_neighbor")
+        return self.graph.random_in_neighbor(node, rng)
+
+    def out_degree_array(self) -> np.ndarray:
+        return self.graph.out_degree_array()
+
+    def in_degree_array(self) -> np.ndarray:
+        return self.graph.in_degree_array()
+
+    # -- Shard observability --------------------------------------------
+
+    def shard_load(self) -> list[int]:
+        """Total operations billed to each shard."""
+        return [stats.total() for stats in self.shard_stats]
+
+    def load_imbalance(self) -> float:
+        """max/mean shard load (1.0 = perfectly balanced; 0.0 if idle)."""
+        loads = self.shard_load()
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 0.0
+        return max(loads) / mean

@@ -1,0 +1,131 @@
+"""The Social Store: instrumented random-access facade over a backend.
+
+This is the FlockDB analogue of the paper (§1: "the graph is usually stored
+in distributed shared memory, which we denote as 'Social Store'").  Engines
+talk to the graph exclusively through this facade so that every adjacency
+access is counted in :attr:`SocialStore.stats` — the unit the paper's
+running-time comparisons are expressed in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import StoreClosedError
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike
+from repro.store.backend import GraphBackend, InMemoryGraphBackend
+from repro.store.stats import CallStats
+
+__all__ = ["SocialStore"]
+
+
+class SocialStore:
+    """Instrumented adjacency API over a :class:`GraphBackend`."""
+
+    def __init__(
+        self,
+        backend: Optional[GraphBackend] = None,
+        *,
+        graph: Optional[DynamicDiGraph] = None,
+        stats: Optional[CallStats] = None,
+    ) -> None:
+        if backend is not None and graph is not None:
+            raise ValueError("pass either backend or graph, not both")
+        if backend is None:
+            backend = InMemoryGraphBackend(graph)
+        self.backend = backend
+        self.stats = stats if stats is not None else CallStats()
+        self._closed = False
+
+    @classmethod
+    def of_graph(cls, graph: DynamicDiGraph) -> "SocialStore":
+        return cls(graph=graph)
+
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("social store has been closed")
+
+    def close(self) -> None:
+        """Refuse further operations (lifecycle hygiene for tests)."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def graph(self) -> DynamicDiGraph:
+        """Direct (uncounted) access to the underlying graph.
+
+        Reserved for analysis/verification code; algorithm code should go
+        through the counted methods so experiments stay honest.
+        """
+        return self.backend.graph  # type: ignore[attr-defined]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.backend.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.backend.num_edges
+
+    # -- counted operations ----------------------------------------------
+
+    def ensure_node(self, node: int) -> None:
+        self._check_open()
+        self.backend.ensure_node(node)
+
+    def add_edge(self, source: int, target: int) -> None:
+        self._check_open()
+        self.stats.record("add_edge")
+        self.backend.add_edge(source, target)
+
+    def remove_edge(self, source: int, target: int) -> None:
+        self._check_open()
+        self.stats.record("remove_edge")
+        self.backend.remove_edge(source, target)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        self._check_open()
+        self.stats.record("has_edge")
+        return self.backend.has_edge(source, target)
+
+    def out_degree(self, node: int) -> int:
+        self._check_open()
+        self.stats.record("out_degree")
+        return self.backend.out_degree(node)
+
+    def in_degree(self, node: int) -> int:
+        self._check_open()
+        self.stats.record("in_degree")
+        return self.backend.in_degree(node)
+
+    def out_neighbors(self, node: int) -> Sequence[int]:
+        self._check_open()
+        self.stats.record("out_neighbors")
+        return self.backend.out_neighbors(node)
+
+    def in_neighbors(self, node: int) -> Sequence[int]:
+        self._check_open()
+        self.stats.record("in_neighbors")
+        return self.backend.in_neighbors(node)
+
+    def random_out_neighbor(self, node: int, rng: RngLike = None) -> int:
+        self._check_open()
+        self.stats.record("random_out_neighbor")
+        return self.backend.random_out_neighbor(node, rng)
+
+    def random_in_neighbor(self, node: int, rng: RngLike = None) -> int:
+        self._check_open()
+        self.stats.record("random_in_neighbor")
+        return self.backend.random_in_neighbor(node, rng)
+
+    def __repr__(self) -> str:
+        return (
+            f"SocialStore(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
+            f"ops={self.stats.total()})"
+        )

@@ -1,0 +1,86 @@
+"""Operation accounting for the storage layer.
+
+The paper's efficiency claims are stated in units of store operations —
+walk-segment updates (Theorem 4), database *fetches* (Theorem 8, Figure 6).
+:class:`CallStats` is the single counter object threaded through the stores
+so experiments can read those units off directly.  :class:`LatencyModel`
+optionally converts operation counts into simulated wall-clock time, which
+lets the benchmarks report "what this would cost against a remote store"
+without any actual network.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = ["CallStats", "LatencyModel"]
+
+
+class CallStats:
+    """Named operation counters with snapshot/delta support."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[str] = Counter()
+
+    def record(self, operation: str, count: int = 1) -> None:
+        """Count ``count`` occurrences of ``operation``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._counts[operation] += count
+
+    def count(self, operation: str) -> int:
+        return self._counts.get(operation, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """A frozen copy of all counters (safe to keep around)."""
+        return dict(self._counts)
+
+    def delta_since(self, snapshot: Mapping[str, int]) -> Dict[str, int]:
+        """Per-operation growth since a prior :meth:`snapshot`."""
+        return {
+            op: self._counts[op] - snapshot.get(op, 0)
+            for op in set(self._counts) | set(snapshot)
+            if self._counts.get(op, 0) != snapshot.get(op, 0)
+        }
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def merge(self, other: "CallStats") -> None:
+        """Fold another stats object into this one (fleet aggregation)."""
+        self._counts.update(other._counts)
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{op}={n}" for op, n in self)
+        return f"CallStats({inner})"
+
+
+@dataclass
+class LatencyModel:
+    """Convert operation counts into simulated seconds.
+
+    ``per_operation`` maps operation names to seconds per call;
+    ``default_latency`` covers everything else.  The defaults model an
+    intra-datacenter RPC (~0.5 ms) against a shared-memory store, which is
+    the regime the paper targets; they are knobs, not claims.
+    """
+
+    per_operation: Dict[str, float] = field(default_factory=dict)
+    default_latency: float = 0.0005
+
+    def simulated_seconds(self, stats: CallStats) -> float:
+        total = 0.0
+        for operation, count in stats:
+            total += count * self.per_operation.get(operation, self.default_latency)
+        return total
+
+    def simulated_seconds_for(self, operation: str, count: int) -> float:
+        return count * self.per_operation.get(operation, self.default_latency)

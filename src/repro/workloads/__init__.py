@@ -1,0 +1,18 @@
+"""Workloads: synthetic Twitter-like evolution and evaluation protocols."""
+
+from repro.workloads.link_prediction import (
+    LinkPredictionCase,
+    build_link_prediction_workload,
+    evaluate_rankers,
+)
+from repro.workloads.seeds import users_with_friend_count
+from repro.workloads.twitter_like import twitter_like_graph, twitter_like_stream
+
+__all__ = [
+    "twitter_like_stream",
+    "twitter_like_graph",
+    "users_with_friend_count",
+    "LinkPredictionCase",
+    "build_link_prediction_workload",
+    "evaluate_rankers",
+]

@@ -1,0 +1,45 @@
+"""Seed-user selection helpers.
+
+The paper's personalized experiments repeatedly select "100 random users
+who had a reasonable number of friends (between 20 and 30)" (§4.1); this
+module centralizes that protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DynamicDiGraph
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["users_with_friend_count"]
+
+
+def users_with_friend_count(
+    graph: DynamicDiGraph,
+    *,
+    minimum: int = 20,
+    maximum: int = 30,
+    count: Optional[int] = 100,
+    rng: RngLike = None,
+) -> list[int]:
+    """Random users whose friend (out-degree) count lies in a band.
+
+    Returns up to ``count`` users (all matching users when ``count`` is
+    None or exceeds the population), sampled without replacement.
+    """
+    if minimum < 0 or maximum < minimum:
+        raise ConfigurationError(
+            f"invalid friend-count band [{minimum}, {maximum}]"
+        )
+    eligible = [
+        node
+        for node in graph.nodes()
+        if minimum <= graph.out_degree(node) <= maximum
+    ]
+    if count is None or count >= len(eligible):
+        return eligible
+    generator = ensure_rng(rng)
+    chosen = generator.choice(len(eligible), size=count, replace=False)
+    return [eligible[int(index)] for index in sorted(chosen)]

@@ -1,0 +1,49 @@
+"""Shared fixtures.
+
+All stochastic tests run on fixed seeds: results are deterministic, and the
+statistical tolerances were calibrated once against those seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import (
+    directed_cycle,
+    directed_erdos_renyi,
+    directed_preferential_attachment,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph() -> DynamicDiGraph:
+    """4 nodes, hand-wired, includes a dangling node (3)."""
+    graph = DynamicDiGraph(4)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 0)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)  # 3 has no out-edges: dangling
+    return graph
+
+
+@pytest.fixture
+def cycle_graph() -> DynamicDiGraph:
+    return directed_cycle(30)
+
+
+@pytest.fixture
+def random_graph() -> DynamicDiGraph:
+    return directed_erdos_renyi(60, 300, rng=7)
+
+
+@pytest.fixture
+def pa_graph() -> DynamicDiGraph:
+    return directed_preferential_attachment(300, edges_per_node=4, rng=11)

@@ -1,0 +1,195 @@
+"""Analysis utilities: fits, CDFs, IR metrics, error norms, ASCII plots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import ascii_histogram, ascii_plot
+from repro.analysis.concentration import (
+    l1_error,
+    max_relative_error,
+    relative_errors,
+    top_k_overlap,
+)
+from repro.analysis.power_law import (
+    cdf_at,
+    empirical_cdf,
+    fit_personalized_exponent,
+    fit_rank_exponent,
+    weighted_degree_cdf,
+)
+from repro.analysis.precision import (
+    average_precision_11pt,
+    capture_count,
+    interpolated_precision_11pt,
+    precision_recall_points,
+)
+from repro.core.theory import eq3_powerlaw_scores
+from repro.errors import ConfigurationError
+
+
+class TestPowerLawFit:
+    def test_recovers_known_exponent(self):
+        scores = eq3_powerlaw_scores(5000, 0.75)
+        fit = fit_rank_exponent(scores, presorted=True)
+        assert fit.alpha == pytest.approx(0.75, abs=1e-6)
+        assert fit.r_squared > 0.999999
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        scores = eq3_powerlaw_scores(3000, 0.6) * rng.lognormal(0, 0.2, 3000)
+        fit = fit_rank_exponent(scores)
+        assert abs(fit.alpha - 0.6) < 0.05
+
+    def test_window_restriction(self):
+        # two regimes: steep head, flat tail — the window picks one
+        head = 100.0 / np.arange(1, 51) ** 1.5
+        tail = np.full(200, head[-1] * 0.9)
+        values = np.concatenate([head, tail])
+        steep = fit_rank_exponent(values, min_rank=1, max_rank=50, presorted=True)
+        flat = fit_rank_exponent(values, min_rank=60, max_rank=250, presorted=True)
+        assert steep.alpha > 1.2
+        assert flat.alpha < 0.1
+
+    def test_personalized_window_protocol(self):
+        scores = eq3_powerlaw_scores(5000, 0.8)
+        fit = fit_personalized_exponent(scores, friend_count=25)
+        assert fit.rank_range == (50, 500)
+        assert fit.alpha == pytest.approx(0.8, abs=0.01)
+
+    def test_zeros_excluded(self):
+        values = np.concatenate([eq3_powerlaw_scores(100, 0.5), np.zeros(50)])
+        fit = fit_rank_exponent(values)
+        assert fit.points == 100
+
+    def test_predict_inverts(self):
+        scores = eq3_powerlaw_scores(1000, 0.7)
+        fit = fit_rank_exponent(scores, presorted=True)
+        predicted = fit.predict(np.array([1, 10, 100]))
+        assert predicted[0] == pytest.approx(scores[0], rel=0.01)
+        assert predicted[2] == pytest.approx(scores[99], rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fit_rank_exponent([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            fit_rank_exponent([3.0, 2.0, 1.0], min_rank=3, max_rank=3)
+        with pytest.raises(ConfigurationError):
+            fit_personalized_exponent(np.ones(10), friend_count=0)
+
+
+class TestCDFs:
+    def test_empirical_cdf(self):
+        values, cdf = empirical_cdf([1, 1, 2, 5])
+        assert values.tolist() == [1, 2, 5]
+        assert cdf.tolist() == [0.5, 0.75, 1.0]
+
+    def test_weighted_degree_cdf(self):
+        # degrees 1,1,2,4: mass = 1+1+2+4 = 8; e(1)=2/8, e(2)=4/8, e(4)=1
+        values, cdf = weighted_degree_cdf([1, 1, 2, 4, 0])
+        assert values.tolist() == [1, 2, 4]
+        assert cdf.tolist() == [0.25, 0.5, 1.0]
+
+    def test_cdf_at(self):
+        values, cdf = empirical_cdf([1, 2, 5])
+        queried = cdf_at(values, cdf, [0, 1, 3, 5, 9])
+        assert queried.tolist() == [0.0, 1 / 3, 2 / 3, 1.0, 1.0]
+
+    def test_empty(self):
+        values, cdf = empirical_cdf([])
+        assert values.size == 0 and cdf.size == 0
+
+
+class TestPrecision:
+    def test_perfect_retrieval(self):
+        curve = interpolated_precision_11pt([1, 2, 3], {1, 2, 3})
+        assert np.allclose(curve, 1.0)
+
+    def test_hand_computed_curve(self):
+        # relevant = {1, 2}; retrieved = [1, 9, 2]
+        # after rank1: R=0.5 P=1.0; rank2: R=0.5 P=0.5; rank3: R=1.0 P=2/3
+        curve = interpolated_precision_11pt([1, 9, 2], {1, 2})
+        assert curve[0] == 1.0  # recall 0.0 -> max precision anywhere = 1.0
+        assert curve[5] == 1.0  # recall 0.5 reached at precision 1.0
+        assert curve[10] == pytest.approx(2 / 3)
+
+    def test_miss_everything(self):
+        curve = interpolated_precision_11pt([7, 8], {1})
+        assert curve[0] == 0.0
+        assert curve[10] == 0.0
+
+    def test_average_curves(self):
+        avg = average_precision_11pt(
+            [([1], {1}), ([2], {1})]
+        )
+        assert avg[0] == pytest.approx(0.5)
+
+    def test_precision_recall_points(self):
+        recalls, precisions = precision_recall_points([1, 9], {1, 5})
+        assert recalls.tolist() == [0.5, 0.5]
+        assert precisions.tolist() == [1.0, 0.5]
+
+    def test_capture_count(self):
+        assert capture_count([5, 3, 9, 1], {3, 1}, top=2) == 1
+        assert capture_count([5, 3, 9, 1], {3, 1}, top=4) == 2
+        with pytest.raises(ConfigurationError):
+            capture_count([1], {1}, top=0)
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            interpolated_precision_11pt([1], set())
+
+
+class TestConcentration:
+    def test_l1(self):
+        assert l1_error(np.array([0.5, 0.5]), np.array([0.4, 0.6])) == pytest.approx(0.2)
+
+    def test_relative_errors_floor(self):
+        estimate = np.array([0.1, 0.0, 0.3])
+        exact = np.array([0.2, 1e-9, 0.3])
+        errors = relative_errors(estimate, exact, floor=1e-6)
+        assert errors.tolist() == [0.5, 0.0]
+        assert max_relative_error(estimate, exact, floor=1e-6) == 0.5
+
+    def test_top_k_overlap(self):
+        a = np.array([0.5, 0.3, 0.1, 0.05])
+        b = np.array([0.5, 0.1, 0.3, 0.05])
+        # top2(a) = {0, 1}, top2(b) = {0, 2} -> overlap 1/2
+        assert top_k_overlap(a, b, 2) == pytest.approx(0.5)
+        assert top_k_overlap(a, a, 3) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            l1_error(np.zeros(3), np.zeros(4))
+
+
+class TestAsciiPlot:
+    def test_renders_with_legend(self):
+        text = ascii_plot(
+            {"measured": ([1, 10, 100], [1, 5, 25]), "bound": ([1, 10, 100], [2, 8, 40])},
+            log_x=True,
+            log_y=True,
+            title="fetches",
+        )
+        assert "fetches" in text
+        assert "o = measured" in text
+        assert "x = bound" in text
+        assert "[log-x]" in text
+
+    def test_log_filters_nonpositive(self):
+        text = ascii_plot({"s": ([0, 1, 10], [0, 1, 10])}, log_x=True, log_y=True)
+        assert "s" in text
+        with pytest.raises(ConfigurationError):
+            ascii_plot({"s": ([0], [0])}, log_x=True)
+
+    def test_histogram(self):
+        text = ascii_histogram([1, 1, 2, 2, 2, 3], bins=3, title="h")
+        assert text.startswith("h")
+        assert "#" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_plot({})
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([])

@@ -1,0 +1,142 @@
+"""Arrival processes and timestamped streams (§2.2's evolution models)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.arrival import (
+    AdversarialArrival,
+    ArrivalEvent,
+    DirichletArrival,
+    RandomPermutationArrival,
+    TimestampedStream,
+    apply_events,
+)
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import directed_erdos_renyi, example1_adversarial_gadget
+
+
+class TestArrivalEvent:
+    def test_kinds(self):
+        assert ArrivalEvent("add", 0, 1).edge == (0, 1)
+        assert ArrivalEvent("remove", 2, 3).kind == "remove"
+        with pytest.raises(ConfigurationError):
+            ArrivalEvent("mutate", 0, 1)
+
+
+class TestRandomPermutation:
+    def test_yields_each_edge_once_with_times(self, random_graph):
+        arrival = RandomPermutationArrival.of_graph(random_graph, rng=0)
+        events = list(arrival)
+        assert len(events) == random_graph.num_edges
+        assert sorted(e.edge for e in events) == sorted(random_graph.edges())
+        assert [e.time for e in events] == list(range(1, len(events) + 1))
+        assert all(e.kind == "add" for e in events)
+
+    def test_order_is_random(self, random_graph):
+        order_a = [e.edge for e in RandomPermutationArrival.of_graph(random_graph, rng=1)]
+        order_b = [e.edge for e in RandomPermutationArrival.of_graph(random_graph, rng=2)]
+        assert order_a != order_b
+        assert sorted(order_a) == sorted(order_b)
+
+    def test_uniform_position_distribution(self):
+        """Each edge's arrival position must be uniform — the assumption
+        Lemma 3 rests on."""
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        first_counts = {edge: 0 for edge in edges}
+        for seed in range(2000):
+            arrival = RandomPermutationArrival(edges, rng=seed)
+            first_counts[next(iter(arrival)).edge] += 1
+        for count in first_counts.values():
+            assert 400 < count < 600  # 500 ± 20%
+
+    def test_num_nodes_inferred(self):
+        arrival = RandomPermutationArrival([(0, 9)])
+        assert arrival.num_nodes == 10
+
+
+class TestDirichlet:
+    def test_produces_requested_edges(self):
+        arrival = DirichletArrival(50, 300, rng=3)
+        events = list(arrival)
+        assert len(events) == 300
+        assert len({e.edge for e in events}) == 300  # no duplicates
+        assert all(e.source != e.target for e in events)
+
+    def test_rich_get_richer_sources(self):
+        """Sources are drawn ∝ outdeg+1, so the out-degree distribution
+        must be more skewed than uniform assignment would give."""
+        arrival = DirichletArrival(100, 2000, rng=4)
+        graph = DynamicDiGraph(100, allow_self_loops=False)
+        apply_events(graph, arrival)
+        out = graph.out_degree_array()
+        assert out.max() > 2.5 * out.mean()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DirichletArrival(0, 10)
+        with pytest.raises(ConfigurationError):
+            DirichletArrival(10, -1)
+
+
+class TestAdversarial:
+    def test_fixed_order_preserved(self):
+        sequence = [(0, 1), (2, 3), (1, 2)]
+        arrival = AdversarialArrival(sequence)
+        assert [e.edge for e in arrival] == sequence
+        assert [e.time for e in arrival] == [1, 2, 3]
+
+    def test_gadget_then_killer(self):
+        gadget, killer, _ = example1_adversarial_gadget(5)
+        arrival = AdversarialArrival.gadget_then_killer(gadget, killer, rng=5)
+        events = list(arrival)
+        assert events[-1].edge == killer
+        assert len(events) == gadget.num_edges + 1
+        assert sorted(e.edge for e in events[:-1]) == sorted(gadget.edges())
+
+
+class TestTimestampedStream:
+    def test_snapshot_prefix_suffix(self):
+        events = [ArrivalEvent("add", u, v) for u, v in [(0, 1), (1, 2), (2, 0), (0, 2)]]
+        stream = TimestampedStream(3, events)
+        assert len(stream) == 4
+        assert stream[1].edge == (1, 2)
+        snap = stream.snapshot_at(2)
+        assert snap.num_edges == 2
+        assert snap.has_edge(0, 1)
+        assert snap.has_edge(1, 2)
+        assert not snap.has_edge(2, 0)
+        assert [e.edge for e in stream.suffix(2)] == [(2, 0), (0, 2)]
+        assert [e.edge for e in stream.prefix(2)] == [(0, 1), (1, 2)]
+
+    def test_times_assigned_when_missing(self):
+        stream = TimestampedStream(2, [ArrivalEvent("add", 0, 1)])
+        assert stream[0].time == 1
+
+    def test_from_process_round_trip(self, random_graph):
+        stream = TimestampedStream.from_process(
+            RandomPermutationArrival.of_graph(random_graph, rng=6)
+        )
+        final = stream.snapshot_at(len(stream))
+        assert sorted(final.edges()) == sorted(random_graph.edges())
+
+    def test_remove_events_replay(self):
+        events = [
+            ArrivalEvent("add", 0, 1),
+            ArrivalEvent("add", 1, 2),
+            ArrivalEvent("remove", 0, 1),
+        ]
+        stream = TimestampedStream(3, events)
+        final = stream.snapshot_at(3)
+        assert not final.has_edge(0, 1)
+        assert final.has_edge(1, 2)
+
+
+class TestApplyEvents:
+    def test_grows_nodes_as_needed(self):
+        graph = DynamicDiGraph(1)
+        apply_events(graph, [ArrivalEvent("add", 0, 7)])
+        assert graph.num_nodes == 8
+        assert graph.has_edge(0, 7)

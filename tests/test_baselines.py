@@ -1,0 +1,181 @@
+"""Baselines: power iteration vs exact solve, HITS, COSINE, iterative SALSA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.cosine import cosine_hub_scores, cosine_scores
+from repro.baselines.hits import adjacency_matrix, hits_scores, personalized_hits
+from repro.baselines.monte_carlo_static import NaiveMonteCarloRebuild
+from repro.baselines.power_iteration import (
+    exact_pagerank,
+    exact_personalized_pagerank,
+    power_iteration_pagerank,
+    transition_matrix,
+)
+from repro.baselines.salsa_iterative import global_salsa, personalized_salsa
+from repro.errors import ConfigurationError
+from repro.graph.arrival import ArrivalEvent
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import directed_cycle, directed_star
+
+
+class TestPowerIteration:
+    def test_matches_exact_solve(self, random_graph):
+        exact = exact_pagerank(random_graph, reset_probability=0.2)
+        result = power_iteration_pagerank(
+            random_graph, reset_probability=0.2, max_iterations=300, tolerance=1e-13
+        )
+        assert result.converged
+        assert np.abs(result.scores - exact).max() < 1e-10
+
+    def test_personalized_matches_exact(self, random_graph):
+        seed = 4
+        exact = exact_pagerank(random_graph, reset_probability=0.2, personalize=seed)
+        result = power_iteration_pagerank(
+            random_graph, reset_probability=0.2, personalize=seed, tolerance=1e-13,
+            max_iterations=300,
+        )
+        assert np.abs(result.scores - exact).max() < 1e-10
+        assert exact[seed] >= exact.max() * 0.5  # seed dominates its own vector
+
+    def test_dangling_mass_absorbed(self, tiny_graph):
+        scores = exact_pagerank(tiny_graph, reset_probability=0.2)
+        assert scores.sum() < 1.0
+        assert (scores > 0).all()
+
+    def test_no_dangling_sums_to_one(self, cycle_graph):
+        scores = exact_pagerank(cycle_graph, reset_probability=0.2)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_work_accounting(self, random_graph):
+        result = power_iteration_pagerank(random_graph, max_iterations=7, tolerance=0)
+        assert result.iterations == 7
+        assert result.edge_touches == 7 * random_graph.num_edges
+        assert not result.converged
+
+    def test_exact_multi_seed_rows(self, random_graph):
+        seeds = [0, 3, 9]
+        rows = exact_personalized_pagerank(random_graph, seeds, reset_probability=0.2)
+        for row, seed in zip(rows, seeds):
+            single = exact_pagerank(
+                random_graph, reset_probability=0.2, personalize=seed
+            )
+            assert np.abs(row - single).max() < 1e-10
+
+    def test_empty_graph(self):
+        empty = DynamicDiGraph()
+        assert exact_pagerank(empty).size == 0
+        assert power_iteration_pagerank(empty).scores.size == 0
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            power_iteration_pagerank(tiny_graph, reset_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            exact_pagerank(tiny_graph, personalize=99)
+
+    def test_transition_matrix_columns(self, tiny_graph):
+        matrix = transition_matrix(tiny_graph)
+        # column of node 0 (out-degree 2) sums to 1; dangling column is 0
+        assert matrix[:, 0].sum() == pytest.approx(1.0)
+        assert matrix[:, 3].sum() == 0.0
+
+
+class TestNaiveRebuild:
+    def test_tracks_work_and_matches_incremental_quality(self):
+        naive = NaiveMonteCarloRebuild(10, walks_per_node=3, rng=0)
+        events = [ArrivalEvent("add", i, (i + 1) % 10) for i in range(10)]
+        naive.process(events)
+        assert naive.rebuilds == 10
+        # total work ~ sum over rebuilds of n*R/eps-ish; must exceed one build
+        assert naive.total_work > 10 * 3
+        scores = naive.pagerank()
+        assert scores.sum() == pytest.approx(1.0, abs=0.2)
+
+    def test_removal_events(self):
+        naive = NaiveMonteCarloRebuild(5, walks_per_node=2, rng=1)
+        naive.apply(ArrivalEvent("add", 0, 1))
+        naive.apply(ArrivalEvent("remove", 0, 1))
+        assert naive.graph.num_edges == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NaiveMonteCarloRebuild(5, walks_per_node=0)
+
+
+class TestHITS:
+    def test_star_concentrates_authority(self):
+        graph = directed_star(8, inward=True)
+        _, authority = hits_scores(graph)
+        assert authority[0] == pytest.approx(1.0)
+
+    def test_personalized_seed_weight(self, random_graph):
+        hub, authority = personalized_hits(random_graph, 3, reset_probability=0.3)
+        assert hub[3] > np.median(hub)
+        assert authority.sum() == pytest.approx(1.0)
+        assert hub.sum() == pytest.approx(1.0)
+
+    def test_validation(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            personalized_hits(random_graph, 999)
+        with pytest.raises(ConfigurationError):
+            personalized_hits(random_graph, 0, iterations=0)
+
+    def test_adjacency_matrix(self, tiny_graph):
+        matrix = adjacency_matrix(tiny_graph)
+        assert matrix[0, 1] == 1.0
+        assert matrix[1, 0] == 0.0
+        assert matrix.sum() == tiny_graph.num_edges
+
+
+class TestCosine:
+    def test_hand_computed_similarity(self):
+        # u=0 follows {1,2}; v=3 follows {1,2,4}: cos = 2/sqrt(2*3)
+        graph = DynamicDiGraph.from_edges(
+            [(0, 1), (0, 2), (3, 1), (3, 2), (3, 4)]
+        )
+        hubs = cosine_hub_scores(graph, 0)
+        assert hubs[3] == pytest.approx(2 / np.sqrt(6))
+        assert 0 not in hubs
+
+    def test_authority_aggregation(self):
+        graph = DynamicDiGraph.from_edges(
+            [(0, 1), (0, 2), (3, 1), (3, 2), (3, 4)]
+        )
+        authority = cosine_scores(graph, 0)
+        # node 4 is endorsed only by hub 3
+        assert authority[4] == pytest.approx(2 / np.sqrt(6))
+        assert authority[1] == authority[2] == pytest.approx(2 / np.sqrt(6))
+
+    def test_no_friends_no_scores(self):
+        graph = DynamicDiGraph.from_edges([(1, 0)])
+        assert cosine_hub_scores(graph, 0) == {}
+        assert cosine_scores(graph, 0).sum() == 0.0
+
+
+class TestIterativeSALSA:
+    def test_global_authority_tracks_indegree_small_eps(self, random_graph):
+        _, authority = global_salsa(
+            random_graph, reset_probability=0.001, iterations=200
+        )
+        authority = authority / authority.sum()
+        expected = random_graph.in_degree_array() / random_graph.num_edges
+        assert np.abs(authority - expected).sum() < 0.02
+
+    def test_personalized_mass_near_seed(self, random_graph):
+        hub, authority = personalized_salsa(random_graph, 7, reset_probability=0.3)
+        assert hub[7] > np.median(hub[hub > 0])
+        assert authority.sum() > 0
+
+    def test_cycle_symmetric(self):
+        graph = directed_cycle(8)
+        hub, authority = global_salsa(graph, reset_probability=0.2)
+        assert np.allclose(authority, authority[0])
+        assert np.allclose(hub, hub[0])
+
+    def test_validation(self, random_graph):
+        with pytest.raises(ConfigurationError):
+            personalized_salsa(random_graph, -1)
+        with pytest.raises(ConfigurationError):
+            personalized_salsa(random_graph, 0, iterations=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the CSR snapshot and the vectorized batch walker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.walks import END_DANGLING, END_RESET, simulate_reset_walk
+from repro.graph.csr import CSRGraph, batch_reset_walks
+from repro.graph.digraph import DynamicDiGraph
+from repro.graph.generators import directed_cycle, directed_erdos_renyi
+
+
+class TestCSRGraph:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.array([1, 2]), indices=np.array([0]))
+        with pytest.raises(ValueError):
+            CSRGraph(indptr=np.array([0, 3]), indices=np.array([0]))
+
+    def test_shape_accessors(self, tiny_graph):
+        csr = tiny_graph.to_csr()
+        assert csr.num_nodes == tiny_graph.num_nodes
+        assert csr.num_edges == tiny_graph.num_edges
+
+
+class TestBatchWalker:
+    def test_segments_follow_edges(self, random_graph):
+        csr = random_graph.to_csr()
+        starts = list(range(random_graph.num_nodes)) * 3
+        result = batch_reset_walks(csr, starts, 0.3, rng=4)
+        assert len(result.segments) == len(starts)
+        for start, segment in zip(starts, result.segments):
+            assert segment[0] == start
+            for a, b in zip(segment, segment[1:]):
+                assert random_graph.has_edge(a, b)
+
+    def test_end_reasons(self, tiny_graph):
+        # node 3 is dangling: any walk stepping into it that then draws
+        # "continue" must end DANGLING *at node 3*.
+        csr = tiny_graph.to_csr()
+        result = batch_reset_walks(csr, [0] * 2000, 0.2, rng=9)
+        dangling = [
+            seg
+            for seg, reason in zip(result.segments, result.end_reasons)
+            if reason == END_DANGLING
+        ]
+        assert dangling, "with 2000 walks some must strand at node 3"
+        assert all(seg[-1] == 3 for seg in dangling)
+
+    def test_mean_length_matches_geometric(self):
+        # On a cycle (no dangling) segment node-count is Geometric(eps),
+        # mean 1/eps.
+        graph = directed_cycle(11)
+        csr = graph.to_csr()
+        eps = 0.25
+        result = batch_reset_walks(csr, [0] * 20000, eps, rng=3)
+        mean_length = np.mean([len(seg) for seg in result.segments])
+        assert abs(mean_length - 1 / eps) < 0.1
+
+    def test_immediate_reset_segments_are_single_node(self):
+        graph = directed_cycle(5)
+        result = batch_reset_walks(graph.to_csr(), [2] * 100, 1.0, rng=0)
+        assert all(seg == [2] for seg in result.segments)
+        assert (result.end_reasons == END_RESET).all()
+
+    def test_empty_starts(self, cycle_graph):
+        result = batch_reset_walks(cycle_graph.to_csr(), [], 0.2, rng=0)
+        assert result.segments == []
+        assert result.total_visits() == 0
+
+    def test_invalid_eps(self, cycle_graph):
+        with pytest.raises(ValueError):
+            batch_reset_walks(cycle_graph.to_csr(), [0], 0.0, rng=0)
+        with pytest.raises(ValueError):
+            batch_reset_walks(cycle_graph.to_csr(), [0], 1.5, rng=0)
+
+    def test_max_steps_cap_counts(self):
+        graph = directed_cycle(3)
+        result = batch_reset_walks(graph.to_csr(), [0] * 50, 0.01, rng=1, max_steps=5)
+        assert result.capped > 0
+        assert all(len(seg) <= 6 for seg in result.segments)
+
+    def test_matches_scalar_walker_distribution(self):
+        """Batch and scalar walkers must agree on visit distribution."""
+        graph = directed_erdos_renyi(20, 80, rng=2)
+        eps = 0.3
+        trials = 6000
+        batch = batch_reset_walks(graph.to_csr(), [0] * trials, eps, rng=5)
+        batch_visits = np.zeros(20)
+        for seg in batch.segments:
+            for node in seg:
+                batch_visits[node] += 1
+        scalar_visits = np.zeros(20)
+        rng = np.random.default_rng(6)
+        for _ in range(trials):
+            seg = simulate_reset_walk(graph, 0, eps, rng)
+            for node in seg.nodes:
+                scalar_visits[node] += 1
+        batch_freq = batch_visits / batch_visits.sum()
+        scalar_freq = scalar_visits / scalar_visits.sum()
+        assert np.abs(batch_freq - scalar_freq).sum() < 0.05

@@ -1,0 +1,217 @@
+"""Unit tests for DynamicDiGraph: mutation, sampling, snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    DuplicateEdgeError,
+    EdgeNotFoundError,
+    EmptyNeighborhoodError,
+    NodeNotFoundError,
+    SelfLoopError,
+)
+from repro.graph.digraph import DynamicDiGraph
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = DynamicDiGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_negative_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicDiGraph(-1)
+
+    def test_from_edges_grows_nodes(self):
+        graph = DynamicDiGraph.from_edges([(0, 5), (5, 2)])
+        assert graph.num_nodes == 6
+        assert graph.has_edge(0, 5)
+        assert graph.has_edge(5, 2)
+
+    def test_copy_is_independent(self):
+        graph = DynamicDiGraph.from_edges([(0, 1), (1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 0)
+        assert not graph.has_edge(2, 0)
+        assert clone.has_edge(2, 0)
+
+    def test_networkx_round_trip(self):
+        graph = DynamicDiGraph.from_edges([(0, 1), (1, 2), (2, 0), (0, 2)])
+        back = DynamicDiGraph.from_networkx(graph.to_networkx())
+        assert sorted(back.edges()) == sorted(graph.edges())
+        assert back.num_nodes == graph.num_nodes
+
+
+class TestEdgeMutation:
+    def test_add_and_query(self):
+        graph = DynamicDiGraph(3)
+        graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+        assert (0, 1) in graph
+        assert graph.out_degree(0) == 1
+        assert graph.in_degree(1) == 1
+
+    def test_duplicate_rejected(self):
+        graph = DynamicDiGraph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(DuplicateEdgeError):
+            graph.add_edge(0, 1)
+
+    def test_self_loop_policy(self):
+        loose = DynamicDiGraph(2)
+        loose.add_edge(1, 1)
+        assert loose.has_edge(1, 1)
+        strict = DynamicDiGraph(2, allow_self_loops=False)
+        with pytest.raises(SelfLoopError):
+            strict.add_edge(1, 1)
+
+    def test_unknown_node_rejected(self):
+        graph = DynamicDiGraph(2)
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge(0, 7)
+
+    def test_remove_edge(self):
+        graph = DynamicDiGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+        assert graph.num_edges == 2
+        assert graph.out_degree(0) == 1
+        assert graph.in_degree(1) == 0
+
+    def test_remove_missing_edge_raises(self):
+        graph = DynamicDiGraph(3)
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(0, 1)
+
+    def test_remove_then_readd(self):
+        graph = DynamicDiGraph.from_edges([(0, 1)])
+        graph.remove_edge(0, 1)
+        graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+        assert graph.num_edges == 1
+
+    def test_swap_pop_keeps_other_adjacency(self):
+        graph = DynamicDiGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        graph.remove_edge(0, 2)
+        assert sorted(graph.out_neighbors(0)) == [1, 3]
+        # position maps must stay consistent for further removals
+        graph.remove_edge(0, 1)
+        assert graph.out_neighbors(0) == [3]
+
+    def test_interleaved_mutations_match_reference(self):
+        """Random add/remove sequence checked against a set-based model."""
+        rng = np.random.default_rng(5)
+        graph = DynamicDiGraph(10)
+        model: set[tuple[int, int]] = set()
+        for _ in range(500):
+            u, v = int(rng.integers(10)), int(rng.integers(10))
+            if (u, v) in model and rng.random() < 0.5:
+                graph.remove_edge(u, v)
+                model.remove((u, v))
+            elif (u, v) not in model:
+                graph.add_edge(u, v)
+                model.add((u, v))
+        assert set(graph.edges()) == model
+        for node in range(10):
+            assert graph.out_degree(node) == sum(1 for e in model if e[0] == node)
+            assert graph.in_degree(node) == sum(1 for e in model if e[1] == node)
+            assert set(graph.out_neighbors(node)) == {
+                v for u, v in model if u == node
+            }
+            assert set(graph.in_neighbors(node)) == {
+                u for u, v in model if v == node
+            }
+
+
+class TestSampling:
+    def test_random_out_neighbor_uniform(self):
+        graph = DynamicDiGraph.from_edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+        rng = np.random.default_rng(0)
+        counts = {1: 0, 2: 0, 3: 0, 4: 0}
+        for _ in range(4000):
+            counts[graph.random_out_neighbor(0, rng)] += 1
+        for count in counts.values():
+            assert 800 < count < 1200  # 1000 ± 20%
+
+    def test_random_in_neighbor(self):
+        graph = DynamicDiGraph.from_edges([(1, 0), (2, 0)])
+        rng = np.random.default_rng(0)
+        seen = {graph.random_in_neighbor(0, rng) for _ in range(50)}
+        assert seen == {1, 2}
+
+    def test_empty_neighborhood_raises(self):
+        graph = DynamicDiGraph(2)
+        graph.add_edge(0, 1)
+        with pytest.raises(EmptyNeighborhoodError):
+            graph.random_out_neighbor(1)
+        with pytest.raises(EmptyNeighborhoodError):
+            graph.random_in_neighbor(0)
+
+    def test_random_edge_covers_arena(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+        graph = DynamicDiGraph.from_edges(edges)
+        rng = np.random.default_rng(1)
+        seen = {graph.random_edge(rng) for _ in range(200)}
+        assert seen == set(edges)
+
+    def test_random_edge_empty_raises(self):
+        with pytest.raises(EdgeNotFoundError):
+            DynamicDiGraph(3).random_edge()
+
+
+class TestDegreesAndSnapshots:
+    def test_degree_arrays(self, tiny_graph):
+        out = tiny_graph.out_degree_array()
+        inn = tiny_graph.in_degree_array()
+        assert out.tolist() == [2, 2, 1, 0]
+        assert inn.tolist() == [1, 1, 2, 1]
+        assert out.sum() == inn.sum() == tiny_graph.num_edges
+
+    def test_csr_out(self, tiny_graph):
+        csr = tiny_graph.to_csr("out")
+        assert csr.num_nodes == 4
+        assert csr.num_edges == 5
+        assert sorted(csr.neighbors(0).tolist()) == [1, 2]
+        assert csr.degree(3) == 0
+        assert csr.degrees().tolist() == [2, 2, 1, 0]
+
+    def test_csr_in(self, tiny_graph):
+        csr = tiny_graph.to_csr("in")
+        assert sorted(csr.neighbors(2).tolist()) == [0, 1]
+        assert csr.degree(3) == 1
+
+    def test_csr_bad_direction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.to_csr("sideways")
+
+    def test_csr_is_snapshot(self, tiny_graph):
+        csr = tiny_graph.to_csr("out")
+        tiny_graph.add_edge(3, 0)
+        assert csr.degree(3) == 0  # frozen
+
+
+class TestNodeGrowth:
+    def test_add_node_ids_sequential(self):
+        graph = DynamicDiGraph(2)
+        assert graph.add_node() == 2
+        assert graph.add_node() == 3
+
+    def test_ensure_node(self):
+        graph = DynamicDiGraph(1)
+        graph.ensure_node(4)
+        assert graph.num_nodes == 5
+        graph.ensure_node(2)  # no shrink
+        assert graph.num_nodes == 5
+
+    def test_ensure_negative_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            DynamicDiGraph(1).ensure_node(-2)
+
+    def test_len_and_repr(self, tiny_graph):
+        assert len(tiny_graph) == 4
+        assert "num_edges=5" in repr(tiny_graph)

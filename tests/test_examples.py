@@ -1,0 +1,62 @@
+"""Smoke tests: every example script runs to completion.
+
+The CLI-capable examples are shrunk via flags; quickstart runs at its
+built-in (already small) size.  Marked slow: a few seconds each.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+def test_quickstart():
+    result = _run("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "top-5 PageRank" in result.stdout
+    assert "database fetches" in result.stdout
+
+
+@pytest.mark.slow
+def test_who_to_follow():
+    result = _run(
+        "who_to_follow.py", "--nodes", "800", "--edges", "9600", "--users", "2"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "recommendations at t = 100%" in result.stdout
+    assert "fetches" in result.stdout
+
+
+@pytest.mark.slow
+def test_realtime_maintenance():
+    result = _run(
+        "realtime_maintenance.py", "--nodes", "400", "--edges", "4800"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "theorem-4 bound" in result.stdout
+    assert "estimate quality" in result.stdout
+
+
+@pytest.mark.slow
+def test_capacity_planning():
+    result = _run(
+        "capacity_planning.py", "--nodes", "600", "--edges", "7200"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "closed-form budget" in result.stdout
+    assert "shard load" in result.stdout

@@ -1,0 +1,175 @@
+"""Integration tests: every experiment driver runs end-to-end at toy scale
+and produces structurally sane results.  (Scientific assertions — who wins,
+bounds hold — live in benchmarks/, which run at meaningful sizes.)"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.common import ExperimentResult, register
+from repro.experiments.exp_arrival import run_fig1, run_mx_validation
+from repro.experiments.exp_concentration import run_thm1
+from repro.experiments.exp_fetches import run_fig6
+from repro.experiments.exp_linkpred import run_table1
+from repro.experiments.exp_powerlaw import run_fig2, run_fig3, run_fig4
+from repro.experiments.exp_precision import run_fig5
+from repro.experiments.exp_update_cost import (
+    run_adversarial,
+    run_dirichlet,
+    run_prop5,
+    run_thm4,
+    run_thm6,
+)
+
+TINY = {"num_nodes": 600, "num_edges": 7200, "rng": 9}
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        ids = set(list_experiments())
+        assert {
+            "E-MX",
+            "E-F1",
+            "E-F2",
+            "E-F3",
+            "E-F4",
+            "E-F5",
+            "E-F6",
+            "E-T1",
+            "E-THM1",
+            "E-THM4",
+            "E-PROP5",
+            "E-DIR",
+            "E-ADV",
+            "E-THM6",
+        } <= ids
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("E-NOPE")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register("E-F1")(lambda: None)
+
+    def test_result_rendering(self):
+        result = ExperimentResult(
+            experiment_id="X",
+            title="t",
+            params={"a": 1},
+            rows=[{"col": 1.23456, "big": 12345.6, "s": "x"}],
+            notes=["hello"],
+        )
+        table = result.table()
+        assert "| col | big | s |" in table
+        assert "1.235" in table
+        rendered = result.render()
+        assert "== X: t ==" in rendered
+        assert "note: hello" in rendered
+        assert ExperimentResult("Y", "t").table() == "(no rows)"
+
+
+class TestArrivalDrivers:
+    def test_mx(self):
+        result = run_mx_validation(**TINY)
+        rows = {r["arrival order"]: r for r in result.rows}
+        assert 0.2 < rows["stream (random-ish)"]["mX"] < 2.0
+        assert rows["paper (Twitter)"]["mX"] == 0.81
+
+    def test_fig1(self):
+        result = run_fig1(**TINY)
+        gap = next(r for r in result.rows if r["degree d"] == "max |gap|")
+        assert 0 <= gap["arrival a(d)"] <= 1
+        assert "fig1" in result.figures
+
+
+class TestPowerLawDrivers:
+    def test_fig2(self):
+        result = run_fig2(**TINY)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert 0 < row["alpha"] < 2
+
+    def test_fig3(self):
+        result = run_fig3(num_users=2, **TINY)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["r^2"] > 0.5
+
+    def test_fig4(self):
+        result = run_fig4(num_users=10, **TINY)
+        stats = {r["statistic"]: r["measured"] for r in result.rows}
+        assert "mean per-user alpha" in stats
+        assert stats["std per-user alpha"] >= 0
+
+
+class TestQueryDrivers:
+    def test_fig5(self):
+        result = run_fig5(
+            num_users=3, true_length=5000, query_length=1000, **TINY
+        )
+        curve = [r["interpolated avg precision"] for r in result.rows]
+        assert len(curve) == 11
+        assert all(0 <= p <= 1 for p in curve)
+        assert all(a >= b - 1e-12 for a, b in zip(curve, curve[1:]))
+
+    def test_fig6(self):
+        result = run_fig6(
+            num_users=2, walk_counts=(5, 10), lengths=(100, 1000), **TINY
+        )
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row["measured fetches"] >= 1
+
+    def test_table1(self):
+        result = run_table1(
+            num_nodes=2000,
+            num_edges=24_000,
+            max_users=5,
+            include_monte_carlo=False,
+            rng=9,
+        )
+        methods = {row["method"] for row in result.rows}
+        assert methods == {"HITS", "COSINE", "PageRank", "SALSA"}
+        for row in result.rows:
+            assert row["top 100"] <= row["top 1000"]
+            assert row["long-tail top 100"] <= row["top 100"] + 1e-9
+
+
+class TestCostDrivers:
+    def test_thm1(self):
+        result = run_thm1(walk_counts=(1, 4), **TINY)
+        rows = {r["R"]: r for r in result.rows}
+        assert rows[4]["store visits"] > rows[1]["store visits"]
+
+    def test_thm4(self):
+        result = run_thm4(**TINY)
+        total = next(r for r in result.rows if r["arrival t"] == "TOTAL measured")
+        bound = total["thm4 bound nR/(t eps^2)"]
+        assert total["measured mean work"] <= bound
+
+    def test_prop5(self):
+        result = run_prop5(deletions=100, **TINY)
+        row = next(
+            r for r in result.rows if r["quantity"].startswith("mean resimulated")
+        )
+        assert row["measured"] >= 0
+
+    def test_dirichlet(self):
+        result = run_dirichlet(**TINY)
+        values = {r["quantity"]: r["value"] for r in result.rows}
+        assert values["total measured work"] <= values["dirichlet bound"]
+
+    def test_adversarial(self):
+        result = run_adversarial(sizes=(8, 16), repetitions=2, rng=9)
+        rows = {r["gadget N"]: r for r in result.rows}
+        assert rows[16]["killer-edge reroutes"] > rows[8]["killer-edge reroutes"]
+
+    def test_thm6(self):
+        result = run_thm6(num_nodes=200, num_edges=2000, rng=9)
+        values = {r["quantity"]: r["value"] for r in result.rows}
+        assert values["measured SALSA/PageRank ratio"] > 1.0
+        assert values["SALSA within bound"]

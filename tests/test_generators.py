@@ -1,0 +1,146 @@
+"""Graph generators: structure, exponents, and the Example-1 gadget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.power_law import fit_rank_exponent
+from repro.errors import ConfigurationError
+from repro.graph.generators import (
+    directed_complete,
+    directed_configuration_power_law,
+    directed_cycle,
+    directed_erdos_renyi,
+    directed_preferential_attachment,
+    directed_star,
+    example1_adversarial_gadget,
+    zipf_rank_weights,
+)
+
+
+class TestPreferentialAttachment:
+    def test_shape(self):
+        graph = directed_preferential_attachment(200, edges_per_node=3, rng=0)
+        assert graph.num_nodes == 200
+        # seed cycle (5) + up to 3 per new node
+        assert graph.num_edges <= 5 + 3 * 195
+        assert graph.num_edges >= 5 + 2 * 195  # retries rarely all fail
+
+    def test_no_self_loops_or_duplicates(self):
+        graph = directed_preferential_attachment(150, edges_per_node=4, rng=1)
+        seen = set()
+        for u, v in graph.edges():
+            assert u != v
+            assert (u, v) not in seen
+            seen.add((u, v))
+
+    def test_heavy_tail_emerges(self):
+        graph = directed_preferential_attachment(2000, edges_per_node=5, rng=2)
+        indeg = graph.in_degree_array()
+        fit = fit_rank_exponent(indeg.astype(float), min_rank=5, max_rank=200)
+        assert 0.4 < fit.alpha < 1.1
+        assert fit.r_squared > 0.85
+
+    def test_callable_out_degree(self):
+        graph = directed_preferential_attachment(
+            100, edges_per_node=lambda rng: int(rng.integers(1, 4)), rng=3
+        )
+        degrees = graph.out_degree_array()[10:]
+        assert degrees.min() >= 1
+        assert degrees.max() <= 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            directed_preferential_attachment(3, seed_nodes=5)
+        with pytest.raises(ConfigurationError):
+            directed_preferential_attachment(10, uniform_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            directed_preferential_attachment(
+                50, edges_per_node=lambda rng: -1, rng=0
+            )
+
+
+class TestConfigurationPowerLaw:
+    def test_exact_edge_count(self):
+        graph = directed_configuration_power_law(500, 3000, alpha=0.76, rng=4)
+        assert graph.num_edges == 3000
+        assert graph.num_nodes == 500
+
+    def test_controlled_exponent(self):
+        graph = directed_configuration_power_law(3000, 30_000, alpha=0.7, rng=5)
+        fit = fit_rank_exponent(
+            graph.in_degree_array().astype(float), min_rank=3, max_rank=300
+        )
+        assert abs(fit.alpha - 0.7) < 0.15
+
+    def test_source_alpha_gives_heavy_out_degrees(self):
+        graph = directed_configuration_power_law(
+            1000, 10_000, alpha=0.7, source_alpha=0.7, rng=6
+        )
+        out = np.sort(graph.out_degree_array())[::-1]
+        assert out[0] > 5 * np.median(out[out > 0])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            directed_configuration_power_law(1, 5)
+        with pytest.raises(ConfigurationError):
+            directed_configuration_power_law(10, -1)
+        with pytest.raises(ConfigurationError):
+            directed_configuration_power_law(10, 5, alpha=1.5)
+
+    def test_zipf_weights(self):
+        weights = zipf_rank_weights(100, 0.75)
+        assert weights.sum() == pytest.approx(1.0)
+        assert (np.diff(weights) < 0).all()
+        with pytest.raises(ConfigurationError):
+            zipf_rank_weights(10, 0.0)
+
+
+class TestClassicShapes:
+    def test_erdos_renyi(self):
+        graph = directed_erdos_renyi(50, 200, rng=7)
+        assert graph.num_edges == 200
+        with pytest.raises(ConfigurationError):
+            directed_erdos_renyi(3, 100)
+
+    def test_cycle(self):
+        graph = directed_cycle(7)
+        assert graph.num_edges == 7
+        assert all(graph.out_degree(v) == 1 for v in graph.nodes())
+        assert graph.has_edge(6, 0)
+
+    def test_star(self):
+        inward = directed_star(5, inward=True)
+        assert inward.in_degree(0) == 5
+        assert inward.out_degree(0) == 0
+        outward = directed_star(5, inward=False)
+        assert outward.out_degree(0) == 5
+
+    def test_complete(self):
+        graph = directed_complete(5)
+        assert graph.num_edges == 20
+
+
+class TestExample1Gadget:
+    def test_structure(self):
+        size = 10
+        graph, killer, deferred = example1_adversarial_gadget(size)
+        hub = size
+        assert graph.num_nodes == 3 * size + 1
+        assert killer == (hub, 0)
+        assert len(deferred) == size
+        # hub is dangling until the adversary releases its out-edges
+        assert graph.out_degree(hub) == 0
+        assert graph.in_degree(hub) == 2 * size  # all v_j and all x_j
+        # cycle, v_1 <-> y's
+        assert graph.has_edge(size - 1, 0)
+        assert graph.has_edge(0, 2 * size + 1)
+        assert graph.has_edge(2 * size + 1, 0)
+        for edge in deferred:
+            assert edge[0] == hub
+            assert not graph.has_edge(*edge)
+
+    def test_minimum_size(self):
+        with pytest.raises(ConfigurationError):
+            example1_adversarial_gadget(1)

@@ -1,0 +1,129 @@
+"""Snapshot/restore: round trips, validation, corruption detection."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalPageRank
+from repro.core.monte_carlo import build_walk_store
+from repro.core.salsa import IncrementalSALSA
+from repro.errors import ConfigurationError, WalkStateError
+from repro.store.persistence import (
+    load_engine,
+    load_walk_store,
+    save_engine,
+    save_walk_store,
+)
+
+
+class TestWalkStoreRoundTrip:
+    def test_round_trip_preserves_everything(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 4, 0.25, rng=1)
+        path = tmp_path / "store.npz"
+        save_walk_store(store, path)
+        restored = load_walk_store(path)
+        restored.check_invariants()
+        assert restored.num_nodes == store.num_nodes
+        assert restored.total_visits == store.total_visits
+        assert restored.visit_count_array().tolist() == (
+            store.visit_count_array().tolist()
+        )
+        for (_, a), (_, b) in zip(store.iter_segments(), restored.iter_segments()):
+            assert a.nodes == b.nodes
+            assert a.end_reason == b.end_reason
+
+    def test_side_tracking_round_trip(self, random_graph, tmp_path):
+        engine = IncrementalSALSA.from_graph(random_graph, walks_per_node=2, rng=2)
+        path = tmp_path / "salsa.npz"
+        save_walk_store(engine.walks, path)
+        restored = load_walk_store(path)
+        assert restored.track_sides
+        restored.check_invariants()
+        for side in (0, 1):
+            assert restored.side_visit_count_array(side).tolist() == (
+                engine.walks.side_visit_count_array(side).tolist()
+            )
+
+    def test_wrong_kind_rejected(self, random_graph, tmp_path):
+        engine = IncrementalPageRank.from_graph(random_graph, walks_per_node=2, rng=3)
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        with pytest.raises(ConfigurationError):
+            load_walk_store(path)
+
+
+class TestEngineRoundTrip:
+    def test_restored_engine_continues_correctly(self, random_graph, tmp_path):
+        engine = IncrementalPageRank.from_graph(
+            random_graph.copy(), walks_per_node=3, rng=4
+        )
+        before = engine.pagerank()
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        restored = load_engine(path, rng=5)
+        # identical state…
+        assert np.allclose(restored.pagerank(), before)
+        assert restored.walks_per_node == engine.walks_per_node
+        assert restored.reset_probability == engine.reset_probability
+        assert sorted(restored.graph.edges()) == sorted(engine.graph.edges())
+        # …and it keeps working: mutations maintain invariants
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            u, v = int(rng.integers(60)), int(rng.integers(60))
+            if u != v and not restored.graph.has_edge(u, v):
+                restored.add_edge(u, v)
+        restored.walks.check_invariants()
+
+    def test_snapshot_mismatch_detected(self, random_graph, tmp_path):
+        """A snapshot whose segments disagree with its graph must not load."""
+        engine = IncrementalPageRank.from_graph(
+            random_graph.copy(), walks_per_node=2, rng=7
+        )
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        # corrupt: rewrite one walked-over edge out of the edge list
+        data = dict(np.load(path, allow_pickle=False))
+        segment_nodes = data["segment_nodes"]
+        lengths = data["segment_lengths"]
+        # find a segment of length >= 2 and delete its first edge from graph
+        offset = 0
+        victim = None
+        for length in lengths:
+            if length >= 2:
+                victim = (int(segment_nodes[offset]), int(segment_nodes[offset + 1]))
+                break
+            offset += int(length)
+        assert victim is not None
+        sources = data["edge_sources"]
+        targets = data["edge_targets"]
+        keep = ~((sources == victim[0]) & (targets == victim[1]))
+        data["edge_sources"] = sources[keep]
+        data["edge_targets"] = targets[keep]
+        np.savez_compressed(path, **data)
+        with pytest.raises(WalkStateError):
+            load_engine(path)
+
+    def test_version_check(self, random_graph, tmp_path):
+        engine = IncrementalPageRank.from_graph(random_graph, walks_per_node=2, rng=8)
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        data = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(str(data["meta"]))
+        meta["format_version"] = 99
+        data["meta"] = json.dumps(meta)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ConfigurationError):
+            load_engine(path)
+
+    def test_corrupt_arena_detected(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=9)
+        path = tmp_path / "store.npz"
+        save_walk_store(store, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data["segment_nodes"] = data["segment_nodes"][:-1]  # truncate arena
+        np.savez_compressed(path, **data)
+        with pytest.raises(WalkStateError):
+            load_walk_store(path)

@@ -1,0 +1,86 @@
+"""Property-based tests: DynamicDiGraph against a set-based model."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DynamicDiGraph
+
+NODES = 8
+
+# An operation is (kind, u, v); "toggle" adds the edge if absent, else removes.
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NODES - 1),
+        st.integers(min_value=0, max_value=NODES - 1),
+    ),
+    max_size=120,
+)
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_graph_matches_set_model(ops):
+    graph = DynamicDiGraph(NODES)
+    model: set[tuple[int, int]] = set()
+    for u, v in ops:
+        if (u, v) in model:
+            graph.remove_edge(u, v)
+            model.discard((u, v))
+        else:
+            graph.add_edge(u, v)
+            model.add((u, v))
+    assert set(graph.edges()) == model
+    assert graph.num_edges == len(model)
+    for node in range(NODES):
+        assert set(graph.out_neighbors(node)) == {v for u, v in model if u == node}
+        assert set(graph.in_neighbors(node)) == {u for u, v in model if v == node}
+        assert graph.out_degree(node) == len(graph.out_neighbors(node))
+        assert graph.in_degree(node) == len(graph.in_neighbors(node))
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_csr_snapshot_agrees_with_graph(ops):
+    graph = DynamicDiGraph(NODES)
+    applied: set[tuple[int, int]] = set()
+    for u, v in ops:
+        if (u, v) in applied:
+            graph.remove_edge(u, v)
+            applied.discard((u, v))
+        else:
+            graph.add_edge(u, v)
+            applied.add((u, v))
+    out_csr = graph.to_csr("out")
+    in_csr = graph.to_csr("in")
+    for node in range(NODES):
+        assert sorted(out_csr.neighbors(node).tolist()) == sorted(
+            graph.out_neighbors(node)
+        )
+        assert sorted(in_csr.neighbors(node).tolist()) == sorted(
+            graph.in_neighbors(node)
+        )
+    assert out_csr.num_edges == in_csr.num_edges == graph.num_edges
+
+
+@given(operations, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=100, deadline=None)
+def test_degree_arrays_consistent(ops, seed):
+    graph = DynamicDiGraph(NODES)
+    applied: set[tuple[int, int]] = set()
+    for u, v in ops:
+        if (u, v) not in applied:
+            graph.add_edge(u, v)
+            applied.add((u, v))
+    out = graph.out_degree_array()
+    inn = graph.in_degree_array()
+    assert out.sum() == inn.sum() == graph.num_edges
+    # sampling respects adjacency
+    rng = np.random.default_rng(seed)
+    for node in range(NODES):
+        if out[node]:
+            assert graph.random_out_neighbor(node, rng) in graph.out_neighbors(node)
+        if inn[node]:
+            assert graph.random_in_neighbor(node, rng) in graph.in_neighbors(node)

@@ -1,0 +1,95 @@
+"""Property-based tests: WalkStore's inverted index under arbitrary edits."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.walks import END_DANGLING, END_RESET, WalkSegment, WalkStore
+
+NODES = 6
+
+node_ids = st.integers(min_value=0, max_value=NODES - 1)
+segment_nodes = st.lists(node_ids, min_size=1, max_size=8)
+reasons = st.sampled_from([END_RESET, END_DANGLING])
+
+
+@st.composite
+def store_scripts(draw):
+    """A sequence of add / replace_suffix / rebuild operations."""
+    script = []
+    num_segments = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=25))):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0 or num_segments == 0:
+            script.append(("add", draw(segment_nodes), draw(reasons)))
+            num_segments += 1
+        elif choice == 1:
+            script.append(
+                (
+                    "replace",
+                    draw(st.integers(min_value=0, max_value=num_segments - 1)),
+                    draw(st.floats(min_value=0.0, max_value=0.999)),
+                    draw(segment_nodes),
+                    draw(reasons),
+                )
+            )
+        else:
+            script.append(
+                (
+                    "rebuild",
+                    draw(st.integers(min_value=0, max_value=num_segments - 1)),
+                    draw(segment_nodes),
+                    draw(reasons),
+                )
+            )
+    return script
+
+
+@given(store_scripts(), st.booleans())
+@settings(max_examples=300, deadline=None)
+def test_index_survives_arbitrary_edits(script, track_sides):
+    store = WalkStore(NODES, track_sides=track_sides)
+    for op in script:
+        if op[0] == "add":
+            _, nodes, reason = op
+            parity = len(nodes) % 2 if track_sides else 0
+            store.add_segment(WalkSegment(list(nodes), reason, parity_offset=parity))
+        elif op[0] == "replace":
+            _, sid, frac, suffix, reason = op
+            segment = store.get(sid)
+            keep_until = int(frac * len(segment.nodes))
+            store.replace_suffix(sid, keep_until, list(suffix), reason)
+        else:
+            _, sid, nodes, reason = op
+            segment = store.get(sid)
+            store.rebuild_segment(sid, [segment.source, *nodes], reason)
+    # the one invariant that matters: counters == recomputation from scratch
+    store.check_invariants()
+
+
+@given(store_scripts())
+@settings(max_examples=150, deadline=None)
+def test_totals_match_segment_lengths(script):
+    store = WalkStore(NODES)
+    for op in script:
+        if op[0] == "add":
+            _, nodes, reason = op
+            store.add_segment(WalkSegment(list(nodes), reason))
+        elif op[0] == "replace":
+            _, sid, frac, suffix, reason = op
+            segment = store.get(sid)
+            store.replace_suffix(
+                sid, int(frac * len(segment.nodes)), list(suffix), reason
+            )
+        else:
+            _, sid, nodes, reason = op
+            store.rebuild_segment(sid, [store.get(sid).source, *nodes], reason)
+    assert store.total_visits == sum(
+        len(seg.nodes) for _, seg in store.iter_segments()
+    )
+    assert store.visit_count_array().sum() == store.total_visits
+    # every segment is findable through the index at every node it visits
+    for sid, seg in store.iter_segments():
+        for node in set(seg.nodes):
+            assert sid in store.visits_of(node)

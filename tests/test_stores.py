@@ -1,0 +1,213 @@
+"""Storage layer: stats, social store, sharded backend, pagerank store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.monte_carlo import build_walk_store
+from repro.core.walks import END_RESET, WalkSegment
+from repro.errors import ConfigurationError, StoreClosedError
+from repro.graph.digraph import DynamicDiGraph
+from repro.store.backend import GraphBackend, InMemoryGraphBackend
+from repro.store.pagerank_store import FETCH_SAMPLED_EDGE, PageRankStore
+from repro.store.sharded import ShardedGraphBackend
+from repro.store.social_store import SocialStore
+from repro.store.stats import CallStats, LatencyModel
+
+
+class TestCallStats:
+    def test_record_and_count(self):
+        stats = CallStats()
+        stats.record("fetch")
+        stats.record("fetch", 3)
+        assert stats.count("fetch") == 4
+        assert stats.count("other") == 0
+        assert stats.total() == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CallStats().record("x", -1)
+
+    def test_snapshot_delta(self):
+        stats = CallStats()
+        stats.record("a", 2)
+        snap = stats.snapshot()
+        stats.record("a")
+        stats.record("b", 5)
+        delta = stats.delta_since(snap)
+        assert delta == {"a": 1, "b": 5}
+
+    def test_merge_and_reset(self):
+        a, b = CallStats(), CallStats()
+        a.record("x", 1)
+        b.record("x", 2)
+        b.record("y", 3)
+        a.merge(b)
+        assert a.count("x") == 3
+        assert a.count("y") == 3
+        a.reset()
+        assert a.total() == 0
+
+    def test_iteration_sorted(self):
+        stats = CallStats()
+        stats.record("zeta")
+        stats.record("alpha")
+        assert [op for op, _ in stats] == ["alpha", "zeta"]
+
+    def test_latency_model(self):
+        stats = CallStats()
+        stats.record("fetch", 10)
+        stats.record("read", 100)
+        model = LatencyModel(per_operation={"fetch": 0.002}, default_latency=0.0001)
+        assert model.simulated_seconds(stats) == pytest.approx(0.02 + 0.01)
+        assert model.simulated_seconds_for("fetch", 5) == pytest.approx(0.01)
+
+
+class TestSocialStore:
+    def test_counts_operations(self, tiny_graph):
+        store = SocialStore.of_graph(tiny_graph)
+        store.out_neighbors(0)
+        store.out_degree(0)
+        store.in_neighbors(2)
+        store.random_out_neighbor(0, np.random.default_rng(0))
+        assert store.stats.count("out_neighbors") == 1
+        assert store.stats.count("out_degree") == 1
+        assert store.stats.count("in_neighbors") == 1
+        assert store.stats.count("random_out_neighbor") == 1
+
+    def test_mutations_pass_through(self):
+        store = SocialStore(graph=DynamicDiGraph(3))
+        store.add_edge(0, 1)
+        assert store.has_edge(0, 1)
+        store.remove_edge(0, 1)
+        assert not store.has_edge(0, 1)
+        assert store.stats.count("add_edge") == 1
+        assert store.stats.count("remove_edge") == 1
+
+    def test_close_rejects_operations(self, tiny_graph):
+        store = SocialStore.of_graph(tiny_graph)
+        store.close()
+        assert store.closed
+        with pytest.raises(StoreClosedError):
+            store.out_neighbors(0)
+        with pytest.raises(StoreClosedError):
+            store.add_edge(2, 3)
+
+    def test_backend_xor_graph(self, tiny_graph):
+        with pytest.raises(ValueError):
+            SocialStore(InMemoryGraphBackend(), graph=tiny_graph)
+
+    def test_backend_protocol(self):
+        assert isinstance(InMemoryGraphBackend(), GraphBackend)
+        assert isinstance(ShardedGraphBackend(), GraphBackend)
+
+
+class TestShardedBackend:
+    def test_routing_is_stable_and_covering(self):
+        backend = ShardedGraphBackend(DynamicDiGraph(100), num_shards=8)
+        shards = {backend.shard_of(node) for node in range(100)}
+        assert shards == set(range(8))
+        assert backend.shard_of(42) == backend.shard_of(42)
+
+    def test_out_in_billed_to_owning_shards(self):
+        graph = DynamicDiGraph(10)
+        backend = ShardedGraphBackend(graph, num_shards=4)
+        backend.add_edge(1, 2)
+        source_shard = backend.shard_of(1)
+        target_shard = backend.shard_of(2)
+        assert backend.shard_stats[source_shard].count("add_edge_out") == 1
+        assert backend.shard_stats[target_shard].count("add_edge_in") == 1
+        backend.out_neighbors(1)
+        assert backend.shard_stats[source_shard].count("out_neighbors") == 1
+
+    def test_load_and_imbalance(self):
+        graph = DynamicDiGraph(20)
+        backend = ShardedGraphBackend(graph, num_shards=4)
+        assert backend.load_imbalance() == 0.0
+        for node in range(19):
+            backend.add_edge(node, node + 1)
+        loads = backend.shard_load()
+        assert sum(loads) == 2 * 19
+        assert backend.load_imbalance() >= 1.0
+
+    def test_invalid_shards(self):
+        with pytest.raises(ConfigurationError):
+            ShardedGraphBackend(num_shards=0)
+
+    def test_works_under_social_store(self, random_graph):
+        store = SocialStore(ShardedGraphBackend(random_graph, num_shards=4))
+        assert store.out_degree(0) == random_graph.out_degree(0)
+        assert store.num_edges == random_graph.num_edges
+
+
+class TestPageRankStore:
+    @pytest.fixture
+    def loaded(self, random_graph):
+        social = SocialStore.of_graph(random_graph)
+        store = PageRankStore(social)
+        store.walks = build_walk_store(random_graph, 4, 0.2, rng=0)
+        return store
+
+    def test_counters(self, loaded, random_graph):
+        node = 5
+        assert loaded.walk_count(node) == loaded.walks.distinct_segment_count(node)
+        assert loaded.visit_count(node) == loaded.walks.visit_count(node)
+        assert loaded.out_degree(node) == random_graph.out_degree(node)
+
+    def test_activation_probability(self, loaded):
+        node = 3
+        degree = loaded.out_degree(node)
+        walk_count = loaded.walk_count(node)
+        expected = 1.0 - (1.0 - 1.0 / degree) ** walk_count
+        assert loaded.activation_probability(node) == pytest.approx(expected)
+
+    def test_activation_probability_edges(self, tiny_graph):
+        social = SocialStore.of_graph(tiny_graph)
+        store = PageRankStore(social)
+        # no walks stored yet -> never activates
+        assert store.activation_probability(0) == 0.0
+        # dangling node (3) -> must always resume pending steps
+        store.add_segment(WalkSegment([0, 3], END_RESET))
+        assert store.activation_probability(3) == 1.0
+
+    def test_fetch_returns_copies(self, loaded):
+        node = 7
+        result = loaded.fetch(node)
+        assert result.out_degree == len(result.neighbors)
+        assert len(result.segments) == 4
+        # mutating the returned segments must not corrupt the store
+        result.segments[0].append(999999)
+        loaded.walks.check_invariants()
+
+    def test_fetch_counting(self, loaded):
+        assert loaded.fetch_count == 0
+        loaded.fetch(1)
+        loaded.fetch(2)
+        assert loaded.fetch_count == 2
+        loaded.reset_fetch_count()
+        assert loaded.fetch_count == 0
+
+    def test_fetch_sampled_edge_mode(self, random_graph):
+        social = SocialStore.of_graph(random_graph)
+        store = PageRankStore(social, fetch_mode=FETCH_SAMPLED_EDGE)
+        store.walks = build_walk_store(random_graph, 2, 0.2, rng=1)
+        result = store.fetch(0, rng=np.random.default_rng(2))
+        assert result.out_degree == random_graph.out_degree(0)
+        assert len(result.neighbors) == 1
+        assert result.neighbors[0] in random_graph.out_neighbors(0)
+
+    def test_fetch_includes_in_neighbors_when_asked(self, random_graph):
+        social = SocialStore.of_graph(random_graph)
+        store = PageRankStore(social, include_in_neighbors=True)
+        result = store.fetch(4)
+        assert sorted(result.in_neighbors) == sorted(random_graph.in_neighbors(4))
+
+    def test_fetch_unknown_node_is_empty(self, loaded):
+        result = loaded.fetch(10_000) if loaded.walks.num_nodes > 10_000 else None
+        # out-of-range nodes in the walk store yield no segments
+        assert loaded.segments_starting_at(10_000) == []
+
+    def test_invalid_fetch_mode(self, tiny_graph):
+        with pytest.raises(ConfigurationError):
+            PageRankStore(SocialStore.of_graph(tiny_graph), fetch_mode="nope")

@@ -1,0 +1,142 @@
+"""Closed-form bounds: sanity, monotonicity, and the paper's worked numbers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.errors import ConfigurationError
+
+
+class TestHarmonic:
+    def test_small_values_exact(self):
+        assert theory.harmonic_number(0) == 0.0
+        assert theory.harmonic_number(1) == 1.0
+        assert theory.harmonic_number(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_asymptotic_branch_is_continuous(self):
+        exact = float(np.sum(1.0 / np.arange(1, 999_999 + 1)))
+        assert theory.harmonic_number(2_000_000) == pytest.approx(
+            math.log(2_000_000) + 0.5772156649, rel=1e-6
+        )
+        assert theory.harmonic_number(999_999) == pytest.approx(exact)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            theory.harmonic_number(-1)
+
+
+class TestUpdateCosts:
+    def test_thm4_total_is_harmonic_sum_of_marginals(self):
+        n, R, eps, m = 1000, 10, 0.2, 500
+        marginal_sum = sum(
+            theory.thm4_update_work_at(n, R, eps, t) for t in range(1, m + 1)
+        )
+        assert theory.thm4_total_update_work(n, R, eps, m) == pytest.approx(
+            marginal_sum
+        )
+
+    def test_thm4_beats_naive_methods(self):
+        """The headline comparison of §1.2 at realistic scale."""
+        n, R, eps, m = 10**6, 10, 0.2, 10**7
+        incremental = theory.thm4_total_update_work(n, R, eps, m)
+        assert incremental < theory.naive_power_iteration_total_work(m, eps) / 1e3
+        assert incremental < theory.naive_monte_carlo_total_work(n, m, eps) / 1e3
+
+    def test_prop5_is_single_arrival_scale(self):
+        n, R, eps, m = 1000, 10, 0.2, 5000
+        assert theory.prop5_deletion_work(n, R, eps, m) == pytest.approx(
+            theory.thm4_update_work_at(n, R, eps, m)
+        )
+
+    def test_dirichlet_smaller_than_permutation_for_large_m(self):
+        n, R, eps, m = 1000, 10, 0.2, 10**6
+        assert theory.dirichlet_total_update_work(
+            n, R, eps, m
+        ) < theory.thm4_total_update_work(n, R, eps, m)
+
+    def test_thm6_is_16x_thm4_in_the_log_regime(self):
+        n, R, eps, m = 1000, 10, 0.2, 10**6
+        ratio = theory.thm6_salsa_total_update_work(
+            n, R, eps, m
+        ) / theory.thm4_total_update_work(n, R, eps, m)
+        assert 15.0 < ratio < 16.5  # H_m vs ln m slack
+
+    def test_initialization_work(self):
+        assert theory.mc_initialization_work(100, 5, 0.2) == pytest.approx(2500)
+
+
+class TestPowerLawModel:
+    def test_eq3_normalizes(self):
+        """Equation 3's integral approximation under-normalizes by
+        Θ(ζ(α)·n^{α−1}); the error must be below ~10% at moderate n and
+        shrink as n grows (the paper 'ignores the very small error')."""
+        small = theory.eq3_powerlaw_scores(10_000, 0.75).sum()
+        large = theory.eq3_powerlaw_scores(1_000_000, 0.75).sum()
+        assert 0.88 < small <= 1.0
+        assert small < large <= 1.0
+        assert (np.diff(theory.eq3_powerlaw_scores(1000, 0.75)) <= 0).all()
+
+    def test_eq3_matches_normalizer(self):
+        n, alpha = 500, 0.6
+        scores = theory.eq3_powerlaw_scores(n, alpha)
+        eta = theory.eq3_normalizer(n, alpha)
+        assert scores[0] == pytest.approx(eta)
+
+    def test_eq4_remark2_worked_number(self):
+        """Remark 2: α=0.75, c=5, R=10, k=100, n=1e8 → s_k ≈ 63200."""
+        s_k = theory.eq4_walk_length(100, 10**8, 0.75, c=5)
+        assert s_k == pytest.approx(63245.55, rel=1e-3)  # '632k = 63200'
+
+    def test_cor9_remark2_worked_number(self):
+        """Remark 2: same parameters → fetch bound ≈ 2000 ('20k = 2000')."""
+        bound = theory.cor9_topk_fetch_bound(100, 0.75, c=5, R=10)
+        assert bound == pytest.approx(2001.0, rel=2e-2)
+
+    def test_thm8_monotone_in_s_and_r(self):
+        low_s = theory.thm8_fetch_bound(1000, 10**6, 10, 0.75)
+        high_s = theory.thm8_fetch_bound(50_000, 10**6, 10, 0.75)
+        assert high_s > low_s
+        more_walks = theory.thm8_fetch_bound(50_000, 10**6, 40, 0.75)
+        assert more_walks < high_s
+
+    def test_thm8_sublinear_in_s_for_alpha_above_half(self):
+        """For α > 1/2 the bound grows like s^{1/α} with a tiny prefactor;
+        fetches remain far below the walk length at practical sizes."""
+        n, R, alpha = 10**7, 10, 0.75
+        for s in (1000, 10_000, 50_000):
+            assert theory.thm8_fetch_bound(s, n, R, alpha) < s / 10
+
+    def test_alpha_validation(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigurationError):
+                theory.eq3_powerlaw_scores(100, bad)
+            with pytest.raises(ConfigurationError):
+                theory.eq4_walk_length(10, 100, bad)
+            with pytest.raises(ConfigurationError):
+                theory.thm8_fetch_bound(100, 100, 10, bad)
+
+    def test_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            theory.eq4_walk_length(0, 100, 0.75)
+        with pytest.raises(ConfigurationError):
+            theory.eq4_walk_length(200, 100, 0.75)
+
+    def test_exponent_conversions_invert(self):
+        for alpha in (0.3, 0.5, 0.77, 0.95):
+            gamma = theory.rank_exponent_to_tail_exponent(alpha)
+            assert theory.tail_exponent_to_rank_exponent(gamma) == pytest.approx(
+                alpha
+            )
+
+    def test_thm1_required_walks(self):
+        n = 10**6
+        # average node: R = O(ln n)
+        assert theory.thm1_required_walks(n, 1.0 / n) == pytest.approx(
+            math.log(n)
+        )
+        # heavy node: fewer walks suffice
+        assert theory.thm1_required_walks(n, 100.0 / n) < math.log(n)

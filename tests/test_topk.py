@@ -1,0 +1,72 @@
+"""Top-k personalized queries (§3.2): sizing, ranking, fetch accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import theory
+from repro.core.incremental import IncrementalPageRank
+from repro.core.personalized import PersonalizedPageRank
+from repro.core.topk import TopKResult, top_k_personalized, walk_length_for_top_k
+from repro.errors import ConfigurationError
+from repro.workloads.twitter_like import twitter_like_graph
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = twitter_like_graph(500, 5000, rng=55)
+    engine = IncrementalPageRank.from_graph(
+        graph, reset_probability=0.2, walks_per_node=10, rng=56
+    )
+    query = PersonalizedPageRank(engine.pagerank_store, rng=57)
+    return graph, engine, query
+
+
+class TestWalkLength:
+    def test_matches_eq4(self):
+        assert walk_length_for_top_k(100, 10**8, 0.75, c=5) == pytest.approx(
+            theory.eq4_walk_length(100, 10**8, 0.75, c=5), abs=1.0
+        )
+
+    def test_at_least_k(self):
+        assert walk_length_for_top_k(50, 60, 0.9, c=0.001) >= 50
+
+
+class TestTopKQuery:
+    def test_returns_k_ranked(self, setup):
+        graph, engine, query = setup
+        result = top_k_personalized(query, seed=20, k=10, alpha=0.7, rng=1)
+        assert isinstance(result, TopKResult)
+        assert len(result.ranking) == 10
+        counts = [c for _, c in result.ranking]
+        assert counts == sorted(counts, reverse=True)
+        assert result.nodes == [n for n, _ in result.ranking]
+
+    def test_excludes_seed_and_friends(self, setup):
+        graph, engine, query = setup
+        seed = 33
+        result = top_k_personalized(query, seed=seed, k=15, alpha=0.7, rng=2)
+        banned = {seed, *graph.out_view(seed)}
+        assert all(node not in banned for node in result.nodes)
+
+    def test_fetch_accounting(self, setup):
+        graph, engine, query = setup
+        before = engine.pagerank_store.fetch_count
+        result = top_k_personalized(query, seed=40, k=10, alpha=0.7, rng=3)
+        assert engine.pagerank_store.fetch_count - before == result.fetches
+        assert result.fetch_bound == theory.cor9_topk_fetch_bound(
+            10, 0.7, result.c, engine.walks_per_node
+        )
+        assert result.fetches < result.walk_length  # stitching pays off
+
+    def test_length_override(self, setup):
+        graph, engine, query = setup
+        result = top_k_personalized(
+            query, seed=25, k=5, alpha=0.7, length=777, rng=4
+        )
+        assert result.walk_length == 777
+
+    def test_bad_k(self, setup):
+        graph, engine, query = setup
+        with pytest.raises(ConfigurationError):
+            top_k_personalized(query, seed=1, k=0)

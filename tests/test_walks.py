@@ -1,0 +1,189 @@
+"""Unit tests for WalkSegment / WalkStore and the scalar walker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.walks import (
+    END_DANGLING,
+    END_RESET,
+    SIDE_AUTHORITY,
+    SIDE_HUB,
+    WalkSegment,
+    WalkStore,
+    simulate_reset_walk,
+)
+from repro.errors import WalkStateError
+from repro.graph.digraph import DynamicDiGraph
+
+
+class TestWalkSegment:
+    def test_basics(self):
+        seg = WalkSegment([3, 1, 4, 1], END_RESET)
+        assert seg.source == 3
+        assert seg.last == 1
+        assert len(seg) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(WalkStateError):
+            WalkSegment([], END_RESET)
+
+    def test_bad_reason_rejected(self):
+        with pytest.raises(WalkStateError):
+            WalkSegment([0], 7)
+
+    def test_step_positions_exclude_last(self):
+        seg = WalkSegment([1, 2, 1, 3, 1], END_RESET)
+        # node 1 appears at positions 0, 2, 4; position 4 is the end (no step)
+        assert seg.step_positions_at(1) == [0, 2]
+
+    def test_sides(self):
+        forward = WalkSegment([0, 1, 2], END_RESET, parity_offset=SIDE_HUB)
+        assert [forward.side_of(p) for p in range(3)] == [
+            SIDE_HUB,
+            SIDE_AUTHORITY,
+            SIDE_HUB,
+        ]
+        backward = WalkSegment([0, 1, 2], END_RESET, parity_offset=SIDE_AUTHORITY)
+        assert backward.side_of(0) == SIDE_AUTHORITY
+
+
+class TestWalkStore:
+    def test_add_and_counters(self):
+        store = WalkStore(4)
+        sid = store.add_segment(WalkSegment([0, 1, 2, 1], END_RESET))
+        assert store.visit_count(1) == 2
+        assert store.distinct_segment_count(1) == 1
+        assert store.visits_of(1) == {sid: 2}
+        assert store.total_visits == 4
+        store.check_invariants()
+
+    def test_multiple_segments_share_index(self):
+        store = WalkStore(3)
+        a = store.add_segment(WalkSegment([0, 1], END_RESET))
+        b = store.add_segment(WalkSegment([2, 1, 1], END_RESET))
+        assert store.distinct_segment_count(1) == 2
+        assert store.visit_count(1) == 3
+        assert store.visits_of(1) == {a: 1, b: 2}
+        assert store.segments_of[0] == [a]
+        assert store.segments_of[2] == [b]
+        store.check_invariants()
+
+    def test_replace_suffix(self):
+        store = WalkStore(5)
+        sid = store.add_segment(WalkSegment([0, 1, 2, 3], END_RESET))
+        store.replace_suffix(sid, 1, [4, 4], END_DANGLING)
+        seg = store.get(sid)
+        assert seg.nodes == [0, 1, 4, 4]
+        assert seg.end_reason == END_DANGLING
+        assert store.visit_count(2) == 0
+        assert store.visit_count(3) == 0
+        assert store.visit_count(4) == 2
+        assert store.total_visits == 4
+        store.check_invariants()
+
+    def test_replace_suffix_to_empty(self):
+        store = WalkStore(3)
+        sid = store.add_segment(WalkSegment([0, 1, 2], END_RESET))
+        store.replace_suffix(sid, 0, [], END_DANGLING)
+        assert store.get(sid).nodes == [0]
+        assert store.total_visits == 1
+        store.check_invariants()
+
+    def test_replace_suffix_bounds(self):
+        store = WalkStore(2)
+        sid = store.add_segment(WalkSegment([0, 1], END_RESET))
+        with pytest.raises(WalkStateError):
+            store.replace_suffix(sid, 2, [], END_RESET)
+        with pytest.raises(WalkStateError):
+            store.replace_suffix(sid, -1, [], END_RESET)
+
+    def test_rebuild_segment(self):
+        store = WalkStore(4)
+        sid = store.add_segment(WalkSegment([1, 2, 3], END_RESET))
+        store.rebuild_segment(sid, [1, 0], END_DANGLING)
+        assert store.get(sid).nodes == [1, 0]
+        assert store.visit_count(3) == 0
+        store.check_invariants()
+
+    def test_rebuild_must_keep_source(self):
+        store = WalkStore(3)
+        sid = store.add_segment(WalkSegment([1, 2], END_RESET))
+        with pytest.raises(WalkStateError):
+            store.rebuild_segment(sid, [0, 2], END_RESET)
+
+    def test_ensure_node_grows(self):
+        store = WalkStore(1)
+        store.add_segment(WalkSegment([0, 6], END_RESET))  # auto-grows
+        assert store.num_nodes == 7
+        assert store.visit_count(6) == 1
+
+    def test_queries_beyond_capacity_are_zero(self):
+        store = WalkStore(2)
+        assert store.visit_count(10) == 0
+        assert store.distinct_segment_count(10) == 0
+        assert store.visits_of(10) == {}
+        assert store.segment_ids_visiting(10) == []
+
+    def test_side_tracking(self):
+        store = WalkStore(4, track_sides=True)
+        store.add_segment(WalkSegment([0, 1, 2], END_RESET, parity_offset=SIDE_HUB))
+        store.add_segment(
+            WalkSegment([2, 1], END_RESET, parity_offset=SIDE_AUTHORITY)
+        )
+        assert store.side_visit_count(0, SIDE_HUB) == 1
+        # node 1: forward segment position 1 (authority) + backward segment
+        # position 1 (hub)
+        assert store.side_visit_count(1, SIDE_AUTHORITY) == 1
+        assert store.side_visit_count(1, SIDE_HUB) == 1
+        # node 2: forward segment position 2 (hub) + backward start (authority)
+        assert store.side_visit_count(2, SIDE_HUB) == 1
+        assert store.side_visit_count(2, SIDE_AUTHORITY) == 1
+        store.check_invariants()
+
+    def test_side_queries_require_tracking(self):
+        store = WalkStore(2)
+        with pytest.raises(WalkStateError):
+            store.side_visit_count(0, SIDE_HUB)
+        with pytest.raises(WalkStateError):
+            store.side_visit_count_array(SIDE_HUB)
+
+    def test_visit_count_array(self):
+        store = WalkStore(3)
+        store.add_segment(WalkSegment([0, 1, 1], END_RESET))
+        assert store.visit_count_array().tolist() == [1, 2, 0]
+
+
+class TestScalarWalker:
+    def test_follows_edges_and_counts(self, random_graph):
+        rng = np.random.default_rng(0)
+        for start in range(0, 60, 7):
+            seg = simulate_reset_walk(random_graph, start, 0.3, rng)
+            assert seg.nodes[0] == start
+            for a, b in zip(seg.nodes, seg.nodes[1:]):
+                assert random_graph.has_edge(a, b)
+
+    def test_dangling_end(self):
+        graph = DynamicDiGraph.from_edges([(0, 1)])
+        rng = np.random.default_rng(0)
+        reasons = set()
+        for _ in range(200):
+            seg = simulate_reset_walk(graph, 0, 0.5, rng)
+            reasons.add(seg.end_reason)
+            if seg.end_reason == END_DANGLING:
+                assert seg.nodes == [0, 1]
+        assert reasons == {END_RESET, END_DANGLING}
+
+    def test_eps_one_is_trivial(self, cycle_graph):
+        seg = simulate_reset_walk(cycle_graph, 5, 1.0, np.random.default_rng(0))
+        assert seg.nodes == [5]
+        assert seg.end_reason == END_RESET
+
+    def test_mean_length(self, cycle_graph):
+        rng = np.random.default_rng(42)
+        lengths = [
+            len(simulate_reset_walk(cycle_graph, 0, 0.2, rng).nodes)
+            for _ in range(20000)
+        ]
+        assert abs(np.mean(lengths) - 5.0) < 0.15

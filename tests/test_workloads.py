@@ -1,0 +1,160 @@
+"""Workloads: twitter-like stream, seed selection, link-prediction protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.link_prediction import (
+    build_link_prediction_workload,
+    evaluate_rankers,
+    rank_from_scores,
+)
+from repro.workloads.seeds import users_with_friend_count
+from repro.workloads.twitter_like import twitter_like_graph, twitter_like_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return twitter_like_stream(1500, 20_000, rng=42)
+
+
+class TestTwitterLikeStream:
+    def test_stream_shape(self, stream):
+        assert len(stream) == 20_000
+        assert stream.num_nodes == 1500
+        assert all(e.kind == "add" for e in stream)
+
+    def test_no_duplicates_or_self_loops(self, stream):
+        edges = [e.edge for e in stream]
+        assert len(set(edges)) == len(edges)
+        assert all(u != v for u, v in edges)
+
+    def test_all_nodes_eventually_introduced(self, stream):
+        final = stream.snapshot_at(len(stream))
+        degrees = final.out_degree_array() + final.in_degree_array()
+        assert (degrees > 0).mean() > 0.99
+
+    def test_nodes_arrive_gradually(self, stream):
+        """Node arrival must be paced, not front-loaded — later cohorts
+        need room to grow for the link-prediction protocol."""
+        half = stream.snapshot_at(len(stream) // 2)
+        active_half = int(
+            ((half.out_degree_array() + half.in_degree_array()) > 0).sum()
+        )
+        assert 0.35 * 1500 < active_half < 0.75 * 1500
+
+    def test_organic_growth_after_arrival(self, stream):
+        """Users keep gaining friends after their node arrives."""
+        early = stream.snapshot_at(len(stream) // 2)
+        late = stream.snapshot_at(len(stream))
+        grew = sum(
+            1
+            for node in early.nodes()
+            if early.out_degree(node) > 0
+            and late.out_degree(node) > early.out_degree(node)
+        )
+        assert grew > 100
+
+    def test_heavy_tailed_indegree(self, stream):
+        from repro.analysis.power_law import fit_rank_exponent
+
+        final = stream.snapshot_at(len(stream))
+        fit = fit_rank_exponent(
+            final.in_degree_array().astype(float), min_rank=5, max_rank=150
+        )
+        assert 0.4 < fit.alpha < 1.1
+
+    def test_graph_helper_matches_stream(self):
+        graph = twitter_like_graph(300, 3000, rng=7)
+        assert graph.num_nodes == 300
+        assert graph.num_edges <= 3000
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            twitter_like_stream(3, 100)
+        with pytest.raises(ConfigurationError):
+            twitter_like_stream(100, 10)
+
+
+class TestSeedSelection:
+    def test_band_respected(self, stream):
+        graph = stream.snapshot_at(len(stream))
+        users = users_with_friend_count(
+            graph, minimum=10, maximum=20, count=30, rng=0
+        )
+        assert 0 < len(users) <= 30
+        for user in users:
+            assert 10 <= graph.out_degree(user) <= 20
+
+    def test_count_none_returns_all(self, stream):
+        graph = stream.snapshot_at(len(stream))
+        all_users = users_with_friend_count(graph, minimum=10, maximum=20, count=None)
+        sampled = users_with_friend_count(graph, minimum=10, maximum=20, count=10**9)
+        assert all_users == sampled
+
+    def test_validation(self, stream):
+        graph = stream.snapshot_at(100)
+        with pytest.raises(ConfigurationError):
+            users_with_friend_count(graph, minimum=5, maximum=2)
+
+
+class TestLinkPredictionWorkload:
+    def test_cases_satisfy_protocol(self, stream):
+        graph_a, cases = build_link_prediction_workload(
+            stream, max_users=40, rng=1
+        )
+        assert cases, "workload must find evaluation users"
+        graph_b = stream.snapshot_at(len(stream))
+        for case in cases:
+            friends = len(case.friends_at_a)
+            assert 15 <= friends <= 40
+            growth = len(case.new_friends) / friends
+            assert 0.5 <= growth <= 1.0
+            for friend in case.new_friends:
+                assert friend not in case.friends_at_a
+                assert graph_a.in_degree(friend) >= 5
+                assert graph_b.has_edge(case.user, friend)
+
+    def test_max_users_cap(self, stream):
+        _, cases = build_link_prediction_workload(stream, max_users=5, rng=2)
+        assert len(cases) <= 5
+
+    def test_validation(self, stream):
+        with pytest.raises(ConfigurationError):
+            build_link_prediction_workload(stream, snapshot_a=0.9, snapshot_b=0.5)
+
+
+class TestEvaluateRankers:
+    def test_oracle_captures_everything(self, stream):
+        graph_a, cases = build_link_prediction_workload(stream, max_users=10, rng=3)
+        oracle = {
+            case.user: sorted(case.new_friends) for case in cases
+        }
+
+        def oracle_ranker(graph, seed):
+            return oracle[seed]
+
+        def empty_ranker(graph, seed):
+            return []
+
+        table = evaluate_rankers(
+            graph_a,
+            cases,
+            {"oracle": oracle_ranker, "empty": empty_ranker},
+            tops=(100,),
+        )
+        mean_new = np.mean([len(c.new_friends) for c in cases])
+        assert table["oracle"][100] == pytest.approx(mean_new)
+        assert table["empty"][100] == 0.0
+
+    def test_no_cases_rejected(self, stream):
+        graph_a, _ = build_link_prediction_workload(stream, max_users=1, rng=4)
+        with pytest.raises(ConfigurationError):
+            evaluate_rankers(graph_a, [], {})
+
+    def test_rank_from_scores_excludes(self):
+        scores = np.array([0.0, 5.0, 3.0, 4.0])
+        ranked = rank_from_scores(scores, exclude={1}, top=2)
+        assert ranked == [3, 2]
