@@ -1,10 +1,19 @@
-"""E-THM4 / E-PROP5 / E-DIR / E-ADV / E-THM6: maintenance-cost benchmarks."""
+"""E-THM4 / E-PROP5 / E-DIR / E-ADV / E-THM6 / E-BATCH: maintenance-cost
+benchmarks.
+
+Set ``REPRO_BENCH_FAST=1`` to shrink E-BATCH to smoke-test scale (used by
+the CI workflow); at full scale it ingests a 50k-edge arrival slice and
+asserts the batched path's ≥5× wall-clock win over the sequential path.
+"""
 
 from __future__ import annotations
+
+import os
 
 from repro.core import theory
 from repro.experiments.exp_update_cost import (
     run_adversarial,
+    run_batch_ingest,
     run_dirichlet,
     run_prop5,
     run_thm4,
@@ -12,6 +21,49 @@ from repro.experiments.exp_update_cost import (
 )
 
 SIZE = {"num_nodes": 1000, "num_edges": 12_000, "rng": 42}
+
+FAST_MODE = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+#: Full scale: a 50k-edge arrival slice (62.5k edges, 20% prebuilt).
+BATCH_SIZE_PARAMS = (
+    {
+        "num_nodes": 500,
+        "num_edges": 6_000,
+        "prebuild_fraction": 0.2,
+        "batch_sizes": (500, 0),
+        "rng": 42,
+    }
+    if FAST_MODE
+    else {
+        "num_nodes": 5000,
+        "num_edges": 62_500,
+        "prebuild_fraction": 0.2,
+        "batch_sizes": (10_000, 0),
+        "rng": 42,
+    }
+)
+
+
+def test_e_batch(benchmark, once):
+    result = once(benchmark, run_batch_ingest, **BATCH_SIZE_PARAMS)
+    rows = {row["ingestion mode"]: row for row in result.rows}
+    sequential = rows.pop("sequential (per edge)")
+    assert rows, "no batched rows produced"
+    best_speedup = max(row["speedup"] for row in rows.values())
+    # the batch path must not trade accuracy for speed
+    for row in rows.values():
+        assert (
+            row["L1 error vs exact"]
+            < 3 * sequential["L1 error vs exact"] + 0.05
+        )
+        # batching repairs against the final graph only, so it never does
+        # more walk work than the per-edge path
+        assert row["touched steps"] <= sequential["touched steps"]
+    if not FAST_MODE:
+        # the headline acceptance: >=5x on a 50k-edge arrival slice
+        assert best_speedup >= 5.0
+    print()
+    print(result.render())
 
 
 def test_e_thm4(benchmark, once):

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Batched stream ingestion: draining the arrival queue in slices.
+
+A deployed system does not learn about one follow edge at a time — it
+drains a queue.  This demo feeds the same arrival slice through the
+per-edge maintenance path and through ``apply_batch`` at several batch
+sizes, then reports wall-clock, repair work, per-batch store traffic, and
+estimate quality against an exact solve.  The batched path repairs every
+affected segment against the post-batch graph in one vectorized pass, so
+it is both faster *and* does less walk work (a segment touched by several
+arrivals is repaired once).
+
+Run:  python examples/batch_ingest.py [--nodes 2000] [--edges 24000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.baselines.power_iteration import exact_pagerank
+from repro.core.incremental import IncrementalPageRank
+from repro.graph.arrival import RandomPermutationArrival, apply_events, slice_events
+from repro.graph.digraph import DynamicDiGraph
+from repro.workloads.twitter_like import twitter_like_graph
+
+
+def build_engine(prefix_graph: DynamicDiGraph, args) -> IncrementalPageRank:
+    # identical seed -> every mode starts from an identical walk store
+    return IncrementalPageRank.from_graph(
+        prefix_graph.copy(),
+        reset_probability=args.eps,
+        walks_per_node=args.walks,
+        rng=np.random.default_rng(args.seed),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=2000)
+    parser.add_argument("--edges", type=int, default=24_000)
+    parser.add_argument("--walks", type=int, default=5)
+    parser.add_argument("--eps", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--prebuild", type=float, default=0.2)
+    args = parser.parse_args()
+
+    final_graph = twitter_like_graph(args.nodes, args.edges, rng=args.seed)
+    events = list(RandomPermutationArrival.of_graph(final_graph, rng=args.seed))
+    cut = int(len(events) * args.prebuild)
+    prefix_graph = DynamicDiGraph(args.nodes, allow_self_loops=False)
+    apply_events(prefix_graph, events[:cut])
+    window = events[cut:]
+    exact = exact_pagerank(final_graph, reset_probability=args.eps)
+    print(
+        f"stream: {len(events)} arrivals, {cut} prebuilt, "
+        f"{len(window)} ingested below (n={args.nodes}, R={args.walks})\n"
+    )
+
+    print("   mode            |  seconds | speedup | repaired segs | L1 vs exact")
+    engine = build_engine(prefix_graph, args)
+    started = time.perf_counter()
+    for event in window:
+        engine.apply(event)
+    sequential_seconds = time.perf_counter() - started
+    error = np.abs(engine.pagerank() - exact).sum()
+    print(
+        f"   per-edge        | {sequential_seconds:>8.2f} | {1.0:>7.1f} "
+        f"| {engine.total_segments_rerouted:>13,} | {error:.4f}"
+    )
+
+    for batch_size in (100, 1000, max(len(window), 1)):
+        engine = build_engine(prefix_graph, args)
+        started = time.perf_counter()
+        for chunk in slice_events(window, batch_size):
+            engine.apply_batch(chunk)
+        seconds = time.perf_counter() - started
+        engine.walks.check_invariants()
+        error = np.abs(engine.pagerank() - exact).sum()
+        print(
+            f"   batch {batch_size:>9,} | {seconds:>8.2f} "
+            f"| {sequential_seconds / seconds:>7.1f} "
+            f"| {engine.total_segments_rerouted:>13,} | {error:.4f}"
+        )
+
+    # per-batch store traffic, read straight off the stores' counters
+    engine = build_engine(prefix_graph, args)
+    social_before = engine.social_store.stats.snapshot()
+    pagerank_before = engine.pagerank_store.stats.snapshot()
+    report = engine.apply_batch(window)
+    social_traffic = engine.social_store.stats.delta_since(social_before)
+    pagerank_traffic = engine.pagerank_store.stats.delta_since(pagerank_before)
+    print("\none whole-slice batch:")
+    print(f"  events {report.num_events}: {report.num_adds} adds, {report.num_removes} removes")
+    print(f"  segments rerouted {report.segments_rerouted}, examined {report.segments_examined}")
+    print(f"  steps resimulated {report.steps_resimulated}, discarded {report.steps_discarded}")
+    print(f"  mean activation probability {report.mean_activation_probability:.3f}")
+    print(f"  social-store traffic:   {social_traffic}")
+    print(f"  pagerank-store traffic: {pagerank_traffic}")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ paper-vs-measured record of every figure and table.
 """
 
 from repro.core import (
+    BatchUpdateReport,
     IncrementalPageRank,
     IncrementalSALSA,
     MonteCarloPageRank,
@@ -57,6 +58,7 @@ __all__ = [
     "PersonalizedPageRank",
     "PersonalizedSALSA",
     "UpdateReport",
+    "BatchUpdateReport",
     "TopKResult",
     "top_k_personalized",
     "theory",

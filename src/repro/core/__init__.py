@@ -4,6 +4,7 @@ from repro.core import theory
 from repro.core.incremental import (
     REROUTE_REDIRECT,
     REROUTE_RESIMULATE,
+    BatchUpdateReport,
     IncrementalPageRank,
     UpdateReport,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "build_walk_store",
     "IncrementalPageRank",
     "UpdateReport",
+    "BatchUpdateReport",
     "REROUTE_REDIRECT",
     "REROUTE_RESIMULATE",
     "IncrementalSALSA",

@@ -25,12 +25,41 @@ probability* ``1 − (1 − 1/d(u))^{W(u)}`` for each arrival — the probabilit
 with which the PageRank Store would be called at all in the deployed
 two-store layout — so experiments can report predicted-vs-actual store
 traffic (an ablation DESIGN.md calls out).
+
+**Batched ingestion** (:meth:`IncrementalPageRank.apply_batch`) processes a
+whole slice of the arrival stream at once.  Semantics: all graph mutations
+are applied first, then every stored segment is repaired *directly against
+the post-batch graph* — per-edge intermediate states are never
+materialized.  The repair rule is the per-step coupling that generalizes
+the paper's 1/d redirection coin to an arbitrary out-set delta at a source
+``u`` with pre-batch out-set ``O_old`` and post-batch out-set ``O_new``
+(``A = O_old ∩ O_new`` survivors, ``B = O_new \\ O_old`` newly added):
+
+* a stored step ``u → w`` with ``w ∈ A`` is redirected into a uniform
+  member of ``B`` with probability ``|B|/|O_new|`` and kept otherwise —
+  the kept step is uniform over ``A`` and the marginal is uniform over
+  ``O_new``, exactly the paper's ``1/d`` rule when ``|B| = 1``;
+* a stored step over a removed edge (``w ∉ O_new``) is re-taken uniformly
+  over ``O_new`` (no fresh ε-coin — "continue" was already decided), or
+  truncated to ``END_DANGLING`` when ``O_new`` is empty;
+* an ``END_DANGLING`` segment whose endpoint gained out-edges takes its
+  pending step uniformly over ``O_new`` and resumes.
+
+Each segment truncates at its *first* modified step and every truncated
+tail is resimulated in **one** :func:`repro.graph.csr.batch_reset_walks`
+call against a single frozen CSR snapshot of the post-batch graph, so the
+per-slice cost is a handful of numpy passes instead of per-event
+interpreter loops.  The result is distributionally identical to replaying
+the slice event by event (both leave every segment distributed as a fresh
+reset walk on the post-batch graph); the differential harness in
+``tests/test_batch_vs_sequential.py`` checks the structural invariants and
+score agreement.  Batches return an aggregated :class:`BatchUpdateReport`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -40,20 +69,30 @@ from repro.core.walks import (
     END_RESET,
     WalkSegment,
     WalkStore,
+    default_max_steps,
     simulate_reset_walk,
 )
 from repro.errors import ConfigurationError
-from repro.graph.arrival import ArrivalEvent
+from repro.graph.arrival import ADD, ArrivalEvent
 from repro.graph.csr import batch_reset_walks
 from repro.graph.digraph import DynamicDiGraph
 from repro.rng import RngLike, ensure_rng
 from repro.store.pagerank_store import PageRankStore
 from repro.store.social_store import SocialStore
 
-__all__ = ["IncrementalPageRank", "UpdateReport", "REROUTE_REDIRECT", "REROUTE_RESIMULATE"]
+__all__ = [
+    "IncrementalPageRank",
+    "UpdateReport",
+    "BatchUpdateReport",
+    "REROUTE_REDIRECT",
+    "REROUTE_RESIMULATE",
+]
 
 REROUTE_REDIRECT = "redirect"
 REROUTE_RESIMULATE = "resimulate_source"
+
+#: Sentinel ``keep_until`` marking a whole-segment rebuild in a batch spec.
+_REBUILD = -1
 
 
 @dataclass
@@ -82,6 +121,54 @@ class UpdateReport:
     def work(self) -> int:
         """Total touched walk steps — the unit summed by Theorem 4 plots."""
         return self.steps_resimulated + self.steps_discarded
+
+
+@dataclass
+class BatchUpdateReport:
+    """Aggregated cost accounting for one batched event slice."""
+
+    #: Events in the slice (adds + removes).
+    num_events: int = 0
+    num_adds: int = 0
+    num_removes: int = 0
+    #: Σ M_t over the slice — stored segments rewritten.
+    segments_rerouted: int = 0
+    #: Walk steps freshly simulated (one vectorized pass for the whole slice).
+    steps_resimulated: int = 0
+    #: Visits removed from the index by truncations.
+    steps_discarded: int = 0
+    #: Affected segments examined but left untouched.
+    segments_examined: int = 0
+    #: Fresh segments created for nodes that arrived inside the slice.
+    segments_initialized: int = 0
+    #: Steps spent creating those fresh segments (init, not maintenance).
+    steps_initialized: int = 0
+    #: Mean §2.2 activation probability over the slice's add events,
+    #: evaluated with pre-batch W(u) and post-batch d(u).
+    mean_activation_probability: float = 0.0
+    #: Resimulated tails truncated at the safety cap (reported, not hidden).
+    capped: int = 0
+    #: Whether any store mutation actually happened.
+    store_called: bool = False
+
+    @property
+    def work(self) -> int:
+        """Total touched walk steps — comparable to ``UpdateReport.work``."""
+        return self.steps_resimulated + self.steps_discarded
+
+
+@dataclass
+class _SourceDelta:
+    """Net out-set change at one source over a batch (repair inputs)."""
+
+    #: Post-batch out-set, for O(1) removed-edge detection.
+    new_set: frozenset
+    #: Post-batch out-adjacency (uniform re-take targets).
+    new_neighbors: list[int]
+    #: Edges in the post-batch out-set that were not there pre-batch.
+    added: list[int]
+    #: |B| / |O_new| — probability a surviving step redirects into ``added``.
+    redirect_probability: float
 
 
 class IncrementalPageRank:
@@ -390,6 +477,283 @@ class IncrementalPageRank:
         if event.kind == "add":
             return self.add_edge(event.source, event.target)
         return self.remove_edge(event.source, event.target)
+
+    # ------------------------------------------------------------------
+    # Batched ingestion (vectorized; see module docstring for semantics)
+    # ------------------------------------------------------------------
+
+    def apply_batch(
+        self,
+        events: Iterable[ArrivalEvent],
+        *,
+        max_steps: Optional[int] = None,
+    ) -> BatchUpdateReport:
+        """Ingest a whole slice of the arrival stream at once.
+
+        Equivalent in distribution to ``for e in events: self.apply(e)``
+        but interpreter work is O(affected segment steps) with all tail
+        resimulation done in one :func:`batch_reset_walks` call against a
+        single frozen CSR snapshot of the post-batch graph.  ``events``
+        must be valid to apply in order (no duplicate adds, no removals of
+        absent edges).  ``max_steps`` caps resimulated tail length
+        (default :func:`repro.core.walks.default_max_steps`).
+        """
+        events = list(events)
+        report = BatchUpdateReport(num_events=len(events))
+        if not events:
+            return report
+        graph = self.graph
+        walks = self.walks
+        nodes_before = graph.num_nodes
+
+        # -- 1. pre-mutation snapshots: old out-sets and W(u) ------------
+        # Both must be read before any write: segments simulated after the
+        # mutations are already correct for the new graph, and the paper's
+        # activation statistic is defined on the pre-arrival counters.
+        old_out: dict[int, list[int]] = {}
+        for event in events:
+            source = event.source
+            if source not in old_out:
+                old_out[source] = (
+                    graph.out_neighbors(source) if source < nodes_before else []
+                )
+        walk_count_before = {
+            source: walks.distinct_segment_count(source) for source in old_out
+        }
+
+        # -- 2. apply every mutation through the social store ------------
+        batch_ops = self.social_store.apply_events(events)
+        report.num_adds = batch_ops.get("add_edge", 0)
+        report.num_removes = batch_ops.get("remove_edge", 0)
+
+        # -- 3. net per-source out-set deltas vs the post-batch graph ----
+        deltas: dict[int, _SourceDelta] = {}
+        for source, old in old_out.items():
+            new = graph.out_neighbors(source)
+            old_set = set(old)
+            new_set = set(new)
+            if old_set == new_set:
+                continue  # net no-op: stored steps at source stay correct
+            added = [w for w in new if w not in old_set]
+            deltas[source] = _SourceDelta(
+                new_set=frozenset(new_set),
+                new_neighbors=new,
+                added=added,
+                redirect_probability=len(added) / len(new) if new else 1.0,
+            )
+
+        add_sources = [event.source for event in events if event.kind == ADD]
+        if add_sources:
+            # activation is a per-source constant within one batch, so
+            # evaluate once per distinct source and weight by event count
+            unique_sources, source_counts = np.unique(
+                np.asarray(add_sources, dtype=np.int64), return_counts=True
+            )
+            values = np.fromiter(
+                (
+                    self._batch_activation(int(source), walk_count_before)
+                    for source in unique_sources
+                ),
+                dtype=np.float64,
+                count=unique_sources.size,
+            )
+            report.mean_activation_probability = float(
+                np.average(values, weights=source_counts)
+            )
+
+        # -- 4. one index scan: candidate step positions at dirty sources -
+        # All affected segments are concatenated into a single flat node
+        # array so candidate extraction is pure numpy, not a Python loop
+        # over every stored position.
+        affected_ids = sorted(
+            {
+                segment_id
+                for source in deltas
+                for segment_id in walks.segment_ids_visiting(source)
+            }
+        )
+        resim_specs: list[tuple[int, int]] = []  # (segment id, keep_until)
+        resim_starts: list[int] = []
+        rng = self._rng
+        if affected_ids:
+            affected_segments = [
+                walks.get(segment_id) for segment_id in affected_ids
+            ]
+            segment_arrays = [
+                np.asarray(segment.nodes, dtype=np.int64)
+                for segment in affected_segments
+            ]
+            lengths = np.fromiter(
+                (arr.size for arr in segment_arrays),
+                dtype=np.int64,
+                count=len(segment_arrays),
+            )
+            ends = np.cumsum(lengths)
+            offsets = ends - lengths
+            flat = np.concatenate(segment_arrays)
+            dirty = np.zeros(graph.num_nodes, dtype=bool)
+            dirty[list(deltas)] = True
+            is_step = np.ones(flat.size, dtype=bool)
+            is_step[ends - 1] = False  # no step is taken at a final node
+            candidates = np.flatnonzero(dirty[flat] & is_step)
+            cand_source = flat[candidates]
+            cand_next = flat[candidates + 1]
+            cand_segment = np.searchsorted(ends, candidates, side="right")
+            cand_position = candidates - offsets[cand_segment]
+
+            # -- 5. vectorized coin flips; first modified step/segment ---
+            # a step over an edge absent from the post-batch graph is
+            # always modified; encode (u, w) pairs for bulk membership
+            key_base = np.int64(graph.num_nodes)
+            delta_edge_keys = np.concatenate(
+                [
+                    source * key_base
+                    + np.asarray(delta.new_neighbors, dtype=np.int64)
+                    for source, delta in deltas.items()
+                ]
+            )
+            valid = np.isin(
+                cand_source * key_base + cand_next, delta_edge_keys
+            )
+            redirect_lookup = np.zeros(graph.num_nodes, dtype=np.float64)
+            for source, delta in deltas.items():
+                redirect_lookup[source] = delta.redirect_probability
+            triggered = ~valid | (
+                rng.random(candidates.size) < redirect_lookup[cand_source]
+            )
+            trigger_indices = np.flatnonzero(triggered)
+            # candidates are ordered segment-major by position, so the
+            # first trigger of each segment is its first occurrence here
+            _, first_occurrence = np.unique(
+                cand_segment[trigger_indices], return_index=True
+            )
+            winners = trigger_indices[first_occurrence]
+            rerouted_mask = np.zeros(len(affected_ids), dtype=bool)
+            rerouted_mask[cand_segment[winners]] = True
+            target_coins = rng.random(len(winners))
+            for which, coin in zip(winners.tolist(), target_coins):
+                segment_id = affected_ids[int(cand_segment[which])]
+                position = int(cand_position[which])
+                delta = deltas[int(cand_source[which])]
+                if self.reroute_policy == REROUTE_RESIMULATE:
+                    # §2.2's simplified policy: re-walk from the source
+                    resim_specs.append((segment_id, _REBUILD))
+                    resim_starts.append(walks.get(segment_id).source)
+                elif not delta.new_neighbors:
+                    # source lost every out-edge: the already-decided
+                    # "continue" becomes a pending step (Prop 5 semantics)
+                    segment = walks.get(segment_id)
+                    report.steps_discarded += len(segment.nodes) - (position + 1)
+                    walks.replace_suffix(segment_id, position, [], END_DANGLING)
+                    report.segments_rerouted += 1
+                elif not valid[which]:
+                    # step used a removed edge: re-take over O_new, no ε-coin
+                    pool = delta.new_neighbors
+                    resim_specs.append((segment_id, position))
+                    resim_starts.append(pool[int(coin * len(pool))])
+                else:
+                    # surviving step redirected into the newly added edges
+                    pool = delta.added
+                    resim_specs.append((segment_id, position))
+                    resim_starts.append(pool[int(coin * len(pool))])
+
+            # -- 6. END_DANGLING resume: endpoints that gained out-edges -
+            # the final ε-coin already came up "continue"; the pending step
+            # is taken uniformly over the endpoint's post-batch out-set
+            dangling = np.fromiter(
+                (
+                    segment.end_reason == END_DANGLING
+                    for segment in affected_segments
+                ),
+                dtype=bool,
+                count=len(affected_segments),
+            )
+            dirty_degree = np.zeros(graph.num_nodes, dtype=np.int64)
+            for source, delta in deltas.items():
+                dirty_degree[source] = len(delta.new_neighbors)
+            last_nodes = flat[ends - 1]
+            resumed = np.flatnonzero(
+                dangling
+                & ~rerouted_mask
+                & dirty[last_nodes]
+                & (dirty_degree[last_nodes] > 0)
+            )
+            for index in resumed.tolist():
+                pool = deltas[int(last_nodes[index])].new_neighbors
+                resim_specs.append(
+                    (affected_ids[index], int(lengths[index]) - 1)
+                )
+                resim_starts.append(pool[int(rng.random() * len(pool))])
+            report.segments_examined = int(
+                len(affected_ids) - rerouted_mask.sum() - resumed.size
+            )
+
+        # -- 7. one vectorized resimulation against a frozen snapshot -----
+        init_starts = np.repeat(
+            np.arange(nodes_before, graph.num_nodes, dtype=np.int64),
+            self.walks_per_node,
+        )
+        all_starts = np.concatenate(
+            [np.asarray(resim_starts, dtype=np.int64), init_starts]
+        )
+        if all_starts.size:
+            csr = graph.to_csr("out")
+            result = batch_reset_walks(
+                csr,
+                all_starts,
+                self.reset_probability,
+                rng,
+                max_steps=(
+                    max_steps
+                    if max_steps is not None
+                    else default_max_steps(self.reset_probability)
+                ),
+            )
+            report.capped = result.capped
+            # merge repaired tails back into the store
+            for (segment_id, keep_until), tail, reason in zip(
+                resim_specs, result.segments, result.end_reasons
+            ):
+                segment = walks.get(segment_id)
+                if keep_until == _REBUILD:
+                    report.steps_discarded += len(segment.nodes) - 1
+                    walks.rebuild_segment(segment_id, tail, int(reason))
+                    report.steps_resimulated += len(tail) - 1
+                else:
+                    report.steps_discarded += len(segment.nodes) - (
+                        keep_until + 1
+                    )
+                    walks.replace_suffix(
+                        segment_id, keep_until, tail, int(reason)
+                    )
+                    report.steps_resimulated += len(tail)
+                report.segments_rerouted += 1
+            # R fresh segments per node that arrived inside the slice
+            for index in range(len(resim_specs), len(all_starts)):
+                tail = result.segments[index]
+                walks.add_segment(
+                    WalkSegment(tail, int(result.end_reasons[index]))
+                )
+                report.segments_initialized += 1
+                report.steps_initialized += len(tail) - 1
+
+        self._finish_report(report)
+        self.arrivals_processed += report.num_adds
+        self.removals_processed += report.num_removes
+        self.pagerank_store.record_batch(report)
+        return report
+
+    def _batch_activation(
+        self, source: int, walk_count_before: dict[int, int]
+    ) -> float:
+        """§2.2 activation for one batched add: pre-batch W, final degree."""
+        walk_count = walk_count_before[source]
+        if not walk_count:
+            return 0.0
+        degree = self.graph.out_degree(source)
+        if degree <= 0:
+            return 1.0
+        return 1.0 - (1.0 - 1.0 / degree) ** walk_count
 
     def _finish_report(self, report: UpdateReport) -> None:
         report.store_called = report.segments_rerouted > 0

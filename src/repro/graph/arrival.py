@@ -30,6 +30,7 @@ __all__ = [
     "AdversarialArrival",
     "TimestampedStream",
     "apply_events",
+    "slice_events",
 ]
 
 ADD = "add"
@@ -238,6 +239,38 @@ class TimestampedStream:
         graph = DynamicDiGraph(self.num_nodes, allow_self_loops=False)
         apply_events(graph, self.prefix(count))
         return graph
+
+    def iter_slices(
+        self, batch_size: int, *, start: int = 0
+    ) -> Iterator[list[ArrivalEvent]]:
+        """Consecutive event slices of ``batch_size`` (last may be short).
+
+        This is the ingestion unit of the batched maintenance path
+        (:meth:`repro.core.incremental.IncrementalPageRank.apply_batch`):
+        a deployed system drains its arrival queue in slices, not one edge
+        at a time.
+        """
+        return slice_events(self._events[start:], batch_size)
+
+
+def slice_events(
+    events: Iterable[ArrivalEvent], batch_size: int
+) -> Iterator[list[ArrivalEvent]]:
+    """Yield consecutive slices of ``events`` with at most ``batch_size`` each.
+
+    Order within and across slices is preserved, so replaying the slices in
+    sequence is equivalent to replaying the original stream.
+    """
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+    batch: list[ArrivalEvent] = []
+    for event in events:
+        batch.append(event)
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 def apply_events(graph: DynamicDiGraph, events: Iterable[ArrivalEvent]) -> None:

@@ -168,6 +168,22 @@ class PageRankStore:
     def add_segment(self, segment: WalkSegment) -> int:
         return self.walks.add_segment(segment)
 
+    def record_batch(self, report) -> None:
+        """Bill one batched maintenance pass to the store's counters.
+
+        ``report`` is a :class:`repro.core.incremental.BatchUpdateReport`
+        (duck-typed).  One ``apply_batch`` marker plus the volume counters
+        the deployed two-store layout would see: how many stored segments
+        were rewritten and how many walk steps were written back.  Reading
+        ``stats.delta_since`` around an ingestion slice therefore gives the
+        per-batch PageRank-Store traffic directly.
+        """
+        self.stats.record("apply_batch")
+        self.stats.record("segments_rewritten", report.segments_rerouted)
+        self.stats.record("steps_resimulated", report.steps_resimulated)
+        self.stats.record("steps_discarded", report.steps_discarded)
+        self.stats.record("segments_initialized", report.segments_initialized)
+
     def segments_starting_at(self, node: int) -> list[int]:
         if node >= self.walks.num_nodes:
             return []

@@ -9,7 +9,7 @@ running-time comparisons are expressed in.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.errors import StoreClosedError
 from repro.graph.digraph import DynamicDiGraph
@@ -88,6 +88,29 @@ class SocialStore:
         self._check_open()
         self.stats.record("remove_edge")
         self.backend.remove_edge(source, target)
+
+    def apply_events(self, events: Iterable) -> Dict[str, int]:
+        """Apply an ordered slice of arrival events in one store round-trip.
+
+        ``events`` is any iterable of objects with ``kind`` (``'add'`` or
+        ``'remove'``), ``source`` and ``target`` — typically
+        :class:`repro.graph.arrival.ArrivalEvent`.  Each mutation is counted
+        individually (the write volume is unchanged) plus one ``apply_batch``
+        marker, so per-batch traffic can be read off with
+        :meth:`CallStats.delta_since`.  Returns this batch's op delta.
+        """
+        self._check_open()
+        before = self.stats.snapshot()
+        self.stats.record("apply_batch")
+        for event in events:
+            self.backend.ensure_node(max(event.source, event.target))
+            if event.kind == "add":
+                self.stats.record("add_edge")
+                self.backend.add_edge(event.source, event.target)
+            else:
+                self.stats.record("remove_edge")
+                self.backend.remove_edge(event.source, event.target)
+        return self.stats.delta_since(before)
 
     def has_edge(self, source: int, target: int) -> bool:
         self._check_open()

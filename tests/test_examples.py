@@ -43,6 +43,15 @@ def test_who_to_follow():
 
 
 @pytest.mark.slow
+def test_batch_ingest():
+    result = _run("batch_ingest.py", "--nodes", "500", "--edges", "6000")
+    assert result.returncode == 0, result.stderr
+    assert "speedup" in result.stdout
+    assert "one whole-slice batch" in result.stdout
+    assert "pagerank-store traffic" in result.stdout
+
+
+@pytest.mark.slow
 def test_realtime_maintenance():
     result = _run(
         "realtime_maintenance.py", "--nodes", "400", "--edges", "4800"

@@ -18,6 +18,7 @@ from repro.experiments.exp_powerlaw import run_fig2, run_fig3, run_fig4
 from repro.experiments.exp_precision import run_fig5
 from repro.experiments.exp_update_cost import (
     run_adversarial,
+    run_batch_ingest,
     run_dirichlet,
     run_prop5,
     run_thm4,
@@ -173,3 +174,14 @@ class TestCostDrivers:
         values = {r["quantity"]: r["value"] for r in result.rows}
         assert values["measured SALSA/PageRank ratio"] > 1.0
         assert values["SALSA within bound"]
+
+    def test_batch_ingest(self):
+        result = run_batch_ingest(batch_sizes=(50, 0), **TINY)
+        rows = {r["ingestion mode"]: r for r in result.rows}
+        assert "sequential (per edge)" in rows
+        batched = [r for mode, r in rows.items() if mode.startswith("batched")]
+        assert len(batched) == 2
+        for row in batched:
+            assert row["wall seconds"] > 0
+            assert row["touched steps"] <= rows["sequential (per edge)"]["touched steps"]
+        assert "batch_speedup" in result.figures

@@ -15,7 +15,8 @@ from hypothesis import strategies as st
 
 from repro.core.incremental import IncrementalPageRank
 from repro.core.salsa import IncrementalSALSA
-from repro.core.walks import END_DANGLING, SIDE_HUB
+from repro.core.walks import END_DANGLING, END_RESET, SIDE_HUB
+from repro.graph.arrival import ArrivalEvent
 
 NODES = 6
 
@@ -98,6 +99,120 @@ def test_salsa_engine_invariants(ops, seed):
                 assert graph.out_degree(segment.last) == 0
             else:
                 assert graph.in_degree(segment.last) == 0
+
+
+@given(
+    edge_ops,
+    st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=12),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_batch_engine_invariants(ops, batch_plan, seed):
+    """The batched path under arbitrary interleaved add/remove/undangle
+    sequences, chunked by an arbitrary batch-size plan, must uphold every
+    invariant the sequential engine does."""
+    from test_batch_vs_sequential import _toggle_stream
+
+    engine = IncrementalPageRank(walks_per_node=2, rng=seed, reset_probability=0.3)
+    for _ in range(NODES):
+        engine.add_node()
+    events = _toggle_stream(ops)
+    applied: set[tuple[int, int]] = set()
+    for event in events:
+        if event.kind == "add":
+            applied.add(event.edge)
+        else:
+            applied.discard(event.edge)
+
+    consumed = 0
+    plan = iter(batch_plan)
+    while consumed < len(events):
+        try:
+            size = next(plan)
+        except StopIteration:
+            size = len(events) - consumed
+        chunk = events[consumed : consumed + size]
+        consumed += len(chunk)
+        report = engine.apply_batch(chunk)
+        assert report.num_events == len(chunk)
+        assert report.work >= 0
+        assert report.segments_rerouted >= 0
+        assert 0.0 <= report.mean_activation_probability <= 1.0
+
+    engine.walks.check_invariants()
+    graph = engine.graph
+    assert set(graph.edges()) == applied
+    for node in range(NODES):
+        assert len(engine.walks.segments_of[node]) == 2
+    for _, segment in engine.walks.iter_segments():
+        for a, b in zip(segment.nodes, segment.nodes[1:]):
+            assert graph.has_edge(a, b), "segment uses a non-existent edge"
+        if segment.end_reason == END_DANGLING:
+            assert graph.out_degree(segment.nodes[-1]) == 0, (
+                "DANGLING segment at a node that has out-edges"
+            )
+    scores = engine.pagerank()
+    assert (scores >= 0).all()
+    assert scores.sum() <= 3.0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_batch_undangle_resumes_pending_steps(seed):
+    """END_DANGLING is a *pending* step: a batch that gives the stranded
+    endpoint an out-edge must resume every such segment."""
+    engine = IncrementalPageRank(walks_per_node=3, rng=seed, reset_probability=0.3)
+    for _ in range(4):
+        engine.add_node()
+    # funnel every walk into node 3, which has no out-edges
+    engine.apply_batch(
+        [
+            ArrivalEvent("add", 0, 3),
+            ArrivalEvent("add", 1, 3),
+            ArrivalEvent("add", 2, 3),
+        ]
+    )
+    stranded = [
+        segment_id
+        for segment_id, segment in engine.walks.iter_segments()
+        if segment.end_reason == END_DANGLING and segment.nodes[-1] == 3
+    ]
+    report = engine.apply_batch([ArrivalEvent("add", 3, 0)])
+    engine.walks.check_invariants()
+    assert report.segments_rerouted >= len(stranded)
+    for segment_id in stranded:
+        segment = engine.walks.get(segment_id)
+        # the pending step was taken through the only out-edge of 3
+        if segment.end_reason == END_DANGLING:
+            assert segment.nodes[-1] != 3
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_batch_walker_max_steps_cap(max_steps, seed):
+    """The batch walker's safety cap bounds every resimulated tail and is
+    reported (``capped``), never silently hidden."""
+    engine = IncrementalPageRank(
+        walks_per_node=2, rng=seed, reset_probability=0.001
+    )
+    for _ in range(4):
+        engine.add_node()
+    report = engine.apply_batch(
+        [ArrivalEvent("add", i, (i + 1) % 4) for i in range(4)],
+        max_steps=max_steps,
+    )
+    engine.walks.check_invariants()
+    # ε = 0.001 on a cycle: essentially every resumed tail hits the cap
+    assert report.capped > 0
+    for _, segment in engine.walks.iter_segments():
+        # pre-batch segments are trivial ([node]); a repaired one is that
+        # single-node prefix plus a tail of at most max_steps + 1 nodes
+        assert len(segment.nodes) <= max_steps + 2
+        if len(segment.nodes) == max_steps + 2:
+            assert segment.end_reason == END_RESET  # capped ⇒ RESET
 
 
 @given(

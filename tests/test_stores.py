@@ -94,6 +94,31 @@ class TestSocialStore:
         with pytest.raises(StoreClosedError):
             store.add_edge(2, 3)
 
+    def test_apply_events_counts_batch_traffic(self):
+        from repro.graph.arrival import ArrivalEvent
+
+        store = SocialStore(graph=DynamicDiGraph(3))
+        delta = store.apply_events(
+            [
+                ArrivalEvent("add", 0, 1),
+                ArrivalEvent("add", 1, 2),
+                ArrivalEvent("remove", 0, 1),
+                ArrivalEvent("add", 0, 4),  # grows the node universe
+            ]
+        )
+        assert delta == {"apply_batch": 1, "add_edge": 3, "remove_edge": 1}
+        assert store.num_nodes == 5
+        assert store.has_edge(1, 2)
+        assert not store.has_edge(0, 1)
+
+    def test_apply_events_rejected_when_closed(self, tiny_graph):
+        from repro.graph.arrival import ArrivalEvent
+
+        store = SocialStore.of_graph(tiny_graph)
+        store.close()
+        with pytest.raises(StoreClosedError):
+            store.apply_events([ArrivalEvent("add", 0, 3)])
+
     def test_backend_xor_graph(self, tiny_graph):
         with pytest.raises(ValueError):
             SocialStore(InMemoryGraphBackend(), graph=tiny_graph)
@@ -139,6 +164,85 @@ class TestShardedBackend:
         store = SocialStore(ShardedGraphBackend(random_graph, num_shards=4))
         assert store.out_degree(0) == random_graph.out_degree(0)
         assert store.num_edges == random_graph.num_edges
+
+    def test_every_out_op_bills_the_source_shard(self):
+        """Out-edge ops bill the node whose forward adjacency row they
+        touch; in-edge ops bill the backward row's owner (FlockDB's
+        doubly-indexed layout)."""
+        graph = DynamicDiGraph(10)
+        backend = ShardedGraphBackend(graph, num_shards=4)
+        backend.add_edge(1, 2)
+        backend.add_edge(3, 2)
+        source_shard = backend.shard_of(1)
+        target_shard = backend.shard_of(2)
+
+        backend.out_degree(1)
+        backend.out_neighbors(1)
+        backend.random_out_neighbor(1, rng=0)
+        backend.has_edge(1, 2)
+        for operation in (
+            "out_degree",
+            "out_neighbors",
+            "random_out_neighbor",
+            "has_edge",
+        ):
+            assert backend.shard_stats[source_shard].count(operation) == 1, operation
+            # and nothing leaked onto the target's shard
+            assert backend.shard_stats[target_shard].count(operation) == 0, operation
+
+    def test_every_in_op_bills_the_target_shard(self):
+        graph = DynamicDiGraph(10)
+        backend = ShardedGraphBackend(graph, num_shards=4)
+        backend.add_edge(1, 2)
+        source_shard = backend.shard_of(1)
+        target_shard = backend.shard_of(2)
+
+        backend.in_degree(2)
+        backend.in_neighbors(2)
+        backend.random_in_neighbor(2, rng=0)
+        for operation in ("in_degree", "in_neighbors", "random_in_neighbor"):
+            assert backend.shard_stats[target_shard].count(operation) == 1, operation
+            assert backend.shard_stats[source_shard].count(operation) == 0, operation
+
+    def test_remove_edge_bills_both_rows(self):
+        graph = DynamicDiGraph(10)
+        backend = ShardedGraphBackend(graph, num_shards=4)
+        backend.add_edge(4, 7)
+        backend.remove_edge(4, 7)
+        assert backend.shard_stats[backend.shard_of(4)].count("remove_edge_out") == 1
+        assert backend.shard_stats[backend.shard_of(7)].count("remove_edge_in") == 1
+        # exactly one op per row per mutation — totals account for all four
+        assert sum(backend.shard_load()) == 4
+
+    def test_fibonacci_hash_spreads_consecutive_ids(self):
+        """shard_of uses Fibonacci hashing: dense id ranges (the common
+        node-id layout) must spread near-uniformly and consecutive ids
+        must not pile onto the same shard."""
+        backend = ShardedGraphBackend(DynamicDiGraph(), num_shards=8)
+        num_nodes = 10_000
+        counts = [0] * 8
+        consecutive_collisions = 0
+        previous = None
+        for node in range(num_nodes):
+            shard = backend.shard_of(node)
+            assert 0 <= shard < 8
+            counts[shard] += 1
+            if previous is not None and shard == previous:
+                consecutive_collisions += 1
+            previous = shard
+        expected = num_nodes / 8
+        for count in counts:
+            assert abs(count - expected) < 0.05 * num_nodes
+        # a modulo hash would give 0 or num_nodes-1 collisions depending on
+        # alignment; Fibonacci scrambling keeps neighbours apart
+        assert consecutive_collisions < 0.30 * num_nodes
+
+    def test_shard_of_is_deterministic_across_instances(self):
+        first = ShardedGraphBackend(DynamicDiGraph(), num_shards=8)
+        second = ShardedGraphBackend(DynamicDiGraph(), num_shards=8)
+        assert [first.shard_of(n) for n in range(256)] == [
+            second.shard_of(n) for n in range(256)
+        ]
 
 
 class TestPageRankStore:
