@@ -1,9 +1,15 @@
 """Microbenchmarks of the hot paths (not paper artifacts, but the numbers
 an adopter asks first): store initialization throughput, per-arrival
 update latency, deletion latency, stitched-walk step rate, fetch cost.
+
+Set ``REPRO_BENCH_FAST=1`` for smoke-test scale (CI): smaller warm store,
+shorter walks.  The assertions here are structural, so they hold at any
+scale.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -14,9 +20,15 @@ from repro.core.salsa import IncrementalSALSA
 from repro.graph.csr import batch_reset_walks
 from repro.workloads.twitter_like import twitter_like_graph
 
+FAST_MODE = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+WALK_LENGTH = 5_000 if FAST_MODE else 20_000
+
 
 @pytest.fixture(scope="module")
 def graph():
+    if FAST_MODE:
+        return twitter_like_graph(1000, 12_000, rng=42)
     return twitter_like_graph(5000, 60_000, rng=42)
 
 
@@ -85,9 +97,9 @@ def test_stitched_walk_throughput(benchmark, engine):
     query = PersonalizedPageRank(engine.pagerank_store, rng=17)
 
     walk = benchmark.pedantic(
-        lambda: query.stitched_walk(42, 20_000), rounds=3, iterations=1
+        lambda: query.stitched_walk(42, WALK_LENGTH), rounds=3, iterations=1
     )
-    assert walk.length >= 20_000
+    assert walk.length >= WALK_LENGTH
 
 
 def test_salsa_initialization(benchmark, graph):

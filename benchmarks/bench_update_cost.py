@@ -1,8 +1,9 @@
 """E-THM4 / E-PROP5 / E-DIR / E-ADV / E-THM6 / E-BATCH: maintenance-cost
 benchmarks.
 
-Set ``REPRO_BENCH_FAST=1`` to shrink E-BATCH to smoke-test scale (used by
-the CI workflow); at full scale it ingests a 50k-edge arrival slice and
+Set ``REPRO_BENCH_FAST=1`` to shrink every workload to smoke-test scale
+(used by the CI workflow); statistically calibrated assertions are skipped
+at that scale.  At full scale E-BATCH ingests a 50k-edge arrival slice and
 asserts the batched path's ≥5× wall-clock win over the sequential path.
 """
 
@@ -20,9 +21,13 @@ from repro.experiments.exp_update_cost import (
     run_thm6,
 )
 
-SIZE = {"num_nodes": 1000, "num_edges": 12_000, "rng": 42}
-
 FAST_MODE = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+SIZE = (
+    {"num_nodes": 400, "num_edges": 4_800, "rng": 42}
+    if FAST_MODE
+    else {"num_nodes": 1000, "num_edges": 12_000, "rng": 42}
+)
 
 #: Full scale: a 50k-edge arrival slice (62.5k edges, 20% prebuilt).
 BATCH_SIZE_PARAMS = (
@@ -86,12 +91,15 @@ def test_e_thm4(benchmark, once):
 
 
 def test_e_prop5(benchmark, once):
-    result = once(benchmark, run_prop5, deletions=500, **SIZE)
+    result = once(
+        benchmark, run_prop5, deletions=200 if FAST_MODE else 500, **SIZE
+    )
     row = next(
         r for r in result.rows if r["quantity"].startswith("mean resimulated")
     )
-    # Prop 5's bound is tight under uniform deletion: ratio ≈ 1 (±40%)
-    assert 0.4 < row["measured/bound"] < 1.4
+    if not FAST_MODE:
+        # Prop 5's bound is tight under uniform deletion: ratio ≈ 1 (±40%)
+        assert 0.4 < row["measured/bound"] < 1.4
     print()
     print(result.render())
 
@@ -106,28 +114,41 @@ def test_e_dir(benchmark, once):
 
 
 def test_e_adv(benchmark, once):
-    result = once(benchmark, run_adversarial, sizes=(15, 30, 60), rng=42)
+    sizes = (10, 20) if FAST_MODE else (15, 30, 60)
+    result = once(
+        benchmark,
+        run_adversarial,
+        sizes=sizes,
+        repetitions=3 if FAST_MODE else 5,
+        rng=42,
+    )
     rows = {row["gadget N"]: row for row in result.rows}
-    # Omega(n): reroutes per nR stay bounded away from zero as n quadruples
-    for size in (15, 30, 60):
-        assert rows[size]["reroutes / nR"] > 0.2
+    if not FAST_MODE:
+        # Omega(n): reroutes per nR stay bounded away from zero as n grows
+        for size in sizes:
+            assert rows[size]["reroutes / nR"] > 0.2
+            assert (
+                rows[size]["killer-edge reroutes"]
+                > 3 * rows[size]["random-order last arrival"]
+            )
         assert (
-            rows[size]["killer-edge reroutes"]
-            > 3 * rows[size]["random-order last arrival"]
+            rows[60]["killer-edge reroutes"]
+            > 2.5 * rows[15]["killer-edge reroutes"]
         )
-    assert rows[60]["killer-edge reroutes"] > 2.5 * rows[15]["killer-edge reroutes"]
     print()
     print(result.render())
 
 
 def test_e_thm6(benchmark, once):
+    size = (300, 3000) if FAST_MODE else (600, 6000)
     result = once(
-        benchmark, run_thm6, num_nodes=600, num_edges=6000, rng=42
+        benchmark, run_thm6, num_nodes=size[0], num_edges=size[1], rng=42
     )
     values = {row["quantity"]: row["value"] for row in result.rows}
-    # SALSA costs more than PageRank but within the theorem's x16 envelope
-    assert 2.0 < values["measured SALSA/PageRank ratio"] < 16.0
-    assert values["SALSA within bound"]
+    if not FAST_MODE:
+        # SALSA costs more than PageRank, within the theorem's x16 envelope
+        assert 2.0 < values["measured SALSA/PageRank ratio"] < 16.0
+        assert values["SALSA within bound"]
     print()
     print(result.render())
 

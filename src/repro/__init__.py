@@ -40,6 +40,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.graph import DynamicDiGraph
+from repro.serve import QueryEngine, RequestBatcher, ServeStats
 from repro.store import PageRankStore, SocialStore
 
 __version__ = "1.0.0"
@@ -61,5 +62,8 @@ __all__ = [
     "BatchUpdateReport",
     "TopKResult",
     "top_k_personalized",
+    "QueryEngine",
+    "RequestBatcher",
+    "ServeStats",
     "theory",
 ]

@@ -9,7 +9,11 @@ from repro.core.incremental import (
     UpdateReport,
 )
 from repro.core.monte_carlo import MonteCarloPageRank, build_walk_store
-from repro.core.personalized import PersonalizedPageRank, StitchedWalkResult
+from repro.core.personalized import (
+    FetchCache,
+    PersonalizedPageRank,
+    StitchedWalkResult,
+)
 from repro.core.salsa import (
     IncrementalSALSA,
     PersonalizedSALSA,
@@ -51,6 +55,7 @@ __all__ = [
     "SalsaWalkResult",
     "PersonalizedPageRank",
     "StitchedWalkResult",
+    "FetchCache",
     "TopKResult",
     "top_k_personalized",
     "walk_length_for_top_k",

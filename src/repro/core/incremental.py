@@ -54,12 +54,19 @@ the slice event by event (both leave every segment distributed as a fresh
 reset walk on the post-batch graph); the differential harness in
 ``tests/test_batch_vs_sequential.py`` checks the structural invariants and
 score agreement.  Batches return an aggregated :class:`BatchUpdateReport`.
+
+**Update feed.**  Every mutation bumps :attr:`IncrementalPageRank.epoch`
+and notifies registered listeners with the mutation's *dirty node set* —
+the nodes whose served state (out-adjacency, in-adjacency, or stored
+segments keyed by their start node) may have changed.  The query-serving
+layer (:mod:`repro.serve`) subscribes to this feed to invalidate exactly
+the cached results whose walks read a dirty node.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
@@ -116,6 +123,9 @@ class UpdateReport:
     activation_probability: float = 0.0
     #: Whether any store mutation actually happened.
     store_called: bool = False
+    #: Nodes whose served state (adjacency or starting segments) may have
+    #: changed — the invalidation unit consumed by the query-serving layer.
+    dirty_nodes: frozenset = frozenset()
 
     @property
     def work(self) -> int:
@@ -150,6 +160,9 @@ class BatchUpdateReport:
     capped: int = 0
     #: Whether any store mutation actually happened.
     store_called: bool = False
+    #: Nodes whose served state (adjacency or starting segments) may have
+    #: changed — the invalidation unit consumed by the query-serving layer.
+    dirty_nodes: frozenset = frozenset()
 
     @property
     def work(self) -> int:
@@ -210,6 +223,37 @@ class IncrementalPageRank:
         self.total_steps_discarded = 0
         self.arrivals_processed = 0
         self.removals_processed = 0
+        #: Monotone mutation counter; bumps once per mutation (or batch).
+        self.epoch = 0
+        self._update_listeners: list[Callable[[int, Optional[frozenset]], None]] = []
+
+    # ------------------------------------------------------------------
+    # Update notification (the serving layer's invalidation feed)
+    # ------------------------------------------------------------------
+
+    def add_update_listener(
+        self, listener: Callable[[int, Optional[frozenset]], None]
+    ) -> None:
+        """Subscribe to mutations: ``listener(epoch, dirty_nodes)``.
+
+        ``dirty_nodes`` is the set of nodes whose *served* state may have
+        changed — out-adjacency (event sources), in-adjacency (event
+        targets, for ``include_in_neighbors`` stores), rewritten stored
+        segments (keyed by the segment's start node), or newly created
+        nodes.  A query whose walk never read any dirty node is provably
+        unaffected by the mutation.  ``dirty_nodes=None`` means "assume
+        everything changed" (full reinitialization)."""
+        self._update_listeners.append(listener)
+
+    def remove_update_listener(
+        self, listener: Callable[[int, Optional[frozenset]], None]
+    ) -> None:
+        self._update_listeners.remove(listener)
+
+    def _publish_update(self, dirty_nodes: Optional[frozenset]) -> None:
+        self.epoch += 1
+        for listener in self._update_listeners:
+            listener(self.epoch, dirty_nodes)
 
     # ------------------------------------------------------------------
     # Construction
@@ -251,6 +295,7 @@ class IncrementalPageRank:
             for nodes, reason in zip(result.segments, result.end_reasons):
                 store.add_segment(WalkSegment(nodes, int(reason)))
         self.pagerank_store.walks = store
+        self._publish_update(None)  # every stored segment was rebuilt
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -276,6 +321,7 @@ class IncrementalPageRank:
         """Add a fresh node with its ``R`` (trivial) walk segments."""
         node = self.graph.add_node()
         self._ensure_walks(node)
+        self._publish_update(frozenset((node,)))
         return node
 
     def _ensure_walks(self, node: int) -> int:
@@ -308,8 +354,10 @@ class IncrementalPageRank:
         affected_ids = self.walks.segment_ids_visiting(source)
         self.social_store.add_edge(source, target)
         report = UpdateReport(operation="add", edge=(source, target))
+        dirty = {source, target}
         for node in range(nodes_before, self.graph.num_nodes):
             report.steps_initialized += self._ensure_walks(node)
+            dirty.add(node)
         degree = self.graph.out_degree(source)
         report.activation_probability = (
             1.0 - (1.0 - 1.0 / degree) ** walk_count_before
@@ -322,19 +370,28 @@ class IncrementalPageRank:
         for segment_id in affected_ids:
             segment = self.walks.get(segment_id)
             handled = self._maybe_redirect(
-                segment_id, segment, source, target, redirect_probability, report, rng
+                segment_id,
+                segment,
+                source,
+                target,
+                redirect_probability,
+                report,
+                rng,
+                dirty,
             )
             if not handled:
                 if (
                     segment.end_reason == END_DANGLING
                     and segment.nodes[-1] == source
                 ):
-                    self._extend_dangling(segment_id, segment, report, rng)
+                    self._extend_dangling(segment_id, segment, report, rng, dirty)
                 else:
                     report.segments_examined += 1
 
+        report.dirty_nodes = frozenset(dirty)
         self._finish_report(report)
         self.arrivals_processed += 1
+        self._publish_update(report.dirty_nodes)
         return report
 
     def _maybe_redirect(
@@ -346,6 +403,7 @@ class IncrementalPageRank:
         redirect_probability: float,
         report: UpdateReport,
         rng: np.random.Generator,
+        dirty: set[int],
     ) -> bool:
         """Flip a 1/d coin per step taken at ``source``; reroute on first hit."""
         nodes = segment.nodes
@@ -354,6 +412,7 @@ class IncrementalPageRank:
                 continue
             if rng.random() >= redirect_probability:
                 continue
+            dirty.add(segment.source)
             if self.reroute_policy == REROUTE_RESIMULATE:
                 self._resimulate_from_source(segment_id, segment, report, rng)
             else:
@@ -376,6 +435,7 @@ class IncrementalPageRank:
         segment: WalkSegment,
         report: UpdateReport,
         rng: np.random.Generator,
+        dirty: set[int],
     ) -> None:
         """Resume a segment stranded at a node that just gained an out-edge.
 
@@ -384,6 +444,7 @@ class IncrementalPageRank:
         the walk proceeds normally.
         """
         node = segment.nodes[-1]
+        dirty.add(segment.source)
         next_node = self.graph.random_out_neighbor(node, rng)
         continuation = simulate_reset_walk(
             self.graph, next_node, self.reset_probability, rng
@@ -425,6 +486,7 @@ class IncrementalPageRank:
         # resimulation must use the post-removal graph — so mutate first.
         self.social_store.remove_edge(source, target)
         report = UpdateReport(operation="remove", edge=(source, target))
+        dirty = {source, target}
         rng = self._rng
         for segment_id in self.walks.segment_ids_visiting(source):
             segment = self.walks.get(segment_id)
@@ -432,6 +494,7 @@ class IncrementalPageRank:
             if position is None:
                 report.segments_examined += 1
                 continue
+            dirty.add(segment.source)
             if self.reroute_policy == REROUTE_RESIMULATE:
                 self._resimulate_from_source(segment_id, segment, report, rng)
                 continue
@@ -454,8 +517,10 @@ class IncrementalPageRank:
             report.steps_resimulated += resimulated
             report.segments_rerouted += 1
 
+        report.dirty_nodes = frozenset(dirty)
         self._finish_report(report)
         self.removals_processed += 1
+        self._publish_update(report.dirty_nodes)
         return report
 
     @staticmethod
@@ -505,6 +570,7 @@ class IncrementalPageRank:
         graph = self.graph
         walks = self.walks
         nodes_before = graph.num_nodes
+        touched = {node for event in events for node in (event.source, event.target)}
 
         # -- 1. pre-mutation snapshots: old out-sets and W(u) ------------
         # Both must be read before any write: segments simulated after the
@@ -644,6 +710,7 @@ class IncrementalPageRank:
                     # "continue" becomes a pending step (Prop 5 semantics)
                     segment = walks.get(segment_id)
                     report.steps_discarded += len(segment.nodes) - (position + 1)
+                    touched.add(segment.source)
                     walks.replace_suffix(segment_id, position, [], END_DANGLING)
                     report.segments_rerouted += 1
                 elif not valid[which]:
@@ -737,10 +804,16 @@ class IncrementalPageRank:
                 report.segments_initialized += 1
                 report.steps_initialized += len(tail) - 1
 
+        touched.update(
+            walks.get(segment_id).source for segment_id, _ in resim_specs
+        )
+        touched.update(range(nodes_before, graph.num_nodes))
+        report.dirty_nodes = frozenset(touched)
         self._finish_report(report)
         self.arrivals_processed += report.num_adds
         self.removals_processed += report.num_removes
         self.pagerank_store.record_batch(report)
+        self._publish_update(report.dirty_nodes)
         return report
 
     def _batch_activation(
@@ -787,13 +860,21 @@ class IncrementalPageRank:
         )
 
     def top(self, k: int) -> list[tuple[int, float]]:
-        """The ``k`` nodes with the highest current estimates."""
+        """The ``k`` nodes with the highest current estimates.
+
+        Ties are broken by node id, so rankings compare exactly across
+        runs and against cached results.  ``argpartition`` alone picks
+        arbitrary members among equal scores at the cut boundary, so the
+        candidate set is widened to every node tied with the k-th score
+        before the (stable, ascending-id input) sort — O(n + m log m).
+        """
         scores = self.pagerank()
         if k >= len(scores):
-            order = np.argsort(-scores)
-        else:
-            partition = np.argpartition(-scores, k)[:k]
-            order = partition[np.argsort(-scores[partition])]
+            order = np.argsort(-scores, kind="stable")
+            return [(int(node), float(scores[node])) for node in order]
+        boundary = scores[np.argpartition(-scores, k - 1)[k - 1]]
+        candidates = np.flatnonzero(scores >= boundary)
+        order = candidates[np.argsort(-scores[candidates], kind="stable")]
         return [(int(node), float(scores[node])) for node in order[:k]]
 
     def __repr__(self) -> str:

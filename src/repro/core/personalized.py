@@ -24,7 +24,8 @@ vs single steps vs resets).
 
 from __future__ import annotations
 
-from collections import Counter
+import threading
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
@@ -34,7 +35,7 @@ from repro.errors import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 from repro.store.pagerank_store import FETCH_FULL, FetchResult, PageRankStore
 
-__all__ = ["PersonalizedPageRank", "StitchedWalkResult"]
+__all__ = ["FetchCache", "PersonalizedPageRank", "StitchedWalkResult"]
 
 
 @dataclass
@@ -53,6 +54,153 @@ class _FetchedState:
             return segment
         return None
 
+    def fresh_view(self) -> "_FetchedState":
+        """A per-walk view with its own segment-consumption cursor.
+
+        ``neighbors``/``segments`` are shared (never mutated in ``full``
+        fetch mode); only ``next_unused`` is per-walk state, so sharing one
+        fetched payload across many walks stays correct.
+        """
+        return _FetchedState(
+            neighbors=self.neighbors,
+            segments=self.segments,
+            out_degree=self.out_degree,
+        )
+
+
+class FetchCache:
+    """Cross-query cache of fetched node states (adjacency + segments).
+
+    Algorithm 1 pays one *fetch* per node it meets for the first time;
+    within a single walk the fetched state is reused, but historically each
+    query started cold.  This cache extracts that per-walk dictionary so it
+    can be **shared across queries** (the hot core of a social graph is
+    refetched by almost every walk) and **pre-warmed** for known-hot nodes.
+
+    Correctness contract: a cached entry must be byte-identical to what
+    :meth:`PageRankStore.fetch` would return *now*.  The serving layer
+    keeps that true by invalidating entries for every node the incremental
+    engine marks dirty (see
+    :meth:`repro.core.incremental.IncrementalPageRank.add_update_listener`).
+    Only ``full`` fetch mode is cacheable — Remark 1's ``sampled_edge``
+    mode draws a fresh random edge per fetch, so its results are not
+    reusable (and consume RNG, which would break replayability).
+
+    Thread-safe: the serving layer's worker pool shares one instance.
+    ``capacity=None`` means unbounded; otherwise least-recently-used
+    entries are evicted.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive or None, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[int, _FetchedState] = OrderedDict()
+        self._lock = threading.Lock()
+        #: Monotone counter bumped by every invalidation event; walks
+        #: snapshot it at start and their stores are rejected if an
+        #: invalidation ran meanwhile (a state fetched from the pre-update
+        #: store must never be cached past the update's invalidation).
+        self.version = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+        self.evicted = 0
+        self.stale_rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, node: int) -> Optional[_FetchedState]:
+        """The shared payload for ``node``, or None.  Callers must use
+        :meth:`_FetchedState.fresh_view` before walking with it."""
+        with self._lock:
+            payload = self._entries.get(node)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(node)
+            self.hits += 1
+            return payload
+
+    def store(
+        self,
+        node: int,
+        payload: _FetchedState,
+        *,
+        guard_version: Optional[int] = None,
+    ) -> None:
+        with self._lock:
+            if guard_version is not None and guard_version != self.version:
+                self.stale_rejections += 1
+                return
+            self._entries[node] = payload
+            self._entries.move_to_end(node)
+            if self.capacity is not None:
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.evicted += 1
+
+    def invalidate(self, nodes: Iterable[int]) -> int:
+        """Drop entries for ``nodes``; returns how many were dropped."""
+        with self._lock:
+            self.version += 1
+            dropped = 0
+            for node in nodes:
+                if self._entries.pop(node, None) is not None:
+                    dropped += 1
+            self.invalidated += dropped
+            return dropped
+
+    def clear(self) -> int:
+        with self._lock:
+            self.version += 1
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidated += dropped
+            return dropped
+
+    def prewarm(
+        self, store: PageRankStore, nodes: Iterable[int], rng: RngLike = None
+    ) -> int:
+        """Fetch ``nodes`` into the cache ahead of traffic; returns fetches.
+
+        Counts against ``store.fetch_count`` like any fetch — pre-warming
+        moves cost off the query path, it does not hide it.
+        """
+        if store.fetch_mode != FETCH_FULL:
+            raise ConfigurationError(
+                "FetchCache requires fetch_mode='full' (sampled_edge fetches "
+                "are single-use draws and cannot be cached)"
+            )
+        generator = ensure_rng(rng)
+        warmed = 0
+        for node in nodes:
+            fetch = store.fetch(node, generator)
+            self.store(
+                node,
+                _FetchedState(
+                    neighbors=list(fetch.neighbors),
+                    segments=fetch.segments,
+                    out_degree=fetch.out_degree,
+                ),
+            )
+            warmed += 1
+        return warmed
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"FetchCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses}, invalidated={self.invalidated})"
+        )
+
 
 @dataclass
 class StitchedWalkResult:
@@ -66,6 +214,9 @@ class StitchedWalkResult:
     segment_steps: int = 0
     plain_steps: int = 0
     resets: int = 0
+    #: First-visits served from a shared :class:`FetchCache` instead of the
+    #: store (zero unless a cache was passed to :meth:`stitched_walk`).
+    cached_fetches: int = 0
 
     def frequencies(self, num_nodes: int) -> np.ndarray:
         """Visit frequencies as a dense vector (≈ personalized PageRank)."""
@@ -119,15 +270,30 @@ class PersonalizedPageRank:
         *,
         rng: RngLike = None,
         use_segments: bool = True,
+        fetch_cache: Optional[FetchCache] = None,
     ) -> StitchedWalkResult:
         """Run Algorithm 1 from ``seed`` until the path reaches ``length``.
 
         ``use_segments=False`` disables splicing (the "crude way" of
         Remark 2: every step pays its own store traffic), which is the
         baseline the fetch experiments compare against.
+
+        ``fetch_cache`` supplies a shared cross-query :class:`FetchCache`:
+        first visits found there skip the store fetch entirely (counted in
+        ``cached_fetches``).  The walk's RNG consumption is *identical*
+        with or without the cache — a first visit in this walk re-enters
+        the loop (and re-flips the reset coin) whether its state came from
+        the cache or the store, and ``full``-mode fetches draw no
+        randomness — so a cached-assisted walk replays bit-for-bit the
+        trajectory of a cache-free walk with the same generator.  Requires
+        ``fetch_mode='full'``.
         """
         if length <= 0:
             raise ConfigurationError(f"length must be positive, got {length}")
+        if fetch_cache is not None and self.store.fetch_mode != FETCH_FULL:
+            raise ConfigurationError(
+                "fetch_cache requires a store with fetch_mode='full'"
+            )
         generator = ensure_rng(rng) if rng is not None else self._rng
         reset_probability = self.reset_probability
 
@@ -135,6 +301,9 @@ class PersonalizedPageRank:
             seed=seed, length=0, visit_counts=Counter(), fetches=0
         )
         fetched: dict[int, _FetchedState] = {}
+        cache_version = (
+            fetch_cache.version if fetch_cache is not None else 0
+        )
         counts = result.visit_counts
 
         current = seed
@@ -151,9 +320,24 @@ class PersonalizedPageRank:
 
             state = fetched.get(current)
             if state is None:
-                state = self._fetch(current, generator)
+                payload = (
+                    fetch_cache.lookup(current)
+                    if fetch_cache is not None
+                    else None
+                )
+                if payload is not None:
+                    state = payload.fresh_view()
+                    result.cached_fetches += 1
+                else:
+                    state = self._fetch(current, generator)
+                    if fetch_cache is not None:
+                        fetch_cache.store(
+                            current,
+                            state.fresh_view(),
+                            guard_version=cache_version,
+                        )
+                    result.fetches += 1
                 fetched[current] = state
-                result.fetches += 1
                 continue  # re-enter the loop with the node now in memory
 
             segment = state.take_segment() if use_segments else None
@@ -215,9 +399,10 @@ class PersonalizedPageRank:
         length: int,
         *,
         rng: RngLike = None,
+        fetch_cache: Optional[FetchCache] = None,
     ) -> np.ndarray:
         """Personalized PageRank estimates (visit frequencies) for ``seed``."""
-        walk = self.stitched_walk(seed, length, rng=rng)
+        walk = self.stitched_walk(seed, length, rng=rng, fetch_cache=fetch_cache)
         return walk.frequencies(self.store.social_store.num_nodes)
 
     def top_k(
@@ -229,6 +414,7 @@ class PersonalizedPageRank:
         exclude_seed: bool = True,
         exclude_friends: bool = False,
         rng: RngLike = None,
+        fetch_cache: Optional[FetchCache] = None,
     ) -> StitchedWalkResult:
         """Run a walk sized for a top-``k`` query and leave ranking to caller.
 
@@ -237,7 +423,7 @@ class PersonalizedPageRank:
         The walk result is returned so fetch counts stay inspectable;
         call ``.top(k, exclude=...)`` on it for the ranking.
         """
-        walk = self.stitched_walk(seed, length, rng=rng)
+        walk = self.stitched_walk(seed, length, rng=rng, fetch_cache=fetch_cache)
         excluded: set[int] = set()
         if exclude_seed:
             excluded.add(seed)

@@ -14,7 +14,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.core import theory
-from repro.core.personalized import PersonalizedPageRank, StitchedWalkResult
+from repro.core.personalized import (
+    FetchCache,
+    PersonalizedPageRank,
+    StitchedWalkResult,
+)
 from repro.errors import ConfigurationError
 from repro.rng import RngLike
 
@@ -35,6 +39,9 @@ class TopKResult:
 
     seed: int
     k: int
+    #: ``(node, visits)`` pairs, highest first; equal visit counts are
+    #: broken by ascending node id (see :meth:`StitchedWalkResult.top`), so
+    #: rankings are deterministic and cacheable.
     ranking: list[tuple[int, int]]
     walk_length: int
     fetches: int
@@ -61,6 +68,7 @@ def top_k_personalized(
     exclude_friends: bool = True,
     length: Optional[int] = None,
     rng: RngLike = None,
+    fetch_cache: Optional[FetchCache] = None,
 ) -> TopKResult:
     """Find the ``k`` nodes with highest personalized PageRank for ``seed``.
 
@@ -68,6 +76,8 @@ def top_k_personalized(
     vector (§3.1; measure it with
     :func:`repro.analysis.power_law.fit_rank_exponent` when unknown).
     ``length`` overrides the Equation-4 walk length when given.
+    ``fetch_cache`` lets repeated queries share fetched node states (the
+    reported ``fetches`` then counts only actual store fetches).
     """
     if k <= 0:
         raise ConfigurationError(f"k must be positive, got {k}")
@@ -85,6 +95,7 @@ def top_k_personalized(
         exclude_seed=True,
         exclude_friends=exclude_friends,
         rng=rng,
+        fetch_cache=fetch_cache,
     )
     fetches = engine.store.fetch_count - before
     walks_per_node = max(

@@ -71,6 +71,26 @@ class WalkStateError(ReproError):
     """A walk segment or walk store reached an internal inconsistency."""
 
 
+class ServeError(ReproError):
+    """Base class for query-serving-layer errors."""
+
+
+class LoadShedError(ServeError):
+    """A query was refused by admission control (queue depth exceeded).
+
+    Shedding is the serving layer working as designed under overload —
+    callers should back off and retry, not treat this as a crash.
+    """
+
+    def __init__(self, queue_depth: int, max_queue_depth: int) -> None:
+        super().__init__(
+            f"request shed: {queue_depth} requests in flight "
+            f"(admission limit {max_queue_depth})"
+        )
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max_queue_depth
+
+
 class ConfigurationError(ReproError, ValueError):
     """Invalid parameter passed to an estimator, engine, or experiment."""
 

@@ -17,6 +17,7 @@ from repro.experiments import (  # noqa: E402,F401  (registration side effects)
     exp_linkpred,
     exp_powerlaw,
     exp_precision,
+    exp_serve,
     exp_update_cost,
 )
 

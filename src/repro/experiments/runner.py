@@ -47,6 +47,13 @@ QUICK_OVERRIDES = {
     "E-DIR": {"num_nodes": 500, "num_edges": 6000},
     "E-ADV": {"sizes": (10, 20), "repetitions": 3},
     "E-THM6": {"num_nodes": 300, "num_edges": 3000},
+    "E-SERVE": {
+        "num_nodes": 500,
+        "num_edges": 6000,
+        "num_queries": 300,
+        "sustained_queries": 300,
+        "walk_length": 600,
+    },
 }
 
 

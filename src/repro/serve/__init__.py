@@ -1,0 +1,78 @@
+"""repro.serve — the query-serving layer over the incremental walk store.
+
+The paper maintains an always-fresh walk index so personalized queries are
+cheap *at read time*; this package is the read path.  It turns the §3
+query primitives into a service: cached, batched, deduplicated,
+admission-controlled, and invalidated exactly when the incremental engine
+touches state a cached answer depended on.
+
+Module map (the query path, top to bottom)::
+
+    client request
+        │
+        ▼
+    batcher.py   RequestBatcher — coalesces duplicate in-flight seeds,
+        │        executes distinct seeds on a worker pool, sheds load
+        │        past a queue-depth limit (LoadShedError)
+        ▼
+    engine.py    QueryEngine — answers ppr()/top_k() with per-query
+        │        deterministic RNG; consults the seed-keyed result cache,
+        │        else runs a stitched walk through the shared fetch cache
+        ▼
+    cache.py     ResultCache — LRU + TTL result store with footprint
+        │        (dirty-set) invalidation fed by IncrementalPageRank's
+        │        epoch/update listeners; full flush as fallback
+        ▼
+    (core)       PersonalizedPageRank.stitched_walk + FetchCache
+        │        (repro.core.personalized) — Algorithm 1 with shared
+        │        cross-query fetched node states
+        ▼
+    (store)      PageRankStore.fetch / SocialStore — the two §2 databases
+
+    stats.py     ServeStats — hit/shed/coalesce counters + latency
+                 histogram, shared by every component above
+    traffic.py   Zipf seed generator + interleaved query/update phases
+                 (the E-SERVE workload)
+
+Correctness is differential, not best-effort: for any interleaving of
+queries and updates, a served answer — cache hit or miss — equals a
+cache-free run of the same query with the same derived RNG on the current
+store state (``tests/test_serve.py``).  The enabling invariants:
+
+* walks consume RNG identically with and without the fetch cache;
+* every cached result records its walk's visit **footprint**;
+* every mutation publishes its **dirty node set**, and any overlap drops
+  the entry;
+* both caches version-guard inserts, so a result computed before an
+  invalidation can never be cached after it.
+
+**Concurrency contract.**  Queries are safe to run concurrently with each
+other (that is the batcher's job).  Graph/walk-store *mutations* are not
+synchronized against in-flight walks — apply updates between query waves
+(e.g. after ``RequestBatcher.run`` returns, as every driver in this
+repository does), not concurrently with unresolved futures.  The version
+guards keep a violation transient (a stale answer may be returned once
+but is never cached); they do not make torn reads safe.
+"""
+
+from repro.serve.batcher import QueryRequest, RequestBatcher
+from repro.serve.cache import CacheEntry, ResultCache
+from repro.serve.engine import QueryEngine
+from repro.serve.stats import ServeStats
+from repro.serve.traffic import (
+    TrafficPhase,
+    interleaved_traffic,
+    zipf_seed_sequence,
+)
+
+__all__ = [
+    "QueryEngine",
+    "RequestBatcher",
+    "QueryRequest",
+    "ResultCache",
+    "CacheEntry",
+    "ServeStats",
+    "TrafficPhase",
+    "interleaved_traffic",
+    "zipf_seed_sequence",
+]

@@ -1,0 +1,178 @@
+"""Request batching: coalescing, a worker pool, and admission control.
+
+A serving tier in front of a walk store sees three load phenomena the
+:class:`~repro.serve.engine.QueryEngine` alone does not handle:
+
+* **duplicate in-flight seeds** — under a Zipf seed distribution the same
+  hot seed is requested many times within one queue drain; only the first
+  should pay for a walk.  The batcher coalesces requests with the same
+  query key onto one shared future.
+* **parallel execution** — distinct seeds are independent reads, so a
+  worker pool executes them concurrently.  Queries stay deterministic
+  under concurrency because each walk's RNG is derived from the query
+  itself (see :meth:`QueryEngine.query_rng`), never from execution order.
+* **overload** — a bounded in-flight window sheds excess requests with
+  :class:`~repro.errors.LoadShedError` instead of letting latency grow
+  without bound (queue-depth load shedding, the standard admission-control
+  policy for read services).
+
+Every outcome is billed to the shared :class:`~repro.serve.stats.ServeStats`.
+
+Concurrency contract: the pool parallelizes *reads*.  Store mutations
+(``apply``/``apply_batch``) must not run while futures are unresolved —
+drain the batcher (``run`` blocks until its drain completes) before
+ingesting, as all drivers here do.  See :mod:`repro.serve` for details.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, LoadShedError
+from repro.serve.engine import QueryEngine
+
+__all__ = ["QueryRequest", "RequestBatcher"]
+
+PPR = "ppr"
+TOP_K = "topk"
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One client request, hashable so duplicates can be coalesced."""
+
+    kind: str = TOP_K
+    seed: int = 0
+    k: int = 10
+    #: Explicit walk length; None lets top-k size the walk via Equation 4
+    #: (required for ``kind='ppr'``).
+    length: Optional[int] = None
+    exclude_friends: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PPR, TOP_K):
+            raise ConfigurationError(
+                f"kind must be '{PPR}' or '{TOP_K}', got {self.kind!r}"
+            )
+        if self.kind == PPR and self.length is None:
+            raise ConfigurationError("ppr requests need an explicit length")
+
+
+class RequestBatcher:
+    """Coalescing worker-pool front door for a :class:`QueryEngine`."""
+
+    def __init__(
+        self,
+        query_engine: QueryEngine,
+        *,
+        max_workers: int = 4,
+        max_queue_depth: int = 256,
+    ) -> None:
+        if max_workers <= 0:
+            raise ConfigurationError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        if max_queue_depth <= 0:
+            raise ConfigurationError(
+                f"max_queue_depth must be positive, got {max_queue_depth}"
+            )
+        self.query_engine = query_engine
+        self.stats = query_engine.stats
+        self.max_queue_depth = max_queue_depth
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._in_flight: dict[Hashable, Future] = {}
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _key(request: QueryRequest) -> Hashable:
+        return request
+
+    @property
+    def depth(self) -> int:
+        """Requests currently admitted and not yet finished."""
+        return self._depth
+
+    def submit(self, request: QueryRequest) -> Future:
+        """Admit ``request``; returns a future for its result.
+
+        A duplicate of an in-flight request shares that request's future
+        (coalesced — it neither costs a walk nor counts against the
+        admission window).  When the in-flight window is full the request
+        is shed: the returned future fails with
+        :class:`~repro.errors.LoadShedError`.
+        """
+        key = self._key(request)
+        with self._lock:
+            existing = self._in_flight.get(key)
+            if existing is not None:
+                self.stats.record_coalesced()
+                return existing
+            if self._depth >= self.max_queue_depth:
+                self.stats.record_shed()
+                shed: Future = Future()
+                shed.set_exception(
+                    LoadShedError(self._depth, self.max_queue_depth)
+                )
+                return shed
+            self._depth += 1
+            future = self._executor.submit(self._execute, request, key)
+            # _execute's cleanup also takes the lock, so the future cannot
+            # be reaped before it is registered here.
+            self._in_flight[key] = future
+            return future
+
+    def _execute(self, request: QueryRequest, key: Hashable):
+        try:
+            if request.kind == PPR:
+                return self.query_engine.ppr(request.seed, request.length)
+            return self.query_engine.top_k(
+                request.seed,
+                request.k,
+                length=request.length,
+                exclude_friends=request.exclude_friends,
+            )
+        finally:
+            with self._lock:
+                self._in_flight.pop(key, None)
+                self._depth -= 1
+
+    # ------------------------------------------------------------------
+
+    def run(self, requests: Sequence[QueryRequest]) -> List[Optional[object]]:
+        """Submit a whole queue drain and gather results in request order.
+
+        Shed requests yield ``None`` (their count is in the stats); other
+        failures propagate.  Duplicate requests resolve to the shared
+        result.
+        """
+        futures = [self.submit(request) for request in requests]
+        results: List[Optional[object]] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except LoadShedError:
+                results.append(None)
+        return results
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "RequestBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestBatcher(depth={self._depth}, "
+            f"max_queue_depth={self.max_queue_depth})"
+        )

@@ -1,0 +1,217 @@
+"""Seed-keyed result cache with LRU + TTL eviction and dirty-set invalidation.
+
+The cache's correctness contract is exact, not best-effort: a surviving
+entry must equal what recomputing the query *right now* (same derived RNG)
+would return.  That holds because
+
+* every entry records its walk's **footprint** — the set of nodes the walk
+  visited, which is exactly the set of fetch states the walk read;
+* every engine mutation publishes a **dirty node set** (nodes whose
+  adjacency or starting segments may have changed — see
+  :meth:`repro.core.incremental.IncrementalPageRank.add_update_listener`);
+* an entry is dropped the moment its footprint intersects a dirty set.
+
+A walk that never read a dirty node takes the same trajectory on the
+post-update store, so its cached answer is bit-identical to a fresh run —
+the property ``tests/test_serve.py`` checks differentially under arbitrary
+query/update interleavings.
+
+Invalidation is O(dirty nodes) via an inverted footprint index; when a
+mutation's dirty set exceeds ``flush_threshold`` the cache falls back to a
+full flush (one big batch invalidates almost everything anyway, and the
+flush is O(1) amortized).  TTL is a freshness *policy* on top of the
+correctness machinery — a deployment may prefer re-sampled rankings every
+few minutes even for untouched seeds; ``ttl=None`` disables it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterable, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultCache", "CacheEntry"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached query answer plus the metadata eviction needs."""
+
+    key: Hashable
+    value: Any
+    #: Every node whose fetch state the producing walk read.
+    footprint: frozenset
+    #: Engine epoch when the entry was produced (observability only —
+    #: validity is maintained by invalidation, not epoch comparison).
+    epoch: int
+    #: Absolute deadline on the cache clock, or None for no TTL.
+    expires_at: Optional[float]
+
+
+class ResultCache:
+    """LRU + TTL cache of query results, invalidated by dirty node sets."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 4096,
+        ttl: Optional[float] = None,
+        flush_threshold: int = 2048,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ConfigurationError(f"ttl must be positive or None, got {ttl}")
+        if flush_threshold <= 0:
+            raise ConfigurationError(
+                f"flush_threshold must be positive, got {flush_threshold}"
+            )
+        self.capacity = capacity
+        self.ttl = ttl
+        self.flush_threshold = flush_threshold
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        #: Inverted index: node -> keys of entries whose footprint holds it.
+        self._by_node: Dict[int, Set[Hashable]] = {}
+        #: Monotone counter, bumped by every invalidation event (even one
+        #: that drops nothing: an in-flight result's footprint may overlap
+        #: a dirty set no *current* entry does).  ``put`` guards on it.
+        self.version = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+        self.flushes = 0
+        self.stale_rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Read / write
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> Tuple[bool, Any]:
+        """``(hit, value)``; a TTL-expired entry is dropped and misses."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False, None
+            if entry.expires_at is not None and self.clock() >= entry.expires_at:
+                self._drop(key)
+                self.expirations += 1
+                return False, None
+            self._entries.move_to_end(key)
+            return True, entry.value
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        footprint: Iterable[int],
+        epoch: int,
+        *,
+        guard_version: Optional[int] = None,
+    ) -> Optional[CacheEntry]:
+        """Insert (or overwrite) an entry; evicts LRU entries past capacity.
+
+        ``guard_version`` closes the compute/invalidate race: pass the
+        :attr:`version` observed *before* computing ``value``, and the put
+        is rejected (returns None) if any invalidation ran in between —
+        otherwise a result computed against the pre-update store could be
+        inserted after the update's invalidation and never be dropped.
+        """
+        footprint = frozenset(footprint)
+        expires_at = self.clock() + self.ttl if self.ttl is not None else None
+        entry = CacheEntry(
+            key=key,
+            value=value,
+            footprint=footprint,
+            epoch=epoch,
+            expires_at=expires_at,
+        )
+        with self._lock:
+            if guard_version is not None and guard_version != self.version:
+                self.stale_rejections += 1
+                return None
+            if key in self._entries:
+                self._drop(key)
+            self._entries[key] = entry
+            for node in footprint:
+                self._by_node.setdefault(node, set()).add(key)
+            self.insertions += 1
+            while len(self._entries) > self.capacity:
+                oldest, _ = next(iter(self._entries.items()))
+                self._drop(oldest)
+                self.evictions += 1
+        return entry
+
+    def _drop(self, key: Hashable) -> None:
+        """Remove ``key`` and unindex its footprint (lock held by caller)."""
+        entry = self._entries.pop(key)
+        for node in entry.footprint:
+            keys = self._by_node.get(node)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_node[node]
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(self, dirty_nodes: Optional[Iterable[int]]) -> int:
+        """Drop every entry whose footprint meets ``dirty_nodes``.
+
+        ``None`` (or a dirty set larger than ``flush_threshold``) flushes
+        the whole cache.  Returns the number of entries dropped.
+        """
+        if dirty_nodes is None:
+            return self.flush()
+        dirty = (
+            dirty_nodes
+            if isinstance(dirty_nodes, (set, frozenset))
+            else set(dirty_nodes)
+        )
+        if len(dirty) > self.flush_threshold:
+            return self.flush()
+        with self._lock:
+            self.version += 1
+            stale: Set[Hashable] = set()
+            for node in dirty:
+                keys = self._by_node.get(node)
+                if keys:
+                    stale.update(keys)
+            for key in stale:
+                self._drop(key)
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def flush(self) -> int:
+        with self._lock:
+            self.version += 1
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._by_node.clear()
+            self.invalidations += dropped
+            self.flushes += 1
+            return dropped
+
+    # ------------------------------------------------------------------
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(entries={len(self._entries)}, "
+            f"capacity={self.capacity}, ttl={self.ttl}, "
+            f"invalidations={self.invalidations}, evictions={self.evictions})"
+        )

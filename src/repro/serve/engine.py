@@ -1,0 +1,271 @@
+"""The query front-end: cached PPR / top-k answers over the two stores.
+
+``QueryEngine`` is what a recommendation service calls.  It answers the
+two §3 query shapes — full personalized-PageRank walks and top-``k``
+rankings — against an :class:`~repro.core.incremental.IncrementalPageRank`
+engine's stores, through two caches:
+
+* a seed-keyed **result cache** (:class:`~repro.serve.cache.ResultCache`,
+  LRU + TTL) holding finished answers, invalidated selectively by the
+  engine's dirty-node feed;
+* a shared **fetch cache** (:class:`~repro.core.personalized.FetchCache`)
+  holding fetched node states, so even cache-miss walks skip most store
+  round-trips (the hot core of the graph is read by nearly every walk).
+
+**Determinism.**  Each query's walk RNG is derived from
+``(rng_seed, query seed, walk length)`` — not from wall clock or arrival
+order — so the same query against the same store state always returns the
+same answer, no matter which worker thread runs it or what was cached.
+Combined with footprint invalidation (see :mod:`repro.serve.cache`) this
+gives the serving layer's differential guarantee: hit or miss, the answer
+equals a cache-free :func:`repro.core.topk.top_k_personalized` /
+:meth:`~repro.core.personalized.PersonalizedPageRank.stitched_walk` run
+with the same derived generator on the current store state.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.incremental import IncrementalPageRank
+from repro.core.personalized import (
+    FetchCache,
+    PersonalizedPageRank,
+    StitchedWalkResult,
+)
+from repro.core.topk import TopKResult, walk_length_for_top_k
+from repro.errors import ConfigurationError
+from repro.serve.cache import ResultCache
+from repro.serve.stats import ServeStats
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Cached, deterministic PPR / top-k service over an incremental engine."""
+
+    def __init__(
+        self,
+        engine: IncrementalPageRank,
+        *,
+        rng_seed: int = 0,
+        result_capacity: int = 4096,
+        result_ttl: Optional[float] = None,
+        flush_threshold: int = 2048,
+        fetch_cache_capacity: Optional[int] = None,
+        cache_results: bool = True,
+        share_fetches: bool = True,
+        alpha: float = 0.77,
+        c: float = 5.0,
+        stats: Optional[ServeStats] = None,
+        clock=time.monotonic,
+    ) -> None:
+        """Attach to ``engine`` and subscribe to its update feed.
+
+        ``cache_results=False`` / ``share_fetches=False`` disable the
+        respective cache (every query recomputes) — the ablation the
+        E-SERVE benchmark measures against.  ``alpha``/``c`` are the
+        Equation-4 walk-sizing defaults for top-``k`` queries.
+        """
+        if rng_seed < 0:
+            raise ConfigurationError(f"rng_seed must be >= 0, got {rng_seed}")
+        self.engine = engine
+        self.store = engine.pagerank_store
+        self.rng_seed = rng_seed
+        self.alpha = alpha
+        self.c = c
+        self.cache_results = cache_results
+        self.clock = clock
+        self.results = ResultCache(
+            capacity=result_capacity,
+            ttl=result_ttl,
+            flush_threshold=flush_threshold,
+            clock=clock,
+        )
+        self.fetch_cache = (
+            FetchCache(capacity=fetch_cache_capacity) if share_fetches else None
+        )
+        self.stats = stats if stats is not None else ServeStats()
+        self._walker = PersonalizedPageRank(
+            self.store, reset_probability=engine.reset_probability
+        )
+        self._listener = self._on_update
+        engine.add_update_listener(self._listener)
+
+    # ------------------------------------------------------------------
+    # Determinism
+    # ------------------------------------------------------------------
+
+    def query_rng(self, seed: int, length: int) -> np.random.Generator:
+        """The generator a (seed, walk-length) query always walks with.
+
+        Public so tests and benchmarks can run the cache-free reference
+        computation with the *identical* randomness.
+        """
+        return np.random.default_rng([self.rng_seed, seed, length])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def ppr(self, seed: int, length: int) -> StitchedWalkResult:
+        """Personalized PageRank for ``seed`` by a stitched walk of ``length``.
+
+        Returns the full :class:`StitchedWalkResult` (visit counts are the
+        personalized scores).  Cached results are shared objects — treat
+        them as read-only.
+        """
+        key = ("ppr", seed, length)
+        return self._served(key, lambda: self._run_walk(seed, length))[0]
+
+    def top_k(
+        self,
+        seed: int,
+        k: int,
+        *,
+        length: Optional[int] = None,
+        exclude_friends: bool = True,
+        alpha: Optional[float] = None,
+        c: Optional[float] = None,
+    ) -> TopKResult:
+        """Top-``k`` personalized ranking for ``seed`` (Equation-4 sizing).
+
+        Matches :func:`repro.core.topk.top_k_personalized` run with
+        ``rng=self.query_rng(seed, walk_length)`` on the current store
+        state — hit or miss.  The walk length derived from Equation 4 is
+        part of the cache key, so node-count growth (which changes the
+        derived length) can never serve a stale-sized answer.
+        """
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        alpha = self.alpha if alpha is None else alpha
+        c = self.c if c is None else c
+        num_nodes = self.store.social_store.num_nodes
+        walk_length = (
+            length
+            if length is not None
+            else walk_length_for_top_k(k, num_nodes, alpha, c)
+        )
+        key = ("topk", seed, k, walk_length, exclude_friends, alpha, c)
+        return self._served(
+            key,
+            lambda: self._run_top_k(
+                seed, k, walk_length, exclude_friends, alpha, c
+            ),
+        )[0]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _served(self, key: Hashable, compute):
+        """Answer ``key`` through the result cache; returns (value, hit)."""
+        started = self.clock()
+        if self.cache_results:
+            hit, value = self.results.get(key)
+            if hit:
+                self.stats.record_query(hit=True, latency=self.clock() - started)
+                return value, True
+        # guard_version rejects the insert if an invalidation ran while we
+        # computed — otherwise a result walked on the pre-update store
+        # could land after the update's invalidation and never be dropped
+        guard_version = self.results.version
+        value, footprint = compute()
+        if self.cache_results:
+            self.results.put(
+                key,
+                value,
+                footprint,
+                self.engine.epoch,
+                guard_version=guard_version,
+            )
+        self.stats.record_query(hit=False, latency=self.clock() - started)
+        return value, False
+
+    def _run_walk(self, seed: int, length: int):
+        walk = self._walker.stitched_walk(
+            seed,
+            length,
+            rng=self.query_rng(seed, length),
+            fetch_cache=self.fetch_cache,
+        )
+        return walk, frozenset(walk.visit_counts)
+
+    def _run_top_k(
+        self,
+        seed: int,
+        k: int,
+        walk_length: int,
+        exclude_friends: bool,
+        alpha: float,
+        c: float,
+    ):
+        walk = self._walker.stitched_walk(
+            seed,
+            walk_length,
+            rng=self.query_rng(seed, walk_length),
+            fetch_cache=self.fetch_cache,
+        )
+        # Footprint = the *raw* visit set: excluded nodes (seed, friends)
+        # were still read by the walk, so they must keep invalidating.
+        footprint = frozenset(walk.visit_counts)
+        excluded = {seed}
+        if exclude_friends:
+            excluded.update(self.store.social_store.out_neighbors(seed))
+        result = TopKResult(
+            seed=seed,
+            k=k,
+            ranking=walk.top(k, exclude=excluded),
+            walk_length=walk_length,
+            fetches=walk.fetches,
+            fetch_bound=theory.cor9_topk_fetch_bound(
+                k, alpha, c, self._seed_walk_count(seed)
+            ),
+            alpha=alpha,
+            c=c,
+        )
+        return result, footprint
+
+    def _seed_walk_count(self, seed: int) -> int:
+        walks = self.store.walks
+        if seed < walks.num_nodes:
+            return max(len(walks.segments_of[seed]), 1)
+        return 1
+
+    # ------------------------------------------------------------------
+    # Invalidation + lifecycle
+    # ------------------------------------------------------------------
+
+    def _on_update(self, epoch: int, dirty_nodes: Optional[frozenset]) -> None:
+        flushes_before = self.results.flushes
+        dropped = self.results.invalidate(dirty_nodes)
+        self.stats.record_invalidation(
+            dropped, flush=self.results.flushes > flushes_before
+        )
+        if self.fetch_cache is not None:
+            if dirty_nodes is None:
+                self.fetch_cache.clear()
+            else:
+                self.fetch_cache.invalidate(dirty_nodes)
+
+    def prewarm(self, nodes, rng=None) -> int:
+        """Pre-fetch ``nodes`` into the shared fetch cache (0 if disabled)."""
+        if self.fetch_cache is None:
+            return 0
+        return self.fetch_cache.prewarm(self.store, nodes, rng)
+
+    def detach(self) -> None:
+        """Unsubscribe from the engine's update feed (lifecycle hygiene)."""
+        self.engine.remove_update_listener(self._listener)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(epoch={self.engine.epoch}, "
+            f"cached_results={len(self.results)}, "
+            f"fetch_cache={len(self.fetch_cache) if self.fetch_cache else 0}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

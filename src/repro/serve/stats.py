@@ -1,0 +1,172 @@
+"""Serving observability: hit/shed counters and a latency histogram.
+
+The serving layer's health is read off three rates — result-cache hit
+rate, load-shed rate, and the latency distribution — exactly the triple a
+production dashboard for a read-heavy store shows.  :class:`ServeStats` is
+the one object all serving components bill into; it is thread-safe because
+the :class:`~repro.serve.batcher.RequestBatcher` worker pool shares it.
+
+Latencies land in geometric buckets (factor 2 from 1 µs), so percentiles
+are bucket-resolution estimates: good enough to see a cache turning 10 ms
+walks into 10 µs lookups, with O(1) memory forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ServeStats"]
+
+#: Bucket upper bounds in seconds: 1 µs · 2^i, i = 0 … 39 (~18 minutes).
+_BUCKET_BOUNDS = [1e-6 * (2.0**i) for i in range(40)]
+
+
+class ServeStats:
+    """Counters + latency histogram for the query-serving layer."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queries = 0
+        self.hits = 0
+        self.misses = 0
+        self.shed = 0
+        self.coalesced = 0
+        self.invalidated_results = 0
+        self.flushes = 0
+        self._latency_buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._latency_count = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_query(self, *, hit: bool, latency: float) -> None:
+        """Bill one answered query (a shed request is *not* a query)."""
+        with self._lock:
+            self.queries += 1
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+            self._record_latency(latency)
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_invalidation(self, entries: int, *, flush: bool = False) -> None:
+        with self._lock:
+            self.invalidated_results += entries
+            if flush:
+                self.flushes += 1
+
+    def _record_latency(self, latency: float) -> None:
+        self._latency_buckets[bisect_left(_BUCKET_BOUNDS, latency)] += 1
+        self._latency_count += 1
+        self._latency_total += latency
+        self._latency_max = max(self._latency_max, latency)
+
+    # ------------------------------------------------------------------
+    # Rates
+    # ------------------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.queries if self.queries else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of *offered* load (queries + sheds) that was shed."""
+        offered = self.queries + self.shed
+        return self.shed / offered if offered else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return (
+            self._latency_total / self._latency_count
+            if self._latency_count
+            else 0.0
+        )
+
+    @property
+    def max_latency(self) -> float:
+        return self._latency_max
+
+    def percentile(self, p: float) -> float:
+        """Latency percentile ``p`` in [0, 1] (bucket upper-bound estimate)."""
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"percentile must be in [0, 1], got {p}")
+        with self._lock:
+            if not self._latency_count:
+                return 0.0
+            rank = p * self._latency_count
+            seen = 0
+            for index, count in enumerate(self._latency_buckets):
+                seen += count
+                if seen >= rank:
+                    if index < len(_BUCKET_BOUNDS):
+                        return _BUCKET_BOUNDS[index]
+                    return self._latency_max
+            return self._latency_max
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """All counters and headline rates, frozen (safe to keep around)."""
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "shed": self.shed,
+                "coalesced": self.coalesced,
+                "invalidated_results": self.invalidated_results,
+                "flushes": self.flushes,
+                "hit_rate": self.hits / self.queries if self.queries else 0.0,
+                "shed_rate": (
+                    self.shed / (self.queries + self.shed)
+                    if (self.queries + self.shed)
+                    else 0.0
+                ),
+                "mean_latency": (
+                    self._latency_total / self._latency_count
+                    if self._latency_count
+                    else 0.0
+                ),
+                "max_latency": self._latency_max,
+            }
+
+    def render(self) -> str:
+        """Human-readable one-screen summary (examples print this)."""
+        snap = self.snapshot()
+        lines = [
+            f"queries {snap['queries']:.0f}  "
+            f"hit rate {snap['hit_rate']:.1%}  "
+            f"shed {snap['shed']:.0f} ({snap['shed_rate']:.1%})  "
+            f"coalesced {snap['coalesced']:.0f}",
+            f"invalidated results {snap['invalidated_results']:.0f}  "
+            f"full flushes {snap['flushes']:.0f}",
+            f"latency mean {snap['mean_latency'] * 1e3:.3f} ms  "
+            f"p50 {self.percentile(0.50) * 1e3:.3f} ms  "
+            f"p99 {self.percentile(0.99) * 1e3:.3f} ms  "
+            f"max {snap['max_latency'] * 1e3:.3f} ms",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServeStats(queries={self.queries}, hit_rate={self.hit_rate:.2f}, "
+            f"shed={self.shed}, coalesced={self.coalesced})"
+        )

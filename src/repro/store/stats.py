@@ -11,6 +11,7 @@ without any actual network.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Mapping, Optional
@@ -19,44 +20,60 @@ __all__ = ["CallStats", "LatencyModel"]
 
 
 class CallStats:
-    """Named operation counters with snapshot/delta support."""
+    """Named operation counters with snapshot/delta support.
+
+    Thread-safe: the serving layer's worker pool bills concurrent reads
+    into the same counters.  ``record`` is a lock-protected
+    read-modify-write so no operation is ever lost to a race, and
+    ``snapshot`` is atomic with respect to in-flight records.  (The lock
+    covers the *counters* only — store mutations must still not run
+    concurrently with in-flight walks; see :mod:`repro.serve`.)
+    """
 
     def __init__(self) -> None:
         self._counts: Counter[str] = Counter()
+        self._lock = threading.Lock()
 
     def record(self, operation: str, count: int = 1) -> None:
         """Count ``count`` occurrences of ``operation``."""
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
-        self._counts[operation] += count
+        with self._lock:
+            self._counts[operation] += count
 
     def count(self, operation: str) -> int:
         return self._counts.get(operation, 0)
 
     def total(self) -> int:
-        return sum(self._counts.values())
+        with self._lock:
+            return sum(self._counts.values())
 
     def snapshot(self) -> Dict[str, int]:
         """A frozen copy of all counters (safe to keep around)."""
-        return dict(self._counts)
+        with self._lock:
+            return dict(self._counts)
 
     def delta_since(self, snapshot: Mapping[str, int]) -> Dict[str, int]:
         """Per-operation growth since a prior :meth:`snapshot`."""
+        current = self.snapshot()
         return {
-            op: self._counts[op] - snapshot.get(op, 0)
-            for op in set(self._counts) | set(snapshot)
-            if self._counts.get(op, 0) != snapshot.get(op, 0)
+            op: current.get(op, 0) - snapshot.get(op, 0)
+            for op in set(current) | set(snapshot)
+            if current.get(op, 0) != snapshot.get(op, 0)
         }
 
     def reset(self) -> None:
-        self._counts.clear()
+        with self._lock:
+            self._counts.clear()
 
     def merge(self, other: "CallStats") -> None:
         """Fold another stats object into this one (fleet aggregation)."""
-        self._counts.update(other._counts)
+        theirs = other.snapshot()
+        with self._lock:
+            self._counts.update(theirs)
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
-        return iter(sorted(self._counts.items()))
+        return iter(sorted(self.snapshot().items()))
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{op}={n}" for op, n in self)

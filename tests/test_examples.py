@@ -52,6 +52,18 @@ def test_batch_ingest():
 
 
 @pytest.mark.slow
+def test_serving():
+    result = _run(
+        "serving.py", "--nodes", "500", "--edges", "6000", "--queries", "300"
+    )
+    assert result.returncode == 0, result.stderr
+    assert "cache hit" in result.stdout
+    assert "results invalidated" in result.stdout
+    assert "served ranking == cache-free recompute" in result.stdout
+    assert "shed" in result.stdout
+
+
+@pytest.mark.slow
 def test_realtime_maintenance():
     result = _run(
         "realtime_maintenance.py", "--nodes", "400", "--edges", "4800"

@@ -16,6 +16,7 @@ from repro.experiments.exp_fetches import run_fig6
 from repro.experiments.exp_linkpred import run_table1
 from repro.experiments.exp_powerlaw import run_fig2, run_fig3, run_fig4
 from repro.experiments.exp_precision import run_fig5
+from repro.experiments.exp_serve import run_serve
 from repro.experiments.exp_update_cost import (
     run_adversarial,
     run_batch_ingest,
@@ -46,6 +47,8 @@ class TestRegistry:
             "E-DIR",
             "E-ADV",
             "E-THM6",
+            "E-BATCH",
+            "E-SERVE",
         } <= ids
 
     def test_unknown_id(self):
@@ -185,3 +188,27 @@ class TestCostDrivers:
             assert row["wall seconds"] > 0
             assert row["touched steps"] <= rows["sequential (per edge)"]["touched steps"]
         assert "batch_speedup" in result.figures
+
+
+class TestServeDriver:
+    def test_serve(self):
+        result = run_serve(
+            num_nodes=400,
+            num_edges=4800,
+            num_queries=120,
+            sustained_queries=120,
+            walk_length=300,
+            query_burst=60,
+            event_batch_size=200,
+            rng=9,
+        )
+        rows = {r["mode"]: r for r in result.rows}
+        assert set(rows) == {"uncached", "cached", "cached + batcher"}
+        for row in rows.values():
+            assert row["sustained qps"] > 0
+        assert rows["cached"]["hit rate"] > 0
+        # every mode's differential check must be n/n
+        checks = [n for n in result.notes if "differential check" in n]
+        assert len(checks) == 3
+        for note in checks:
+            assert "5/5" in note, note
