@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
 
 from repro.experiments.exp_fetches import run_fig6
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core.personalized import PersonalizedPageRank
 from repro.core.salsa import IncrementalSALSA, PersonalizedSALSA
 from repro.workloads.seeds import users_with_friend_count
 from repro.workloads.twitter_like import twitter_like_stream

@@ -26,6 +26,7 @@ paper-vs-measured record of every figure and table.
 
 from repro.core import (
     BatchUpdateReport,
+    ColumnarWalkStore,
     IncrementalPageRank,
     IncrementalSALSA,
     MonteCarloPageRank,
@@ -33,8 +34,10 @@ from repro.core import (
     PersonalizedSALSA,
     TopKResult,
     UpdateReport,
+    WalkIndex,
     WalkSegment,
     WalkStore,
+    make_walk_store,
     theory,
     top_k_personalized,
 )
@@ -52,7 +55,10 @@ __all__ = [
     "SocialStore",
     "PageRankStore",
     "WalkSegment",
+    "WalkIndex",
     "WalkStore",
+    "ColumnarWalkStore",
+    "make_walk_store",
     "MonteCarloPageRank",
     "IncrementalPageRank",
     "IncrementalSALSA",

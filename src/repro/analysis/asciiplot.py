@@ -7,7 +7,6 @@ and whether a measured curve sits under a theoretical bound.
 
 from __future__ import annotations
 
-import math
 from typing import Mapping, Sequence
 
 import numpy as np

@@ -1,6 +1,12 @@
 """Core contribution: Monte Carlo walk-segment PageRank/SALSA machinery."""
 
 from repro.core import theory
+from repro.core.columnar import (
+    BACKEND_COLUMNAR,
+    BACKEND_OBJECT,
+    ColumnarWalkStore,
+    make_walk_store,
+)
 from repro.core.incremental import (
     REROUTE_REDIRECT,
     REROUTE_RESIMULATE,
@@ -27,6 +33,7 @@ from repro.core.walks import (
     END_RESET,
     SIDE_AUTHORITY,
     SIDE_HUB,
+    WalkIndex,
     WalkSegment,
     WalkStore,
     simulate_reset_walk,
@@ -35,7 +42,12 @@ from repro.core.walks import (
 __all__ = [
     "theory",
     "WalkSegment",
+    "WalkIndex",
     "WalkStore",
+    "ColumnarWalkStore",
+    "make_walk_store",
+    "BACKEND_COLUMNAR",
+    "BACKEND_OBJECT",
     "END_RESET",
     "END_DANGLING",
     "SIDE_HUB",

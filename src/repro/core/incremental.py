@@ -65,17 +65,17 @@ the cached results whose walks read a dirty node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from repro.core.columnar import BACKEND_COLUMNAR, make_walk_store
 from repro.core.monte_carlo import PAPER, scores_from_store
 from repro.core.walks import (
     END_DANGLING,
-    END_RESET,
+    WalkIndex,
     WalkSegment,
-    WalkStore,
     default_max_steps,
     simulate_reset_walk,
 )
@@ -196,6 +196,7 @@ class IncrementalPageRank:
         rng: RngLike = None,
         reroute_policy: str = REROUTE_REDIRECT,
         pagerank_store: Optional[PageRankStore] = None,
+        store_backend: str = BACKEND_COLUMNAR,
     ) -> None:
         if not 0.0 < reset_probability <= 1.0:
             raise ConfigurationError(
@@ -211,6 +212,10 @@ class IncrementalPageRank:
         self.reset_probability = reset_probability
         self.walks_per_node = walks_per_node
         self.reroute_policy = reroute_policy
+        #: Which WalkIndex implementation initialize() builds ("columnar"
+        #: by default; "object" selects the reference WalkStore).
+        self.store_backend = store_backend
+        make_walk_store(0, backend=store_backend)  # validate the name early
         self._rng = ensure_rng(rng)
         self.pagerank_store = (
             pagerank_store
@@ -268,6 +273,7 @@ class IncrementalPageRank:
         walks_per_node: int = 10,
         rng: RngLike = None,
         reroute_policy: str = REROUTE_REDIRECT,
+        store_backend: str = BACKEND_COLUMNAR,
     ) -> "IncrementalPageRank":
         """Wrap an existing graph and initialize all walk segments (batch)."""
         engine = cls(
@@ -276,6 +282,7 @@ class IncrementalPageRank:
             walks_per_node=walks_per_node,
             rng=rng,
             reroute_policy=reroute_policy,
+            store_backend=store_backend,
         )
         engine.initialize()
         return engine
@@ -283,7 +290,7 @@ class IncrementalPageRank:
     def initialize(self) -> None:
         """(Re)simulate ``R`` segments per existing node, vectorized."""
         graph = self.graph
-        store = WalkStore(graph.num_nodes)
+        store = make_walk_store(graph.num_nodes, backend=self.store_backend)
         if graph.num_nodes:
             csr = graph.to_csr("out")
             starts = np.repeat(
@@ -292,8 +299,7 @@ class IncrementalPageRank:
             result = batch_reset_walks(
                 csr, starts, self.reset_probability, self._rng
             )
-            for nodes, reason in zip(result.segments, result.end_reasons):
-                store.add_segment(WalkSegment(nodes, int(reason)))
+            store.bulk_add_segments(result.segments, result.end_reasons)
         self.pagerank_store.walks = store
         self._publish_update(None)  # every stored segment was rebuilt
 
@@ -306,7 +312,7 @@ class IncrementalPageRank:
         return self.social_store.graph
 
     @property
-    def walks(self) -> WalkStore:
+    def walks(self) -> WalkIndex:
         return self.pagerank_store.walks
 
     @property
@@ -327,7 +333,7 @@ class IncrementalPageRank:
     def _ensure_walks(self, node: int) -> int:
         """Make sure ``node`` owns R segments; returns steps simulated."""
         self.walks.ensure_node(node)
-        existing = len(self.walks.segments_of[node])
+        existing = len(self.walks.segments_starting_at(node))
         steps = 0
         for _ in range(existing, self.walks_per_node):
             segment = simulate_reset_walk(
@@ -368,10 +374,10 @@ class IncrementalPageRank:
         rng = self._rng
         redirect_probability = 1.0 / degree
         for segment_id in affected_ids:
-            segment = self.walks.get(segment_id)
+            nodes = self.walks.segment_nodes(segment_id)
             handled = self._maybe_redirect(
                 segment_id,
-                segment,
+                nodes,
                 source,
                 target,
                 redirect_probability,
@@ -381,10 +387,10 @@ class IncrementalPageRank:
             )
             if not handled:
                 if (
-                    segment.end_reason == END_DANGLING
-                    and segment.nodes[-1] == source
+                    nodes[-1] == source
+                    and self.walks.end_reason_of(segment_id) == END_DANGLING
                 ):
-                    self._extend_dangling(segment_id, segment, report, rng, dirty)
+                    self._extend_dangling(segment_id, nodes, report, rng, dirty)
                 else:
                     report.segments_examined += 1
 
@@ -397,7 +403,7 @@ class IncrementalPageRank:
     def _maybe_redirect(
         self,
         segment_id: int,
-        segment: WalkSegment,
+        nodes: list[int],
         source: int,
         target: int,
         redirect_probability: float,
@@ -405,16 +411,19 @@ class IncrementalPageRank:
         rng: np.random.Generator,
         dirty: set[int],
     ) -> bool:
-        """Flip a 1/d coin per step taken at ``source``; reroute on first hit."""
-        nodes = segment.nodes
+        """Flip a 1/d coin per step taken at ``source``; reroute on first hit.
+
+        ``nodes`` is the segment's (materialized) node list — the scan
+        works on it directly so the hot loop never touches store objects.
+        """
         for position in range(len(nodes) - 1):
             if nodes[position] != source:
                 continue
             if rng.random() >= redirect_probability:
                 continue
-            dirty.add(segment.source)
+            dirty.add(nodes[0])
             if self.reroute_policy == REROUTE_RESIMULATE:
-                self._resimulate_from_source(segment_id, segment, report, rng)
+                self._resimulate_from_source(segment_id, nodes, report, rng)
             else:
                 discarded = len(nodes) - (position + 1)
                 continuation = simulate_reset_walk(
@@ -432,7 +441,7 @@ class IncrementalPageRank:
     def _extend_dangling(
         self,
         segment_id: int,
-        segment: WalkSegment,
+        nodes: list[int],
         report: UpdateReport,
         rng: np.random.Generator,
         dirty: set[int],
@@ -443,15 +452,15 @@ class IncrementalPageRank:
         step is taken uniformly over the node's *current* out-edges, then
         the walk proceeds normally.
         """
-        node = segment.nodes[-1]
-        dirty.add(segment.source)
+        node = nodes[-1]
+        dirty.add(nodes[0])
         next_node = self.graph.random_out_neighbor(node, rng)
         continuation = simulate_reset_walk(
             self.graph, next_node, self.reset_probability, rng
         )
         self.walks.replace_suffix(
             segment_id,
-            len(segment.nodes) - 1,
+            len(nodes) - 1,
             continuation.nodes,
             continuation.end_reason,
         )
@@ -461,14 +470,14 @@ class IncrementalPageRank:
     def _resimulate_from_source(
         self,
         segment_id: int,
-        segment: WalkSegment,
+        nodes: list[int],
         report: UpdateReport,
         rng: np.random.Generator,
     ) -> None:
         """§2.2's simplified policy: throw the segment away and re-walk."""
-        report.steps_discarded += len(segment.nodes) - 1
+        report.steps_discarded += len(nodes) - 1
         replacement = simulate_reset_walk(
-            self.graph, segment.source, self.reset_probability, rng
+            self.graph, nodes[0], self.reset_probability, rng
         )
         self.walks.rebuild_segment(
             segment_id, replacement.nodes, replacement.end_reason
@@ -489,16 +498,16 @@ class IncrementalPageRank:
         dirty = {source, target}
         rng = self._rng
         for segment_id in self.walks.segment_ids_visiting(source):
-            segment = self.walks.get(segment_id)
-            position = self._first_use_of_edge(segment, source, target)
+            nodes = self.walks.segment_nodes(segment_id)
+            position = self._first_use_of_edge(nodes, source, target)
             if position is None:
                 report.segments_examined += 1
                 continue
-            dirty.add(segment.source)
+            dirty.add(nodes[0])
             if self.reroute_policy == REROUTE_RESIMULATE:
-                self._resimulate_from_source(segment_id, segment, report, rng)
+                self._resimulate_from_source(segment_id, nodes, report, rng)
                 continue
-            discarded = len(segment.nodes) - (position + 1)
+            discarded = len(nodes) - (position + 1)
             # Re-take the step over the remaining edges; the ε-coin at
             # ``source`` already came up "continue", so it is NOT reflipped.
             if self.graph.out_degree(source) == 0:
@@ -525,9 +534,8 @@ class IncrementalPageRank:
 
     @staticmethod
     def _first_use_of_edge(
-        segment: WalkSegment, source: int, target: int
+        nodes: list[int], source: int, target: int
     ) -> Optional[int]:
-        nodes = segment.nodes
         for position in range(len(nodes) - 1):
             if nodes[position] == source and nodes[position + 1] == target:
                 return position
@@ -642,12 +650,10 @@ class IncrementalPageRank:
         resim_starts: list[int] = []
         rng = self._rng
         if affected_ids:
-            affected_segments = [
-                walks.get(segment_id) for segment_id in affected_ids
-            ]
+            # zero-copy on the columnar backend: views straight into the
+            # node arena; the object backend materializes arrays here
             segment_arrays = [
-                np.asarray(segment.nodes, dtype=np.int64)
-                for segment in affected_segments
+                walks.segment_view(segment_id) for segment_id in affected_ids
             ]
             lengths = np.fromiter(
                 (arr.size for arr in segment_arrays),
@@ -704,13 +710,14 @@ class IncrementalPageRank:
                 if self.reroute_policy == REROUTE_RESIMULATE:
                     # §2.2's simplified policy: re-walk from the source
                     resim_specs.append((segment_id, _REBUILD))
-                    resim_starts.append(walks.get(segment_id).source)
+                    resim_starts.append(walks.source_of(segment_id))
                 elif not delta.new_neighbors:
                     # source lost every out-edge: the already-decided
                     # "continue" becomes a pending step (Prop 5 semantics)
-                    segment = walks.get(segment_id)
-                    report.steps_discarded += len(segment.nodes) - (position + 1)
-                    touched.add(segment.source)
+                    report.steps_discarded += walks.segment_length(segment_id) - (
+                        position + 1
+                    )
+                    touched.add(walks.source_of(segment_id))
                     walks.replace_suffix(segment_id, position, [], END_DANGLING)
                     report.segments_rerouted += 1
                 elif not valid[which]:
@@ -729,11 +736,11 @@ class IncrementalPageRank:
             # is taken uniformly over the endpoint's post-batch out-set
             dangling = np.fromiter(
                 (
-                    segment.end_reason == END_DANGLING
-                    for segment in affected_segments
+                    walks.end_reason_of(segment_id) == END_DANGLING
+                    for segment_id in affected_ids
                 ),
                 dtype=bool,
-                count=len(affected_segments),
+                count=len(affected_ids),
             )
             dirty_degree = np.zeros(graph.num_nodes, dtype=np.int64)
             for source, delta in deltas.items():
@@ -777,24 +784,22 @@ class IncrementalPageRank:
                 ),
             )
             report.capped = result.capped
-            # merge repaired tails back into the store
+            # merge repaired tails back into the store — one bulk call so
+            # the columnar backend can rebuild its index vectorized
+            updates: list[tuple[int, int, list[int], int]] = []
             for (segment_id, keep_until), tail, reason in zip(
                 resim_specs, result.segments, result.end_reasons
             ):
-                segment = walks.get(segment_id)
+                stored_length = walks.segment_length(segment_id)
                 if keep_until == _REBUILD:
-                    report.steps_discarded += len(segment.nodes) - 1
-                    walks.rebuild_segment(segment_id, tail, int(reason))
+                    report.steps_discarded += stored_length - 1
                     report.steps_resimulated += len(tail) - 1
                 else:
-                    report.steps_discarded += len(segment.nodes) - (
-                        keep_until + 1
-                    )
-                    walks.replace_suffix(
-                        segment_id, keep_until, tail, int(reason)
-                    )
+                    report.steps_discarded += stored_length - (keep_until + 1)
                     report.steps_resimulated += len(tail)
+                updates.append((segment_id, keep_until, tail, int(reason)))
                 report.segments_rerouted += 1
+            walks.apply_segment_updates(updates)
             # R fresh segments per node that arrived inside the slice
             for index in range(len(resim_specs), len(all_starts)):
                 tail = result.segments[index]
@@ -805,7 +810,7 @@ class IncrementalPageRank:
                 report.steps_initialized += len(tail) - 1
 
         touched.update(
-            walks.get(segment_id).source for segment_id, _ in resim_specs
+            walks.source_of(segment_id) for segment_id, _ in resim_specs
         )
         touched.update(range(nodes_before, graph.num_nodes))
         report.dirty_nodes = frozenset(touched)

@@ -20,7 +20,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.walks import END_DANGLING, END_RESET, WalkSegment, WalkStore
+from repro.core.walks import WalkIndex
 from repro.errors import ConfigurationError
 from repro.graph.csr import batch_reset_walks
 from repro.graph.digraph import DynamicDiGraph
@@ -39,26 +39,36 @@ def build_walk_store(
     rng: RngLike = None,
     *,
     track_sides: bool = False,
-) -> WalkStore:
-    """Simulate ``R`` reset walks per node (vectorized) into a fresh store."""
+    backend: str = "object",
+) -> WalkIndex:
+    """Simulate ``R`` reset walks per node (vectorized) into a fresh store.
+
+    ``backend`` picks the :class:`WalkIndex` implementation: ``"object"``
+    (the reference :class:`WalkStore`, default here) or ``"columnar"``
+    (:class:`repro.core.columnar.ColumnarWalkStore`, what the incremental
+    engines build by default).
+    """
+    from repro.core.columnar import make_walk_store
+
     if walks_per_node <= 0:
         raise ConfigurationError(
             f"walks_per_node must be positive, got {walks_per_node}"
         )
     generator = ensure_rng(rng)
-    store = WalkStore(graph.num_nodes, track_sides=track_sides)
+    store = make_walk_store(
+        graph.num_nodes, track_sides=track_sides, backend=backend
+    )
     if graph.num_nodes == 0:
         return store
     csr = graph.to_csr("out")
     starts = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), walks_per_node)
     result = batch_reset_walks(csr, starts, reset_probability, generator)
-    for nodes, reason in zip(result.segments, result.end_reasons):
-        store.add_segment(WalkSegment(nodes, int(reason)))
+    store.bulk_add_segments(result.segments, result.end_reasons)
     return store
 
 
 def scores_from_store(
-    store: WalkStore,
+    store: WalkIndex,
     num_nodes: int,
     walks_per_node: int,
     reset_probability: float,
@@ -89,6 +99,7 @@ class MonteCarloPageRank:
         reset_probability: float = 0.2,
         walks_per_node: int = 10,
         rng: RngLike = None,
+        store_backend: str = "object",
     ) -> None:
         if not 0.0 < reset_probability <= 1.0:
             raise ConfigurationError(
@@ -97,18 +108,23 @@ class MonteCarloPageRank:
         self.graph = graph
         self.reset_probability = reset_probability
         self.walks_per_node = walks_per_node
+        self.store_backend = store_backend
         self._rng = ensure_rng(rng)
-        self._store: Optional[WalkStore] = None
+        self._store: Optional[WalkIndex] = None
 
     def build(self) -> "MonteCarloPageRank":
         """Simulate all walks; idempotent (rebuilds from scratch)."""
         self._store = build_walk_store(
-            self.graph, self.walks_per_node, self.reset_probability, self._rng
+            self.graph,
+            self.walks_per_node,
+            self.reset_probability,
+            self._rng,
+            backend=self.store_backend,
         )
         return self
 
     @property
-    def store(self) -> WalkStore:
+    def store(self) -> WalkIndex:
         if self._store is None:
             self.build()
         assert self._store is not None

@@ -26,14 +26,14 @@ from __future__ import annotations
 
 import threading
 from collections import Counter, OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.rng import RngLike, ensure_rng
-from repro.store.pagerank_store import FETCH_FULL, FetchResult, PageRankStore
+from repro.store.pagerank_store import FETCH_FULL, PageRankStore
 
 __all__ = ["FetchCache", "PersonalizedPageRank", "StitchedWalkResult"]
 

@@ -30,14 +30,15 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.columnar import BACKEND_COLUMNAR, make_walk_store
 from repro.core.incremental import UpdateReport
 from repro.core.walks import (
     END_DANGLING,
     END_RESET,
     SIDE_AUTHORITY,
     SIDE_HUB,
+    WalkIndex,
     WalkSegment,
-    WalkStore,
     default_max_steps,
 )
 from repro.errors import ConfigurationError
@@ -169,6 +170,7 @@ class IncrementalSALSA:
         reset_probability: float = 0.2,
         walks_per_node: int = 10,
         rng: RngLike = None,
+        store_backend: str = BACKEND_COLUMNAR,
     ) -> None:
         if not 0.0 < reset_probability <= 1.0:
             raise ConfigurationError(
@@ -181,6 +183,8 @@ class IncrementalSALSA:
         self.social_store = social_store if social_store is not None else SocialStore()
         self.reset_probability = reset_probability
         self.walks_per_node = walks_per_node
+        self.store_backend = store_backend
+        make_walk_store(0, backend=store_backend)  # validate the name early
         self._rng = ensure_rng(rng)
         self.pagerank_store = PageRankStore(
             self.social_store, track_sides=True, include_in_neighbors=True
@@ -201,12 +205,14 @@ class IncrementalSALSA:
         reset_probability: float = 0.2,
         walks_per_node: int = 10,
         rng: RngLike = None,
+        store_backend: str = BACKEND_COLUMNAR,
     ) -> "IncrementalSALSA":
         engine = cls(
             SocialStore.of_graph(graph),
             reset_probability=reset_probability,
             walks_per_node=walks_per_node,
             rng=rng,
+            store_backend=store_backend,
         )
         engine.initialize()
         return engine
@@ -214,21 +220,26 @@ class IncrementalSALSA:
     def initialize(self) -> None:
         """Simulate ``R`` forward-start + ``R`` backward-start segments per node."""
         graph = self.graph
-        store = WalkStore(graph.num_nodes, track_sides=True)
+        store = make_walk_store(
+            graph.num_nodes, track_sides=True, backend=self.store_backend
+        )
         if graph.num_nodes:
             out_csr = graph.to_csr("out")
             in_csr = graph.to_csr("in")
             starts = np.repeat(
                 np.arange(graph.num_nodes, dtype=np.int64), self.walks_per_node
             )
+            all_segments: list[list[int]] = []
+            all_reasons: list[int] = []
+            parities: list[int] = []
             for side in (SIDE_HUB, SIDE_AUTHORITY):
                 segments, reasons = batch_salsa_walks(
                     out_csr, in_csr, starts, side, self.reset_probability, self._rng
                 )
-                for nodes, reason in zip(segments, reasons):
-                    store.add_segment(
-                        WalkSegment(nodes, int(reason), parity_offset=side)
-                    )
+                all_segments.extend(segments)
+                all_reasons.extend(int(reason) for reason in reasons)
+                parities.extend(side for _ in segments)
+            store.bulk_add_segments(all_segments, all_reasons, parities)
         self.pagerank_store.walks = store
 
     @property
@@ -236,19 +247,19 @@ class IncrementalSALSA:
         return self.social_store.graph
 
     @property
-    def walks(self) -> WalkStore:
+    def walks(self) -> WalkIndex:
         return self.pagerank_store.walks
 
     def _ensure_walks(self, node: int) -> int:
         """Give ``node`` its 2R segments if missing; returns steps simulated."""
         self.walks.ensure_node(node)
-        owned = self.walks.segments_of[node]
+        owned = self.walks.segments_starting_at(node)
         steps = 0
         for side in (SIDE_HUB, SIDE_AUTHORITY):
             existing = sum(
                 1
                 for sid in owned
-                if self.walks.get(sid).parity_offset == side
+                if self.walks.parity_of(sid) == side
             )
             for _ in range(existing, self.walks_per_node):
                 segment = simulate_salsa_walk(
@@ -289,10 +300,12 @@ class IncrementalSALSA:
         rng = self._rng
 
         for segment_id in affected:
-            segment = self.walks.get(segment_id)
+            nodes = self.walks.segment_nodes(segment_id)
+            parity = self.walks.parity_of(segment_id)
             if self._maybe_redirect(
                 segment_id,
-                segment,
+                nodes,
+                parity,
                 source,
                 target,
                 forward_probability,
@@ -301,8 +314,10 @@ class IncrementalSALSA:
                 rng,
             ):
                 continue
-            if segment.end_reason == END_DANGLING and self._extend_dangling(
-                segment_id, segment, source, target, report, rng
+            if self.walks.end_reason_of(
+                segment_id
+            ) == END_DANGLING and self._extend_dangling(
+                segment_id, nodes, parity, source, target, report, rng
             ):
                 continue
             report.segments_examined += 1
@@ -314,7 +329,8 @@ class IncrementalSALSA:
     def _maybe_redirect(
         self,
         segment_id: int,
-        segment: WalkSegment,
+        nodes: list[int],
+        parity: int,
         source: int,
         target: int,
         forward_probability: float,
@@ -322,9 +338,8 @@ class IncrementalSALSA:
         report: UpdateReport,
         rng: np.random.Generator,
     ) -> bool:
-        nodes = segment.nodes
         for position in range(len(nodes) - 1):
-            side = segment.side_of(position)
+            side = (position + parity) % 2
             if side == SIDE_HUB and nodes[position] == source:
                 if rng.random() < forward_probability:
                     self._splice(
@@ -340,16 +355,17 @@ class IncrementalSALSA:
     def _extend_dangling(
         self,
         segment_id: int,
-        segment: WalkSegment,
+        nodes: list[int],
+        parity: int,
         source: int,
         target: int,
         report: UpdateReport,
         rng: np.random.Generator,
     ) -> bool:
         """Resume a stranded segment whose pending step just became possible."""
-        last_position = len(segment.nodes) - 1
-        last_node = segment.nodes[-1]
-        side = segment.side_of(last_position)
+        last_position = len(nodes) - 1
+        last_node = nodes[-1]
+        side = (last_position + parity) % 2
         if side == SIDE_HUB and last_node == source:
             next_node = self.graph.random_out_neighbor(source, rng)
             self._splice(
@@ -372,8 +388,7 @@ class IncrementalSALSA:
         rng: np.random.Generator,
     ) -> None:
         """Truncate after ``keep_until``, step to ``next_node``, resimulate."""
-        segment = self.walks.get(segment_id)
-        discarded = len(segment.nodes) - (keep_until + 1)
+        discarded = self.walks.segment_length(segment_id) - (keep_until + 1)
         continuation = simulate_salsa_walk(
             self.graph, next_node, next_side, self.reset_probability, rng
         )
@@ -400,8 +415,9 @@ class IncrementalSALSA:
             )
         )
         for segment_id in affected:
-            segment = self.walks.get(segment_id)
-            use = self._first_use(segment, source, target)
+            nodes = self.walks.segment_nodes(segment_id)
+            parity = self.walks.parity_of(segment_id)
+            use = self._first_use(nodes, parity, source, target)
             if use is None:
                 report.segments_examined += 1
                 continue
@@ -429,19 +445,17 @@ class IncrementalSALSA:
     def _truncate_dangling(
         self, segment_id: int, position: int, report: UpdateReport
     ) -> None:
-        segment = self.walks.get(segment_id)
-        discarded = len(segment.nodes) - (position + 1)
+        discarded = self.walks.segment_length(segment_id) - (position + 1)
         self.walks.replace_suffix(segment_id, position, [], END_DANGLING)
         report.steps_discarded += discarded
         report.segments_rerouted += 1
 
     @staticmethod
     def _first_use(
-        segment: WalkSegment, source: int, target: int
+        nodes: list[int], parity: int, source: int, target: int
     ) -> Optional[tuple[int, str]]:
-        nodes = segment.nodes
         for position in range(len(nodes) - 1):
-            side = segment.side_of(position)
+            side = (position + parity) % 2
             if (
                 side == SIDE_HUB
                 and nodes[position] == source

@@ -10,15 +10,11 @@ run it, rank, and report both the measured and the theoretical fetch cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core import theory
-from repro.core.personalized import (
-    FetchCache,
-    PersonalizedPageRank,
-    StitchedWalkResult,
-)
+from repro.core.personalized import FetchCache, PersonalizedPageRank
 from repro.errors import ConfigurationError
 from repro.rng import RngLike
 
@@ -98,14 +94,7 @@ def top_k_personalized(
         fetch_cache=fetch_cache,
     )
     fetches = engine.store.fetch_count - before
-    walks_per_node = max(
-        (
-            len(engine.store.walks.segments_of[seed])
-            if seed < engine.store.walks.num_nodes
-            else 0
-        ),
-        1,
-    )
+    walks_per_node = max(len(engine.store.walks.segments_starting_at(seed)), 1)
     return TopKResult(
         seed=seed,
         k=k,

@@ -7,8 +7,9 @@ either because the ε-coin came up "reset" (:data:`END_RESET`) or because
 (:data:`END_DANGLING`; the pending step resumes if ``x_k`` ever gains an
 out-edge).  These semantics are normative — see DESIGN.md §5.
 
-:class:`WalkStore` owns all segments plus the inverted *visit index* the
-incremental algorithms live on:
+:class:`WalkIndex` is the storage-engine protocol (DESIGN.md §6): the
+contract every walk store implements — segments plus the inverted *visit
+index* the incremental algorithms live on:
 
 * ``X(v)`` — total visits to ``v`` over all segments (the paper's ``X_v``),
 * ``W(v)`` — number of distinct segments visiting ``v`` (the paper's
@@ -16,14 +17,24 @@ incremental algorithms live on:
 * ``visits_of(v)`` — which segments visit ``v`` and how often, so an edge
   arrival touches only the segments that can possibly need a reroute.
 
-SALSA reuses the same store with ``track_sides=True``: each segment carries
-a ``parity_offset`` and position ``p`` of a segment counts toward side
-``(p + parity_offset) % 2`` (0 = hub visit, 1 = authority visit).
+Two implementations exist: :class:`WalkStore` here (one Python object per
+segment, per-node dict visit index — the reference implementation) and
+:class:`repro.core.columnar.ColumnarWalkStore` (one flat int64 node arena
+plus CSR-style index arrays — the production default).  Both produce
+bit-identical algorithm behavior under the same RNG because every
+enumeration the engines draw randomness over is deterministically ordered:
+``segment_ids_visiting`` ascending by segment id, ``segments_starting_at``
+in insertion order, ``iter_segments`` ascending by id.
+
+SALSA reuses the same stores with ``track_sides=True``: each segment
+carries a ``parity_offset`` and position ``p`` of a segment counts toward
+side ``(p + parity_offset) % 2`` (0 = hub visit, 1 = authority visit).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+import sys
+from typing import Iterator, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -34,6 +45,7 @@ from repro.rng import RngLike, ensure_rng
 __all__ = [
     "END_RESET",
     "END_DANGLING",
+    "WalkIndex",
     "WalkSegment",
     "WalkStore",
     "simulate_reset_walk",
@@ -102,8 +114,115 @@ class WalkSegment:
         return f"WalkSegment({self.nodes!r}, {reason})"
 
 
+@runtime_checkable
+class WalkIndex(Protocol):
+    """The storage-engine contract for walk segments (DESIGN.md §6).
+
+    Everything the incremental engines, the query layers, persistence, and
+    the serving stack consume is on this protocol; code written against it
+    runs unchanged on the object-backed :class:`WalkStore` and the
+    arena-backed :class:`repro.core.columnar.ColumnarWalkStore`.
+
+    Determinism contract (normative): ``segment_ids_visiting`` returns ids
+    ascending, ``segments_starting_at`` returns ids in insertion order,
+    and ``iter_segments`` yields ids ascending — so any RNG stream drawn
+    while iterating these enumerations is identical across backends.
+
+    Mutations go through :meth:`add_segment`, :meth:`replace_suffix`, and
+    :meth:`rebuild_segment` only; :meth:`get` may return a *materialized
+    copy* (the columnar backend does), so callers must never mutate a
+    returned :class:`WalkSegment` in place.
+    """
+
+    track_sides: bool
+    total_visits: int
+
+    # -- capacity ------------------------------------------------------
+    @property
+    def num_nodes(self) -> int: ...
+
+    @property
+    def num_segments(self) -> int: ...
+
+    def ensure_node(self, node: int) -> None: ...
+
+    # -- segment lifecycle ---------------------------------------------
+    def add_segment(self, segment: "WalkSegment") -> int: ...
+
+    def bulk_add_segments(
+        self,
+        segments: Sequence[Sequence[int]],
+        end_reasons: Sequence[int],
+        parity_offset: "int | Sequence[int]" = 0,
+    ) -> None: ...
+
+    def get(self, segment_id: int) -> "WalkSegment": ...
+
+    def replace_suffix(
+        self,
+        segment_id: int,
+        keep_until: int,
+        new_suffix: list[int],
+        end_reason: int,
+    ) -> None: ...
+
+    def rebuild_segment(
+        self, segment_id: int, nodes: list[int], end_reason: int
+    ) -> None: ...
+
+    def apply_segment_updates(
+        self, updates: Sequence[tuple[int, int, list[int], int]]
+    ) -> None: ...
+
+    # -- per-segment columns (cheap, no node materialization) ----------
+    def segment_length(self, segment_id: int) -> int: ...
+
+    def segment_view(self, segment_id: int) -> np.ndarray: ...
+
+    def segment_nodes(self, segment_id: int) -> list[int]: ...
+
+    def end_reason_of(self, segment_id: int) -> int: ...
+
+    def parity_of(self, segment_id: int) -> int: ...
+
+    def source_of(self, segment_id: int) -> int: ...
+
+    # -- queries -------------------------------------------------------
+    def visits_of(self, node: int) -> dict[int, int]: ...
+
+    def segment_ids_visiting(self, node: int) -> list[int]: ...
+
+    def segments_starting_at(self, node: int) -> list[int]: ...
+
+    def visit_count(self, node: int) -> int: ...
+
+    def distinct_segment_count(self, node: int) -> int: ...
+
+    def side_visit_count(self, node: int, side: int) -> int: ...
+
+    def visit_count_array(self) -> np.ndarray: ...
+
+    def side_visit_count_array(self, side: int) -> np.ndarray: ...
+
+    def iter_segments(self) -> Iterator[tuple[int, "WalkSegment"]]: ...
+
+    # -- accounting / verification -------------------------------------
+    def memory_bytes(self) -> int: ...
+
+    def memory_stats(self) -> dict: ...
+
+    def check_invariants(self) -> None: ...
+
+
 class WalkStore:
-    """All stored segments plus the inverted visit index and counters."""
+    """All stored segments plus the inverted visit index and counters.
+
+    The object-backed reference implementation of :class:`WalkIndex`: one
+    :class:`WalkSegment` per segment, one ``dict[segment_id, count]`` per
+    node as the visit index.  Simple and easy to audit; the arena-backed
+    :class:`repro.core.columnar.ColumnarWalkStore` is the memory- and
+    cache-efficient production default.
+    """
 
     def __init__(self, num_nodes: int = 0, *, track_sides: bool = False) -> None:
         self.segments: list[Optional[WalkSegment]] = []
@@ -174,6 +293,35 @@ class WalkStore:
         self._index_range(segment_id, segment, 0, +1)
         return segment_id
 
+    def bulk_add_segments(
+        self,
+        segments: Sequence[Sequence[int]],
+        end_reasons: Sequence[int],
+        parity_offset: "int | Sequence[int]" = 0,
+    ) -> None:
+        """Register many fresh segments at once (ids assigned in order).
+
+        ``parity_offset`` may be a scalar applied to every segment or one
+        value per segment (SALSA's mixed hub/authority bulk build).
+        """
+        count = len(segments)
+        if len(end_reasons) != count:
+            raise WalkStateError(
+                f"{count} segments but {len(end_reasons)} end reasons"
+            )
+        if isinstance(parity_offset, int):
+            parities: Sequence[int] = [parity_offset] * count
+        else:
+            parities = list(parity_offset)
+            if len(parities) != count:
+                raise WalkStateError(
+                    f"{count} segments but {len(parities)} parity offsets"
+                )
+        for nodes, reason, parity in zip(segments, end_reasons, parities):
+            self.add_segment(
+                WalkSegment(list(nodes), int(reason), parity_offset=int(parity))
+            )
+
     def get(self, segment_id: int) -> WalkSegment:
         segment = self.segments[segment_id]
         if segment is None:
@@ -222,6 +370,46 @@ class WalkStore:
         segment.end_reason = end_reason
         self._index_range(segment_id, segment, 0, +1)
 
+    def apply_segment_updates(
+        self, updates: Sequence[tuple[int, int, list[int], int]]
+    ) -> None:
+        """Apply many ``(segment_id, keep_until, tail, end_reason)`` rewrites.
+
+        ``keep_until == -1`` selects :meth:`rebuild_segment` (the tail
+        includes the source); anything else :meth:`replace_suffix`.  The
+        columnar backend overlaps this with a vectorized index rebuild.
+        """
+        for segment_id, keep_until, tail, end_reason in updates:
+            if keep_until < 0:
+                self.rebuild_segment(segment_id, tail, end_reason)
+            else:
+                self.replace_suffix(segment_id, keep_until, tail, end_reason)
+
+    # ------------------------------------------------------------------
+    # Per-segment columns (protocol accessors)
+    # ------------------------------------------------------------------
+
+    def segment_length(self, segment_id: int) -> int:
+        """Length of a segment without materializing its nodes."""
+        return len(self.get(segment_id).nodes)
+
+    def segment_view(self, segment_id: int) -> np.ndarray:
+        """Segment nodes as an int64 array (treat as read-only)."""
+        return np.asarray(self.get(segment_id).nodes, dtype=np.int64)
+
+    def segment_nodes(self, segment_id: int) -> list[int]:
+        """A fresh list of the segment's nodes (caller may consume it)."""
+        return list(self.get(segment_id).nodes)
+
+    def end_reason_of(self, segment_id: int) -> int:
+        return self.get(segment_id).end_reason
+
+    def parity_of(self, segment_id: int) -> int:
+        return self.get(segment_id).parity_offset
+
+    def source_of(self, segment_id: int) -> int:
+        return self.get(segment_id).source
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -233,9 +421,21 @@ class WalkStore:
         return dict(self._visits[node])
 
     def segment_ids_visiting(self, node: int) -> list[int]:
+        """Ids of segments visiting ``node``, ascending (normative order).
+
+        The incremental engines flip coins while iterating this list, so
+        its order is part of the determinism contract: sorted ids make the
+        RNG stream identical across :class:`WalkIndex` backends.
+        """
         if node >= self.num_nodes:
             return []
-        return list(self._visits[node])
+        return sorted(self._visits[node])
+
+    def segments_starting_at(self, node: int) -> list[int]:
+        """Ids of segments whose source is ``node``, in insertion order."""
+        if node >= self.num_nodes:
+            return []
+        return list(self.segments_of[node])
 
     def visit_count(self, node: int) -> int:
         """``X(v)``: total visits to ``node`` across all segments."""
@@ -269,6 +469,53 @@ class WalkStore:
         for segment_id, segment in enumerate(self.segments):
             if segment is not None:
                 yield segment_id, segment
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes of segments + visit index.
+
+        CPython object sizes are measured with :func:`sys.getsizeof` for
+        every container; each stored ``int`` *reference* is billed the
+        28 bytes of a fresh small-int object.  That slightly overcounts
+        interned ids and undercounts dict internals, but it tracks the
+        real footprint closely enough to compare backends (see
+        ``benchmarks/bench_memory.py``).
+        """
+        int_bytes = 28
+        total = (
+            sys.getsizeof(self.segments)
+            + sys.getsizeof(self.segments_of)
+            + sys.getsizeof(self._visits)
+            + sys.getsizeof(self._visit_count)
+            + int_bytes * len(self._visit_count)
+        )
+        for segment in self.segments:
+            if segment is None:
+                continue
+            total += (
+                sys.getsizeof(segment)
+                + sys.getsizeof(segment.nodes)
+                + int_bytes * len(segment.nodes)
+            )
+        for owned in self.segments_of:
+            total += sys.getsizeof(owned) + int_bytes * len(owned)
+        for bucket in self._visits:
+            total += sys.getsizeof(bucket) + 2 * int_bytes * len(bucket)
+        if self.track_sides:
+            for side in self._side_count:
+                total += sys.getsizeof(side) + int_bytes * len(side)
+        return total
+
+    def memory_stats(self) -> dict:
+        """Footprint breakdown (the object store has no arena slack)."""
+        return {
+            "bytes": self.memory_bytes(),
+            "arena_utilization": 1.0,
+            "index_utilization": 1.0,
+        }
 
     # ------------------------------------------------------------------
     # Invariant checking (tests and failure injection)

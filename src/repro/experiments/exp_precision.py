@@ -10,7 +10,6 @@ at recall 0.8 off it.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.asciiplot import ascii_plot
 from repro.analysis.precision import RECALL_LEVELS, average_precision_11pt

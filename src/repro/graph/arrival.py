@@ -16,8 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence
 
-import numpy as np
-
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DynamicDiGraph
 from repro.rng import RngLike, ensure_rng

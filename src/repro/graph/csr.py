@@ -16,7 +16,7 @@ segment length (``≈ 1/ε`` rounds), instead of millions of interpreter steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

@@ -231,10 +231,7 @@ class QueryEngine:
         return result, footprint
 
     def _seed_walk_count(self, seed: int) -> int:
-        walks = self.store.walks
-        if seed < walks.num_nodes:
-            return max(len(walks.segments_of[seed]), 1)
-        return 1
+        return max(len(self.store.walks.segments_starting_at(seed)), 1)
 
     # ------------------------------------------------------------------
     # Invalidation + lifecycle

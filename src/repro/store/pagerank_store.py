@@ -24,9 +24,9 @@ the full adjacency, at the cost of ≤ 2× more fetches) is available as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
-from repro.core.walks import WalkSegment, WalkStore
+from repro.core.walks import WalkIndex, WalkSegment, WalkStore
 from repro.errors import ConfigurationError
 from repro.rng import RngLike, ensure_rng
 from repro.store.social_store import SocialStore
@@ -66,7 +66,7 @@ class PageRankStore:
         self,
         social_store: SocialStore,
         *,
-        walk_store: Optional[WalkStore] = None,
+        walk_store: Optional[WalkIndex] = None,
         track_sides: bool = False,
         fetch_mode: str = FETCH_FULL,
         include_in_neighbors: bool = False,
@@ -77,7 +77,9 @@ class PageRankStore:
                 f"fetch_mode must be 'full' or 'sampled_edge', got {fetch_mode!r}"
             )
         self.social_store = social_store
-        self.walks = (
+        #: Any WalkIndex implementation; the incremental engines install a
+        #: ColumnarWalkStore here by default (see core/columnar.py).
+        self.walks: WalkIndex = (
             walk_store
             if walk_store is not None
             else WalkStore(social_store.num_nodes, track_sides=track_sides)
@@ -130,9 +132,9 @@ class PageRankStore:
         sampled out-edge is returned instead of the full adjacency.
         """
         self.stats.record("fetch")
-        segment_ids = self.walks.segments_of[node] if node < self.walks.num_nodes else []
-        segments = [list(self.walks.get(sid).nodes) for sid in segment_ids]
-        parity_offsets = [self.walks.get(sid).parity_offset for sid in segment_ids]
+        segment_ids = self.walks.segments_starting_at(node)
+        segments = [self.walks.segment_nodes(sid) for sid in segment_ids]
+        parity_offsets = [self.walks.parity_of(sid) for sid in segment_ids]
         if self.fetch_mode == FETCH_FULL:
             neighbors = list(self.social_store.out_neighbors(node))
             degree = len(neighbors)
@@ -185,9 +187,7 @@ class PageRankStore:
         self.stats.record("segments_initialized", report.segments_initialized)
 
     def segments_starting_at(self, node: int) -> list[int]:
-        if node >= self.walks.num_nodes:
-            return []
-        return list(self.walks.segments_of[node])
+        return self.walks.segments_starting_at(node)
 
     def __repr__(self) -> str:
         return (

@@ -2,14 +2,24 @@
 
 A production PageRank Store is expensive to initialize (``nR/ε`` walk
 steps) and must survive process restarts; §2.2's whole point is never
-recomputing it.  This module serializes a :class:`~repro.core.walks.
-WalkStore` (and a whole :class:`~repro.core.incremental.IncrementalPageRank`
-engine: graph + parameters + store) to a single ``.npz`` file.
+recomputing it.  This module serializes any
+:class:`~repro.core.walks.WalkIndex` (and a whole
+:class:`~repro.core.incremental.IncrementalPageRank` engine: graph +
+parameters + store) to a single ``.npz`` file.
 
-Format (version 1): segments are flattened into one int64 arena plus a
-lengths vector — compact, numpy-native, order-preserving.  Loading replays
-``add_segment``, so the inverted visit index is rebuilt and validated by
-construction rather than trusted from disk.
+Two on-disk formats exist (DESIGN.md §8); :func:`load_walk_store` and
+:func:`load_engine` auto-detect the version from the snapshot metadata:
+
+* **Version 1** (legacy): segments flattened into one int64 arena plus a
+  lengths vector.  Loading replays ``add_segment`` per segment into an
+  object-backed :class:`~repro.core.walks.WalkStore`, so the inverted
+  visit index is rebuilt and validated by construction.
+* **Version 2** (current default): the same columnar arrays, but loading
+  adopts the arena directly into a
+  :class:`~repro.core.columnar.ColumnarWalkStore` and rebuilds the visit
+  index with one vectorized pass — no per-segment interpreter replay.
+  Saving from a columnar store exports its (compacted) arena without
+  materializing a single Python segment object.
 """
 
 from __future__ import annotations
@@ -20,7 +30,14 @@ from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
-from repro.core.walks import END_DANGLING, END_RESET, WalkSegment, WalkStore
+from repro.core.columnar import ColumnarWalkStore
+from repro.core.walks import (
+    END_DANGLING,
+    END_RESET,
+    WalkIndex,
+    WalkSegment,
+    WalkStore,
+)
 from repro.errors import ConfigurationError, WalkStateError
 from repro.graph.digraph import DynamicDiGraph
 from repro.store.social_store import SocialStore
@@ -35,32 +52,62 @@ __all__ = [
     "load_engine",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 PathLike = Union[str, Path]
 
 
-def _store_arrays(store: WalkStore) -> dict[str, np.ndarray]:
-    lengths = []
-    reasons = []
-    parities = []
-    flat: list[int] = []
-    for _, segment in store.iter_segments():
-        lengths.append(len(segment.nodes))
-        reasons.append(segment.end_reason)
-        parities.append(segment.parity_offset)
-        flat.extend(segment.nodes)
+def _store_arrays(store: WalkIndex) -> dict[str, np.ndarray]:
+    """Columnar export of ``store``: one flat arena + per-segment columns.
+
+    A :class:`ColumnarWalkStore` hands its (compacted) columns over
+    directly; any other :class:`WalkIndex` is flattened segment by
+    segment.  The array layout is identical for v1 and v2 snapshots —
+    only the load path differs.
+    """
+    if isinstance(store, ColumnarWalkStore):
+        flat, lengths, reasons, parities = store.to_arrays()
+    else:
+        length_list = []
+        reason_list = []
+        parity_list = []
+        flat_list: list[int] = []
+        for _, segment in store.iter_segments():
+            length_list.append(len(segment.nodes))
+            reason_list.append(segment.end_reason)
+            parity_list.append(segment.parity_offset)
+            flat_list.extend(segment.nodes)
+        flat = np.asarray(flat_list, dtype=np.int64)
+        lengths = np.asarray(length_list, dtype=np.int64)
+        reasons = np.asarray(reason_list, dtype=np.int8)
+        parities = np.asarray(parity_list, dtype=np.int8)
     return {
-        "segment_lengths": np.asarray(lengths, dtype=np.int64),
-        "segment_end_reasons": np.asarray(reasons, dtype=np.int8),
-        "segment_parities": np.asarray(parities, dtype=np.int8),
-        "segment_nodes": np.asarray(flat, dtype=np.int64),
+        "segment_lengths": lengths,
+        "segment_end_reasons": reasons,
+        "segment_parities": parities,
+        "segment_nodes": flat,
     }
 
 
-def save_walk_store(store: WalkStore, path: PathLike) -> None:
-    """Serialize ``store`` to ``path`` (``.npz``)."""
+def _check_version(version: int) -> None:
+    if version not in SUPPORTED_VERSIONS:
+        raise ConfigurationError(
+            f"snapshot format version must be one of {SUPPORTED_VERSIONS}, "
+            f"got {version!r}"
+        )
+
+
+def save_walk_store(
+    store: WalkIndex, path: PathLike, *, version: int = FORMAT_VERSION
+) -> None:
+    """Serialize ``store`` to ``path`` (``.npz``).
+
+    ``version=1`` writes the legacy format (loadable by older readers);
+    the default v2 format loads zero-copy into a columnar store.
+    """
+    _check_version(version)
     meta = {
-        "format_version": FORMAT_VERSION,
+        "format_version": version,
         "kind": "walk_store",
         "num_nodes": store.num_nodes,
         "track_sides": store.track_sides,
@@ -73,6 +120,7 @@ def save_walk_store(store: WalkStore, path: PathLike) -> None:
 
 
 def _load_segments_into(store: WalkStore, data) -> None:
+    """v1 load path: replay ``add_segment``, rebuilding the index as we go."""
     lengths = data["segment_lengths"]
     reasons = data["segment_end_reasons"]
     parities = data["segment_parities"]
@@ -90,9 +138,28 @@ def _load_segments_into(store: WalkStore, data) -> None:
         )
 
 
+def _columnar_from_data(data, meta) -> ColumnarWalkStore:
+    """v2 load path: adopt the arena, rebuild the index vectorized."""
+    lengths = data["segment_lengths"]
+    flat = data["segment_nodes"]
+    if lengths.sum() != len(flat):
+        raise WalkStateError("corrupt snapshot: arena length mismatch")
+    try:
+        return ColumnarWalkStore.from_arrays(
+            flat,
+            lengths,
+            data["segment_end_reasons"],
+            data["segment_parities"],
+            num_nodes=int(meta["num_nodes"]),
+            track_sides=bool(meta["track_sides"]),
+        )
+    except WalkStateError as error:
+        raise WalkStateError(f"corrupt snapshot: {error}") from error
+
+
 def _read_meta(data, expected_kind: str) -> dict:
     meta = json.loads(str(data["meta"]))
-    if meta.get("format_version") != FORMAT_VERSION:
+    if meta.get("format_version") not in SUPPORTED_VERSIONS:
         raise ConfigurationError(
             f"unsupported snapshot version {meta.get('format_version')!r}"
         )
@@ -103,10 +170,18 @@ def _read_meta(data, expected_kind: str) -> dict:
     return meta
 
 
-def load_walk_store(path: PathLike) -> WalkStore:
-    """Load a store saved by :func:`save_walk_store`; index is rebuilt."""
+def load_walk_store(path: PathLike) -> WalkIndex:
+    """Load a store saved by :func:`save_walk_store` (version auto-detected).
+
+    v1 snapshots replay into an object-backed :class:`WalkStore`; v2
+    snapshots load zero-copy into a :class:`ColumnarWalkStore`.  Either
+    way the visit index is rebuilt from the segments, never trusted from
+    disk.
+    """
     with np.load(Path(path), allow_pickle=False) as data:
         meta = _read_meta(data, "walk_store")
+        if int(meta["format_version"]) >= 2:
+            return _columnar_from_data(data, meta)
         store = WalkStore(
             int(meta["num_nodes"]), track_sides=bool(meta["track_sides"])
         )
@@ -114,14 +189,17 @@ def load_walk_store(path: PathLike) -> WalkStore:
     return store
 
 
-def save_engine(engine: "IncrementalPageRank", path: PathLike) -> None:
+def save_engine(
+    engine: "IncrementalPageRank", path: PathLike, *, version: int = FORMAT_VERSION
+) -> None:
     """Serialize an engine: parameters, graph edges, and walk store."""
+    _check_version(version)
     graph = engine.graph
     edges = graph.edge_list()
     sources = np.asarray([u for u, _ in edges], dtype=np.int64)
     targets = np.asarray([v for _, v in edges], dtype=np.int64)
     meta = {
-        "format_version": FORMAT_VERSION,
+        "format_version": version,
         "kind": "incremental_pagerank",
         "num_nodes": graph.num_nodes,
         "track_sides": engine.walks.track_sides,
@@ -140,7 +218,7 @@ def save_engine(engine: "IncrementalPageRank", path: PathLike) -> None:
 
 
 def load_engine(path: PathLike, *, rng=None) -> "IncrementalPageRank":
-    """Restore an engine saved by :func:`save_engine`.
+    """Restore an engine saved by :func:`save_engine` (version auto-detected).
 
     The walk store is revalidated against the restored graph: every stored
     step must traverse an existing edge, and dangling ends must sit at
@@ -163,8 +241,13 @@ def load_engine(path: PathLike, *, rng=None) -> "IncrementalPageRank":
             reroute_policy=str(meta["reroute_policy"]),
             rng=rng,
         )
-        store = WalkStore(graph.num_nodes, track_sides=bool(meta["track_sides"]))
-        _load_segments_into(store, data)
+        if int(meta["format_version"]) >= 2:
+            store: WalkIndex = _columnar_from_data(data, meta)
+        else:
+            store = WalkStore(
+                graph.num_nodes, track_sides=bool(meta["track_sides"])
+            )
+            _load_segments_into(store, data)
         engine.pagerank_store.walks = store
 
     _validate_against_graph(engine)
@@ -172,18 +255,50 @@ def load_engine(path: PathLike, *, rng=None) -> "IncrementalPageRank":
 
 
 def _validate_against_graph(engine: "IncrementalPageRank") -> None:
+    """Vectorized snapshot-vs-graph consistency check (O(total visits))."""
     graph = engine.graph
-    for _, segment in engine.walks.iter_segments():
-        for a, b in zip(segment.nodes, segment.nodes[1:]):
-            if not graph.has_edge(a, b):
-                raise WalkStateError(
-                    f"snapshot mismatch: segment step {a}->{b} not in graph"
-                )
-        if (
-            segment.end_reason == END_DANGLING
-            and graph.out_degree(segment.last) != 0
-        ):
+    walks = engine.walks
+    if walks.num_segments == 0:
+        return
+    segment_ids = range(walks.num_segments)
+    views = [walks.segment_view(sid) for sid in segment_ids]
+    lengths = np.fromiter((v.size for v in views), dtype=np.int64, count=len(views))
+    flat = np.concatenate(views)
+    ends = np.cumsum(lengths)
+    # node ids must be in range *before* the integer edge-key encoding
+    # below — an out-of-range id would alias onto a legitimate key
+    if flat.size and (int(flat.min()) < 0 or int(flat.max()) >= graph.num_nodes):
+        bad = int(flat[(flat < 0) | (flat >= graph.num_nodes)][0])
+        raise WalkStateError(
+            f"snapshot mismatch: segment visits node {bad} outside the "
+            f"{graph.num_nodes}-node graph"
+        )
+    # every stored step must traverse an existing edge
+    is_step = np.ones(flat.size, dtype=bool)
+    is_step[ends - 1] = False
+    step_positions = np.flatnonzero(is_step)
+    step_sources = flat[step_positions]
+    step_targets = flat[step_positions + 1]
+    key_base = np.int64(max(graph.num_nodes, 1))
+    edges = graph.edge_list()
+    edge_keys = np.asarray([u * key_base + v for u, v in edges], dtype=np.int64)
+    valid = np.isin(step_sources * key_base + step_targets, edge_keys)
+    if not valid.all():
+        first = int(np.flatnonzero(~valid)[0])
+        raise WalkStateError(
+            f"snapshot mismatch: segment step {int(step_sources[first])}->"
+            f"{int(step_targets[first])} not in graph"
+        )
+    # dangling ends must sit at out-degree-zero nodes
+    last_nodes = flat[ends - 1]
+    reasons = np.fromiter(
+        (walks.end_reason_of(sid) for sid in segment_ids),
+        dtype=np.int8,
+        count=walks.num_segments,
+    )
+    for index in np.flatnonzero(reasons == END_DANGLING).tolist():
+        node = int(last_nodes[index])
+        if graph.out_degree(node) != 0:
             raise WalkStateError(
-                f"snapshot mismatch: DANGLING end at non-dangling node "
-                f"{segment.last}"
+                f"snapshot mismatch: DANGLING end at non-dangling node {node}"
             )

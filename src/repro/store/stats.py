@@ -14,7 +14,7 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, Mapping
 
 __all__ = ["CallStats", "LatencyModel"]
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -15,7 +14,7 @@ from repro.graph.arrival import (
     apply_events,
 )
 from repro.graph.digraph import DynamicDiGraph
-from repro.graph.generators import directed_erdos_renyi, example1_adversarial_gadget
+from repro.graph.generators import example1_adversarial_gadget
 
 
 class TestArrivalEvent:

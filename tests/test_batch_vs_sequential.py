@@ -74,7 +74,7 @@ def _structural_signature(engine: IncrementalPageRank):
     engine.walks.check_invariants()  # X/W index consistent with segments
     graph = engine.graph
     per_node_segments = [
-        len(engine.walks.segments_of[node]) for node in range(graph.num_nodes)
+        len(engine.walks.segments_starting_at(node)) for node in range(graph.num_nodes)
     ]
     for _, segment in engine.walks.iter_segments():
         for a, b in zip(segment.nodes, segment.nodes[1:]):
@@ -175,7 +175,7 @@ class TestReportAggregation:
         assert engine.num_nodes == 8
         assert report.segments_initialized == 8 * 4
         for node in range(8):
-            assert len(engine.walks.segments_of[node]) == 4
+            assert len(engine.walks.segments_starting_at(node)) == 4
         _structural_signature(engine)
 
     def test_store_traffic_billed_per_batch(self):

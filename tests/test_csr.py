@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.walks import END_DANGLING, END_RESET, simulate_reset_walk
 from repro.graph.csr import CSRGraph, batch_reset_walks
-from repro.graph.digraph import DynamicDiGraph
 from repro.graph.generators import directed_cycle, directed_erdos_renyi
 
 

@@ -4,7 +4,6 @@ bounds hold — live in benchmarks/, which run at meaningful sizes.)"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -8,7 +8,6 @@ import pytest
 
 from repro.baselines.power_iteration import exact_pagerank
 from repro.core.incremental import (
-    REROUTE_REDIRECT,
     REROUTE_RESIMULATE,
     IncrementalPageRank,
 )
@@ -162,7 +161,7 @@ class TestIndexIntegrity:
         engine = IncrementalPageRank.from_graph(graph, walks_per_node=6, rng=5)
         engine.add_edge(0, 13) if not graph.has_edge(0, 13) else None
         for node in range(engine.num_nodes):
-            assert len(engine.walks.segments_of[node]) == 6
+            assert len(engine.walks.segments_starting_at(node)) == 6
 
 
 class TestNodeArrival:
@@ -170,7 +169,7 @@ class TestNodeArrival:
         engine = IncrementalPageRank(walks_per_node=4, rng=0)
         node = engine.add_node()
         assert node == 0
-        assert len(engine.walks.segments_of[0]) == 4
+        assert len(engine.walks.segments_starting_at(0)) == 4
 
     def test_edge_to_new_nodes_creates_walks(self):
         engine = IncrementalPageRank(walks_per_node=3, rng=0)
@@ -178,7 +177,7 @@ class TestNodeArrival:
         report = engine.add_edge(0, 4)  # nodes 1..4 implicitly created
         assert engine.num_nodes == 5
         for node in range(5):
-            assert len(engine.walks.segments_of[node]) == 3
+            assert len(engine.walks.segments_starting_at(node)) == 3
         assert report.steps_initialized >= 0
         engine.walks.check_invariants()
 

@@ -7,9 +7,11 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.columnar import ColumnarWalkStore
 from repro.core.incremental import IncrementalPageRank
 from repro.core.monte_carlo import build_walk_store
 from repro.core.salsa import IncrementalSALSA
+from repro.core.walks import WalkStore
 from repro.errors import ConfigurationError, WalkStateError
 from repro.store.persistence import (
     load_engine,
@@ -127,3 +129,120 @@ class TestEngineRoundTrip:
         np.savez_compressed(path, **data)
         with pytest.raises(WalkStateError):
             load_walk_store(path)
+
+
+class TestFormatVersions:
+    """v1 compatibility, v2 zero-copy round-trips, auto-detection."""
+
+    def _meta_version(self, path) -> int:
+        with np.load(path, allow_pickle=False) as data:
+            return int(json.loads(str(data["meta"]))["format_version"])
+
+    def test_v1_snapshots_still_load(self, random_graph, tmp_path):
+        """The legacy replay path keeps working for old snapshots."""
+        store = build_walk_store(random_graph, 3, 0.25, rng=10, backend="columnar")
+        path = tmp_path / "legacy.npz"
+        save_walk_store(store, path, version=1)
+        assert self._meta_version(path) == 1
+        restored = load_walk_store(path)
+        assert isinstance(restored, WalkStore)  # v1 replays into the object store
+        restored.check_invariants()
+        assert restored.total_visits == store.total_visits
+        for (_, a), (_, b) in zip(store.iter_segments(), restored.iter_segments()):
+            assert a.nodes == b.nodes
+            assert a.end_reason == b.end_reason
+            assert a.parity_offset == b.parity_offset
+
+    def test_v2_roundtrips_into_columnar(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 3, 0.25, rng=11, backend="object")
+        path = tmp_path / "current.npz"
+        save_walk_store(store, path)
+        assert self._meta_version(path) == 2
+        restored = load_walk_store(path)
+        assert isinstance(restored, ColumnarWalkStore)
+        restored.check_invariants()
+        assert restored.total_visits == store.total_visits
+        assert restored.visit_count_array().tolist() == (
+            store.visit_count_array().tolist()
+        )
+        for (_, a), (_, b) in zip(store.iter_segments(), restored.iter_segments()):
+            assert a.nodes == b.nodes
+            assert a.end_reason == b.end_reason
+
+    def test_load_engine_auto_detects_version(self, random_graph, tmp_path):
+        engine = IncrementalPageRank.from_graph(
+            random_graph.copy(), walks_per_node=2, rng=12
+        )
+        path_v1 = tmp_path / "engine_v1.npz"
+        path_v2 = tmp_path / "engine_v2.npz"
+        save_engine(engine, path_v1, version=1)
+        save_engine(engine, path_v2)
+        restored_v1 = load_engine(path_v1)
+        restored_v2 = load_engine(path_v2)
+        assert isinstance(restored_v1.walks, WalkStore)
+        assert isinstance(restored_v2.walks, ColumnarWalkStore)
+        assert np.array_equal(restored_v1.pagerank(), engine.pagerank())
+        assert np.array_equal(restored_v2.pagerank(), engine.pagerank())
+
+    def test_save_rejects_unknown_version(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=13)
+        with pytest.raises(ConfigurationError):
+            save_walk_store(store, tmp_path / "bad.npz", version=3)
+        engine = IncrementalPageRank.from_graph(
+            random_graph.copy(), walks_per_node=2, rng=13
+        )
+        with pytest.raises(ConfigurationError):
+            save_engine(engine, tmp_path / "bad_engine.npz", version=0)
+
+    def test_v2_out_of_range_node_detected(self, random_graph, tmp_path):
+        """A node id outside the snapshot's graph must not alias onto a
+        legitimate edge key during vectorized revalidation."""
+        engine = IncrementalPageRank.from_graph(
+            random_graph.copy(), walks_per_node=2, rng=16
+        )
+        path = tmp_path / "engine.npz"
+        save_engine(engine, path)
+        data = dict(np.load(path, allow_pickle=False))
+        nodes = data["segment_nodes"].copy()
+        nodes[-1] = engine.graph.num_nodes + 1  # final visit: not a step
+        data["segment_nodes"] = nodes
+        np.savez_compressed(path, **data)
+        with pytest.raises(WalkStateError):
+            load_engine(path)
+
+    def test_v2_negative_node_detected(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=17)
+        path = tmp_path / "store.npz"
+        save_walk_store(store, path)
+        data = dict(np.load(path, allow_pickle=False))
+        nodes = data["segment_nodes"].copy()
+        nodes[0] = -3
+        data["segment_nodes"] = nodes
+        np.savez_compressed(path, **data)
+        with pytest.raises(WalkStateError):
+            load_walk_store(path)
+
+    def test_v2_corrupt_reason_detected(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=14)
+        path = tmp_path / "store.npz"
+        save_walk_store(store, path)
+        data = dict(np.load(path, allow_pickle=False))
+        reasons = data["segment_end_reasons"].copy()
+        reasons[0] = 9
+        data["segment_end_reasons"] = reasons
+        np.savez_compressed(path, **data)
+        with pytest.raises(WalkStateError):
+            load_walk_store(path)
+
+    def test_salsa_sides_survive_v2(self, random_graph, tmp_path):
+        engine = IncrementalSALSA.from_graph(random_graph, walks_per_node=2, rng=15)
+        path = tmp_path / "salsa_v2.npz"
+        save_walk_store(engine.walks, path)
+        restored = load_walk_store(path)
+        assert isinstance(restored, ColumnarWalkStore)
+        assert restored.track_sides
+        restored.check_invariants()
+        for side in (0, 1):
+            assert restored.side_visit_count_array(side).tolist() == (
+                engine.walks.side_visit_count_array(side).tolist()
+            )

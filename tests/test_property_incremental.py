@@ -53,7 +53,7 @@ def test_pagerank_engine_invariants(ops, seed):
     graph = engine.graph
     assert set(graph.edges()) == applied
     for node in range(NODES):
-        assert len(engine.walks.segments_of[node]) == 2
+        assert len(engine.walks.segments_starting_at(node)) == 2
     for _, segment in engine.walks.iter_segments():
         for a, b in zip(segment.nodes, segment.nodes[1:]):
             assert graph.has_edge(a, b), "segment uses a non-existent edge"
@@ -143,7 +143,7 @@ def test_batch_engine_invariants(ops, batch_plan, seed):
     graph = engine.graph
     assert set(graph.edges()) == applied
     for node in range(NODES):
-        assert len(engine.walks.segments_of[node]) == 2
+        assert len(engine.walks.segments_starting_at(node)) == 2
     for _, segment in engine.walks.iter_segments():
         for a, b in zip(segment.nodes, segment.nodes[1:]):
             assert graph.has_edge(a, b), "segment uses a non-existent edge"

@@ -204,7 +204,7 @@ class TestIncrementalMaintenance:
     def test_node_arrival(self):
         engine = IncrementalSALSA(walks_per_node=3, rng=14)
         node = engine.add_node()
-        assert len(engine.walks.segments_of[node]) == 6  # R fwd + R bwd
+        assert len(engine.walks.segments_starting_at(node)) == 6  # R fwd + R bwd
         engine.add_edge(0, 1)
         assert engine.graph.num_nodes == 2
         engine.walks.check_invariants()
