@@ -32,6 +32,7 @@ from repro.core import (
     MonteCarloPageRank,
     PersonalizedPageRank,
     PersonalizedSALSA,
+    ShardedWalkIndex,
     TopKResult,
     UpdateReport,
     WalkIndex,
@@ -58,6 +59,7 @@ __all__ = [
     "WalkIndex",
     "WalkStore",
     "ColumnarWalkStore",
+    "ShardedWalkIndex",
     "make_walk_store",
     "MonteCarloPageRank",
     "IncrementalPageRank",

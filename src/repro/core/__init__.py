@@ -27,6 +27,12 @@ from repro.core.salsa import (
     batch_salsa_walks,
     simulate_salsa_walk,
 )
+from repro.core.sharded_walks import (
+    BACKEND_SHARDED,
+    DEFAULT_NUM_SHARDS,
+    ShardedWalkIndex,
+    parse_sharded_backend,
+)
 from repro.core.topk import TopKResult, top_k_personalized, walk_length_for_top_k
 from repro.core.walks import (
     END_DANGLING,
@@ -45,9 +51,13 @@ __all__ = [
     "WalkIndex",
     "WalkStore",
     "ColumnarWalkStore",
+    "ShardedWalkIndex",
     "make_walk_store",
+    "parse_sharded_backend",
     "BACKEND_COLUMNAR",
     "BACKEND_OBJECT",
+    "BACKEND_SHARDED",
+    "DEFAULT_NUM_SHARDS",
     "END_RESET",
     "END_DANGLING",
     "SIDE_HUB",

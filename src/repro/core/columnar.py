@@ -67,6 +67,45 @@ def _grown(array: np.ndarray, capacity: int) -> np.ndarray:
     return out
 
 
+def _normalize_bulk_args(
+    segments: Sequence[Sequence[int]],
+    end_reasons: Sequence[int],
+    parity_offset: Union[int, Sequence[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a bulk-add argument triple; returns ``(reasons, parities)``.
+
+    Shared by every array-backed backend (columnar and sharded) so the
+    argument contract — per-segment reason, scalar-or-per-segment parity —
+    cannot drift between them.
+    """
+    count = len(segments)
+    if len(end_reasons) != count:
+        raise WalkStateError(
+            f"{count} segments but {len(end_reasons)} end reasons"
+        )
+    if isinstance(parity_offset, (int, np.integer)):
+        parities = np.full(count, int(parity_offset), dtype=np.int8)
+    else:
+        parities = np.asarray(parity_offset, dtype=np.int8)
+        if parities.size != count:
+            raise WalkStateError(
+                f"{count} segments but {parities.size} parity offsets"
+            )
+    return np.asarray(end_reasons, dtype=np.int8), parities
+
+
+def _flatten_block(
+    segments: Sequence[Sequence[int]], count: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One ``(flat, lengths)`` pair for a segment block (bulk installs)."""
+    lengths = np.fromiter((len(s) for s in segments), dtype=np.int64, count=count)
+    total = int(lengths.sum())
+    flat = np.fromiter(
+        chain.from_iterable(segments), dtype=np.int64, count=total
+    )
+    return flat, lengths
+
+
 class ColumnarWalkStore:
     """Flat-array implementation of the :class:`WalkIndex` protocol."""
 
@@ -319,30 +358,17 @@ class ColumnarWalkStore:
         count = len(segments)
         if count == 0:
             return
-        if len(end_reasons) != count:
-            raise WalkStateError(
-                f"{count} segments but {len(end_reasons)} end reasons"
-            )
-        if isinstance(parity_offset, (int, np.integer)):
-            parities = np.full(count, int(parity_offset), dtype=np.int8)
-        else:
-            parities = np.asarray(parity_offset, dtype=np.int8)
-            if parities.size != count:
-                raise WalkStateError(
-                    f"{count} segments but {parities.size} parity offsets"
-                )
+        reasons, parities = _normalize_bulk_args(
+            segments, end_reasons, parity_offset
+        )
         if self._num_segments:
-            for nodes, reason, parity in zip(segments, end_reasons, parities):
+            for nodes, reason, parity in zip(segments, reasons, parities):
                 self.add_segment(
                     WalkSegment(list(nodes), int(reason), parity_offset=int(parity))
                 )
             return
-        lengths = np.fromiter((len(s) for s in segments), dtype=np.int64, count=count)
-        total = int(lengths.sum())
-        flat = np.fromiter(chain.from_iterable(segments), dtype=np.int64, count=total)
-        self._append_block(
-            flat, lengths, np.asarray(end_reasons, dtype=np.int8), parities
-        )
+        flat, lengths = _flatten_block(segments, count)
+        self._append_block(flat, lengths, reasons, parities)
 
     def _append_block(
         self,
@@ -674,6 +700,95 @@ class ColumnarWalkStore:
         self._seg_len[segment_id] = new_length
         self._seg_reason[segment_id] = end_reason
 
+    def _write_payloads_bulk(self, updates) -> bool:
+        """Vectorized arena write of a whole update batch (no index work).
+
+        Semantically the per-entry :meth:`_write_payload` loop, but every
+        phase — validation, relocation, prefix copies, tail scatter — is a
+        numpy pass, so large batch repairs spend their time in
+        GIL-releasing kernels (which is what lets the sharded engine's
+        thread pool scale them).  Returns ``False`` when the batch targets
+        a segment twice (order would matter; the caller falls back to the
+        sequential loop).  Callers must follow up with
+        :meth:`_rebuild_index`.
+        """
+        count = len(updates)
+        ids = np.fromiter((u[0] for u in updates), dtype=np.int64, count=count)
+        if np.unique(ids).size != count:
+            return False
+        if count and not (0 <= int(ids.min()) and int(ids.max()) < self._num_segments):
+            bad = ids[(ids < 0) | (ids >= self._num_segments)][0]
+            raise WalkStateError(f"unknown segment id {int(bad)}")
+        keeps = np.fromiter((u[1] for u in updates), dtype=np.int64, count=count)
+        reasons = np.fromiter((u[3] for u in updates), dtype=np.int64, count=count)
+        if not np.isin(reasons, _REASONS).all():
+            bad = reasons[~np.isin(reasons, _REASONS)][0]
+            raise WalkStateError(f"unknown end_reason {int(bad)!r}")
+        tail_lengths = np.fromiter(
+            (len(u[2]) for u in updates), dtype=np.int64, count=count
+        )
+        total = int(tail_lengths.sum())
+        flat_tails = np.fromiter(
+            chain.from_iterable(u[2] for u in updates), dtype=np.int64, count=total
+        )
+        old_lengths = self._seg_len[ids]
+        rebuild = keeps < 0
+        if np.any(~rebuild & (keeps >= old_lengths)):
+            which = int(np.flatnonzero(~rebuild & (keeps >= old_lengths))[0])
+            raise WalkStateError(
+                f"keep_until={int(keeps[which])} out of range for segment of "
+                f"length {int(old_lengths[which])}"
+            )
+        if np.any(rebuild & (tail_lengths == 0)):
+            raise WalkStateError(
+                "a walk segment must contain at least its source"
+            )
+        tail_offsets = np.cumsum(tail_lengths) - tail_lengths
+        if np.any(rebuild):
+            # sources must be preserved; read them before any arena write
+            sources = self._arena[self._seg_off[ids[rebuild]]]
+            heads = flat_tails[tail_offsets[rebuild]]
+            if not np.array_equal(sources, heads):
+                which = int(np.flatnonzero(sources != heads)[0])
+                raise WalkStateError(
+                    f"rebuilt segment must keep source {int(sources[which])}, "
+                    f"got {int(heads[which])}"
+                )
+        if total and int(flat_tails.max()) >= self._num_nodes:
+            self.ensure_node(int(flat_tails.max()))
+        keep = np.where(rebuild, 0, keeps + 1)
+        new_lengths = keep + tail_lengths
+        relocate = new_lengths > self._seg_cap[ids]
+        if np.any(relocate):
+            reloc_ids = ids[relocate]
+            prefix_lengths = keep[relocate]
+            new_caps = new_lengths[relocate]
+            new_caps = new_caps + (new_caps >> 2) + 4
+            base = self._reserve_arena(int(new_caps.sum()))
+            new_offsets = base + np.cumsum(new_caps) - new_caps
+            total_prefix = int(prefix_lengths.sum())
+            if total_prefix:
+                run = np.cumsum(prefix_lengths) - prefix_lengths
+                steps = np.arange(total_prefix, dtype=np.int64)
+                source_index = (
+                    np.repeat(self._seg_off[reloc_ids] - run, prefix_lengths)
+                    + steps
+                )
+                dest_index = (
+                    np.repeat(new_offsets - run, prefix_lengths) + steps
+                )
+                self._arena[dest_index] = self._arena[source_index]
+            self._seg_off[reloc_ids] = new_offsets
+            self._seg_cap[reloc_ids] = new_caps
+        if total:
+            dest = np.repeat(
+                self._seg_off[ids] + keep - tail_offsets, tail_lengths
+            ) + np.arange(total, dtype=np.int64)
+            self._arena[dest] = flat_tails
+        self._seg_len[ids] = new_lengths
+        self._seg_reason[ids] = reasons
+        return True
+
     def apply_segment_updates(
         self, updates: Sequence[tuple[int, int, list[int], int]]
     ) -> None:
@@ -682,16 +797,19 @@ class ColumnarWalkStore:
         ``keep_until == -1`` means a wholesale rebuild (the tail includes
         the source).  Semantically identical to calling
         :meth:`replace_suffix` / :meth:`rebuild_segment` per entry, but
-        when the batch touches a large fraction of the store the index is
-        rebuilt in one vectorized pass instead of thousands of per-row
-        edits — this is what keeps ``apply_batch`` a few numpy passes on
-        the columnar backend.
+        when the batch touches a large fraction of the store the payloads
+        are written with one vectorized pass (:meth:`_write_payloads_bulk`)
+        and the index is rebuilt in another, instead of thousands of
+        per-row edits — this is what keeps ``apply_batch`` a few numpy
+        passes on the columnar backend.
         """
         if not updates:
             return
         if len(updates) >= 64 and 8 * len(updates) >= self._num_segments:
-            for segment_id, keep_until, tail, end_reason in updates:
-                self._write_payload(segment_id, keep_until, tail, end_reason)
+            if not self._write_payloads_bulk(updates):
+                # duplicate target ids: order matters, apply sequentially
+                for segment_id, keep_until, tail, end_reason in updates:
+                    self._write_payload(segment_id, keep_until, tail, end_reason)
             self._rebuild_index()
             return
         for segment_id, keep_until, tail, end_reason in updates:
@@ -915,12 +1033,26 @@ def make_walk_store(
     track_sides: bool = False,
     backend: str = BACKEND_COLUMNAR,
 ) -> WalkIndex:
-    """Instantiate a :class:`WalkIndex` backend by name."""
+    """Instantiate a :class:`WalkIndex` backend by name.
+
+    ``"columnar"`` (default) and ``"object"`` select the flat backends;
+    ``"sharded"`` / ``"sharded:<count>"`` select a hash-partitioned
+    :class:`~repro.core.sharded_walks.ShardedWalkIndex` of columnar shards
+    (``"sharded"`` alone uses the default shard count).
+    """
     if backend == BACKEND_COLUMNAR:
         return ColumnarWalkStore(num_nodes, track_sides=track_sides)
     if backend == BACKEND_OBJECT:
         return WalkStore(num_nodes, track_sides=track_sides)
+    # deferred import: sharded_walks composes ColumnarWalkStore shards
+    from repro.core.sharded_walks import ShardedWalkIndex, parse_sharded_backend
+
+    num_shards = parse_sharded_backend(backend)
+    if num_shards is not None:
+        return ShardedWalkIndex(
+            num_nodes, track_sides=track_sides, num_shards=num_shards
+        )
     raise ConfigurationError(
-        f"walk-store backend must be '{BACKEND_COLUMNAR}' or "
-        f"'{BACKEND_OBJECT}', got {backend!r}"
+        f"walk-store backend must be '{BACKEND_COLUMNAR}', "
+        f"'{BACKEND_OBJECT}', 'sharded', or 'sharded:<count>', got {backend!r}"
     )

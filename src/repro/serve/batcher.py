@@ -70,7 +70,14 @@ class RequestBatcher:
         *,
         max_workers: int = 4,
         max_queue_depth: int = 256,
+        fresh_stats: bool = False,
     ) -> None:
+        """Front a :class:`QueryEngine` with a coalescing worker pool.
+
+        ``fresh_stats=True`` zeroes the engine's (long-lived, shared)
+        serve and store counters on construction, so a restarted batcher
+        reports this session's rates rather than the process lifetime's.
+        """
         if max_workers <= 0:
             raise ConfigurationError(
                 f"max_workers must be positive, got {max_workers}"
@@ -81,6 +88,8 @@ class RequestBatcher:
             )
         self.query_engine = query_engine
         self.stats = query_engine.stats
+        if fresh_stats:
+            self.reset_stats()
         self.max_queue_depth = max_queue_depth
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
@@ -161,6 +170,15 @@ class RequestBatcher:
             except LoadShedError:
                 results.append(None)
         return results
+
+    def reset_stats(self) -> None:
+        """Zero the serve counters and the store's fetch accounting.
+
+        Both objects outlive any one batcher (they hang off the engine),
+        so a batcher restart inherits stale counts unless it resets them.
+        """
+        self.stats.reset()
+        self.query_engine.store.stats.reset()
 
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)

@@ -56,6 +56,28 @@ class ServeStats:
                 self.misses += 1
             self._record_latency(latency)
 
+    def reset(self) -> None:
+        """Zero every counter and the latency histogram.
+
+        A :class:`~repro.serve.batcher.RequestBatcher` restart reuses the
+        engine's long-lived stats object; without a reset the second
+        session's rates are polluted by the first session's counts (the
+        regression ``tests/test_serve.py`` pins down).  Atomic with
+        respect to concurrent recording.
+        """
+        with self._lock:
+            self.queries = 0
+            self.hits = 0
+            self.misses = 0
+            self.shed = 0
+            self.coalesced = 0
+            self.invalidated_results = 0
+            self.flushes = 0
+            self._latency_buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+            self._latency_count = 0
+            self._latency_total = 0.0
+            self._latency_max = 0.0
+
     def record_shed(self) -> None:
         with self._lock:
             self.shed += 1

@@ -14,23 +14,40 @@ Two on-disk formats exist (DESIGN.md §8); :func:`load_walk_store` and
   lengths vector.  Loading replays ``add_segment`` per segment into an
   object-backed :class:`~repro.core.walks.WalkStore`, so the inverted
   visit index is rebuilt and validated by construction.
-* **Version 2** (current default): the same columnar arrays, but loading
+* **Version 2** (flat default): the same columnar arrays, but loading
   adopts the arena directly into a
   :class:`~repro.core.columnar.ColumnarWalkStore` and rebuilds the visit
   index with one vectorized pass — no per-segment interpreter replay.
   Saving from a columnar store exports its (compacted) arena without
   materializing a single Python segment object.
+* **Version 3** (sharded manifest): one arena per shard plus a manifest —
+  shard count, per-shard global-id tables, per-shard columns — loading
+  into a :class:`~repro.core.sharded_walks.ShardedWalkIndex` shard by
+  shard (each shard's index rebuild is the v2 vectorized pass, so cold
+  restore parallelizes the same way cold build does).  A sharded store
+  saved with ``version=2``/``1`` downgrades losslessly through its
+  global-order export, and any flat snapshot migrates to sharded via
+  :meth:`ShardedWalkIndex.from_arrays` — the migration tests in
+  ``tests/test_persistence.py`` walk the whole v1 → v2 → v3 chain.
+
+Every loader validates before it trusts: a corrupted or truncated file
+(bad zip, missing arrays, inconsistent manifest) raises
+:class:`~repro.errors.ConfigurationError` /
+:class:`~repro.errors.WalkStateError` with a readable message instead of
+leaking a numpy/zipfile exception.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
 import numpy as np
 
 from repro.core.columnar import ColumnarWalkStore
+from repro.core.sharded_walks import ShardedWalkIndex
 from repro.core.walks import (
     END_DANGLING,
     END_RESET,
@@ -53,7 +70,8 @@ __all__ = [
 ]
 
 FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
+SHARDED_VERSION = 3
+SUPPORTED_VERSIONS = (1, 2, 3)
 PathLike = Union[str, Path]
 
 
@@ -65,7 +83,7 @@ def _store_arrays(store: WalkIndex) -> dict[str, np.ndarray]:
     segment.  The array layout is identical for v1 and v2 snapshots —
     only the load path differs.
     """
-    if isinstance(store, ColumnarWalkStore):
+    if isinstance(store, (ColumnarWalkStore, ShardedWalkIndex)):
         flat, lengths, reasons, parities = store.to_arrays()
     else:
         length_list = []
@@ -97,34 +115,74 @@ def _check_version(version: int) -> None:
         )
 
 
+def _resolve_version(store: WalkIndex, version: "int | None") -> int:
+    """Default format for ``store``: v3 for sharded, v2 otherwise."""
+    if version is None:
+        return (
+            SHARDED_VERSION
+            if isinstance(store, ShardedWalkIndex)
+            else FORMAT_VERSION
+        )
+    _check_version(version)
+    if version == SHARDED_VERSION and not isinstance(store, ShardedWalkIndex):
+        raise ConfigurationError(
+            "version=3 snapshots hold sharded stores; save flat stores as "
+            "v1/v2 or migrate via ShardedWalkIndex.from_arrays first"
+        )
+    return version
+
+
+def _sharded_arrays(store: ShardedWalkIndex) -> dict[str, np.ndarray]:
+    """v3 payload: one compacted arena + global-id table per shard."""
+    arrays: dict[str, np.ndarray] = {}
+    for shard_index, block in enumerate(store.shard_arrays()):
+        for name, array in block.items():
+            arrays[f"shard{shard_index}_{name}"] = array
+    return arrays
+
+
+def _snapshot_payload(
+    store: WalkIndex, version: int
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """``(meta extras, arrays)`` for one store at one resolved version.
+
+    The single place that knows how a format version shapes the payload,
+    shared by :func:`save_walk_store` and :func:`save_engine`.
+    """
+    if version == SHARDED_VERSION:
+        assert isinstance(store, ShardedWalkIndex)  # _resolve_version checked
+        return {"num_shards": store.num_shards}, _sharded_arrays(store)
+    return {}, _store_arrays(store)
+
+
 def save_walk_store(
-    store: WalkIndex, path: PathLike, *, version: int = FORMAT_VERSION
+    store: WalkIndex, path: PathLike, *, version: "int | None" = None
 ) -> None:
     """Serialize ``store`` to ``path`` (``.npz``).
 
-    ``version=1`` writes the legacy format (loadable by older readers);
-    the default v2 format loads zero-copy into a columnar store.
+    The default version is 3 (per-shard manifest) for sharded stores and
+    2 (flat columnar) otherwise; ``version=1`` writes the legacy format
+    (loadable by older readers), ``version=2`` downgrade-saves a sharded
+    store through its global-order export.
     """
-    _check_version(version)
+    version = _resolve_version(store, version)
     meta = {
         "format_version": version,
         "kind": "walk_store",
         "num_nodes": store.num_nodes,
         "track_sides": store.track_sides,
     }
-    np.savez_compressed(
-        Path(path),
-        meta=json.dumps(meta),
-        **_store_arrays(store),
-    )
+    extras, arrays = _snapshot_payload(store, version)
+    meta.update(extras)
+    np.savez_compressed(Path(path), meta=json.dumps(meta), **arrays)
 
 
 def _load_segments_into(store: WalkStore, data) -> None:
     """v1 load path: replay ``add_segment``, rebuilding the index as we go."""
-    lengths = data["segment_lengths"]
-    reasons = data["segment_end_reasons"]
-    parities = data["segment_parities"]
-    flat = data["segment_nodes"]
+    lengths = _array(data, "segment_lengths")
+    reasons = _array(data, "segment_end_reasons")
+    parities = _array(data, "segment_parities")
+    flat = _array(data, "segment_nodes")
     if lengths.sum() != len(flat):
         raise WalkStateError("corrupt snapshot: arena length mismatch")
     offset = 0
@@ -140,16 +198,16 @@ def _load_segments_into(store: WalkStore, data) -> None:
 
 def _columnar_from_data(data, meta) -> ColumnarWalkStore:
     """v2 load path: adopt the arena, rebuild the index vectorized."""
-    lengths = data["segment_lengths"]
-    flat = data["segment_nodes"]
+    lengths = _array(data, "segment_lengths")
+    flat = _array(data, "segment_nodes")
     if lengths.sum() != len(flat):
         raise WalkStateError("corrupt snapshot: arena length mismatch")
     try:
         return ColumnarWalkStore.from_arrays(
             flat,
             lengths,
-            data["segment_end_reasons"],
-            data["segment_parities"],
+            _array(data, "segment_end_reasons"),
+            _array(data, "segment_parities"),
             num_nodes=int(meta["num_nodes"]),
             track_sides=bool(meta["track_sides"]),
         )
@@ -157,8 +215,46 @@ def _columnar_from_data(data, meta) -> ColumnarWalkStore:
         raise WalkStateError(f"corrupt snapshot: {error}") from error
 
 
+def _open_snapshot(path: PathLike):
+    """Open an ``.npz`` snapshot, mapping I/O corruption to clean errors.
+
+    A truncated or garbage file makes :func:`np.load` raise zip/IO
+    internals; surface those as :class:`ConfigurationError` so callers see
+    "this file is not a readable snapshot", not a numpy traceback.
+    """
+    try:
+        return np.load(Path(path), allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as error:
+        raise ConfigurationError(
+            f"{path} is not a readable snapshot: {error}"
+        ) from error
+
+
+def _array(data, key: str) -> np.ndarray:
+    """Read one required array, mapping absence/corruption to clean errors."""
+    try:
+        return data[key]
+    except KeyError:
+        raise WalkStateError(
+            f"corrupt snapshot: missing array {key!r} (truncated manifest?)"
+        ) from None
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as error:
+        raise WalkStateError(
+            f"corrupt snapshot: array {key!r} unreadable: {error}"
+        ) from error
+
+
 def _read_meta(data, expected_kind: str) -> dict:
-    meta = json.loads(str(data["meta"]))
+    try:
+        meta = json.loads(str(_array(data, "meta")))
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(
+            f"corrupt snapshot: unreadable metadata: {error}"
+        ) from error
+    if not isinstance(meta, dict):
+        raise ConfigurationError("corrupt snapshot: metadata is not a mapping")
     if meta.get("format_version") not in SUPPORTED_VERSIONS:
         raise ConfigurationError(
             f"unsupported snapshot version {meta.get('format_version')!r}"
@@ -170,17 +266,59 @@ def _read_meta(data, expected_kind: str) -> dict:
     return meta
 
 
+def _sharded_from_data(data, meta) -> ShardedWalkIndex:
+    """v3 load path: adopt per-shard arenas, validated against the manifest."""
+    try:
+        num_shards = int(meta["num_shards"])
+    except (KeyError, TypeError, ValueError):
+        raise WalkStateError(
+            "corrupt snapshot: sharded manifest lacks a shard count"
+        ) from None
+    if num_shards <= 0:
+        raise WalkStateError(
+            f"corrupt snapshot: shard count must be positive, got {num_shards}"
+        )
+    blocks = []
+    for shard_index in range(num_shards):
+        blocks.append(
+            {
+                name: _array(data, f"shard{shard_index}_{name}")
+                for name in (
+                    "segment_nodes",
+                    "segment_lengths",
+                    "segment_end_reasons",
+                    "segment_parities",
+                    "global_ids",
+                )
+            }
+        )
+    try:
+        return ShardedWalkIndex.from_shard_arrays(
+            blocks,
+            num_nodes=int(meta["num_nodes"]),
+            track_sides=bool(meta["track_sides"]),
+        )
+    except WalkStateError:
+        raise
+    except (ValueError, IndexError, TypeError) as error:
+        raise WalkStateError(f"corrupt snapshot: {error}") from error
+
+
 def load_walk_store(path: PathLike) -> WalkIndex:
     """Load a store saved by :func:`save_walk_store` (version auto-detected).
 
     v1 snapshots replay into an object-backed :class:`WalkStore`; v2
-    snapshots load zero-copy into a :class:`ColumnarWalkStore`.  Either
+    snapshots load zero-copy into a :class:`ColumnarWalkStore`; v3
+    manifests restore a :class:`ShardedWalkIndex` shard by shard.  Either
     way the visit index is rebuilt from the segments, never trusted from
     disk.
     """
-    with np.load(Path(path), allow_pickle=False) as data:
+    with _open_snapshot(path) as data:
         meta = _read_meta(data, "walk_store")
-        if int(meta["format_version"]) >= 2:
+        version = int(meta["format_version"])
+        if version >= SHARDED_VERSION:
+            return _sharded_from_data(data, meta)
+        if version >= 2:
             return _columnar_from_data(data, meta)
         store = WalkStore(
             int(meta["num_nodes"]), track_sides=bool(meta["track_sides"])
@@ -190,10 +328,14 @@ def load_walk_store(path: PathLike) -> WalkIndex:
 
 
 def save_engine(
-    engine: "IncrementalPageRank", path: PathLike, *, version: int = FORMAT_VERSION
+    engine: "IncrementalPageRank", path: PathLike, *, version: "int | None" = None
 ) -> None:
-    """Serialize an engine: parameters, graph edges, and walk store."""
-    _check_version(version)
+    """Serialize an engine: parameters, graph edges, and walk store.
+
+    The format defaults to the store's native version (v3 manifest for a
+    sharded store, v2 otherwise); pass ``version=`` to downgrade-save.
+    """
+    version = _resolve_version(engine.walks, version)
     graph = engine.graph
     edges = graph.edge_list()
     sources = np.asarray([u for u, _ in edges], dtype=np.int64)
@@ -208,12 +350,14 @@ def save_engine(
         "reroute_policy": engine.reroute_policy,
         "allow_self_loops": graph.allow_self_loops,
     }
+    extras, arrays = _snapshot_payload(engine.walks, version)
+    meta.update(extras)
     np.savez_compressed(
         Path(path),
         meta=json.dumps(meta),
         edge_sources=sources,
         edge_targets=targets,
-        **_store_arrays(engine.walks),
+        **arrays,
     )
 
 
@@ -223,31 +367,42 @@ def load_engine(path: PathLike, *, rng=None) -> "IncrementalPageRank":
     The walk store is revalidated against the restored graph: every stored
     step must traverse an existing edge, and dangling ends must sit at
     out-degree-zero nodes — a corrupt or mismatched snapshot fails loudly
-    instead of silently skewing estimates.
+    instead of silently skewing estimates.  A v3 snapshot restores the
+    engine with ``store_backend="sharded:<count>"`` so later
+    reinitializations keep the sharded layout.
     """
     from repro.core.incremental import IncrementalPageRank
 
-    with np.load(Path(path), allow_pickle=False) as data:
+    with _open_snapshot(path) as data:
         meta = _read_meta(data, "incremental_pagerank")
+        version = int(meta["format_version"])
         graph = DynamicDiGraph(
             int(meta["num_nodes"]), allow_self_loops=bool(meta["allow_self_loops"])
         )
-        for source, target in zip(data["edge_sources"], data["edge_targets"]):
+        for source, target in zip(
+            _array(data, "edge_sources"), _array(data, "edge_targets")
+        ):
             graph.add_edge(int(source), int(target))
+        if version >= SHARDED_VERSION:
+            store: WalkIndex = _sharded_from_data(data, meta)
+            backend = f"sharded:{store.num_shards}"
+        elif version >= 2:
+            store = _columnar_from_data(data, meta)
+            backend = "columnar"
+        else:
+            store = WalkStore(
+                graph.num_nodes, track_sides=bool(meta["track_sides"])
+            )
+            _load_segments_into(store, data)
+            backend = "object"
         engine = IncrementalPageRank(
             SocialStore.of_graph(graph),
             reset_probability=float(meta["reset_probability"]),
             walks_per_node=int(meta["walks_per_node"]),
             reroute_policy=str(meta["reroute_policy"]),
             rng=rng,
+            store_backend=backend,
         )
-        if int(meta["format_version"]) >= 2:
-            store: WalkIndex = _columnar_from_data(data, meta)
-        else:
-            store = WalkStore(
-                graph.num_nodes, track_sides=bool(meta["track_sides"])
-            )
-            _load_segments_into(store, data)
         engine.pagerank_store.walks = store
 
     _validate_against_graph(engine)

@@ -1,0 +1,223 @@
+"""Degenerate-graph coverage for every WalkIndex backend + QueryEngine.
+
+The columnar and sharded stores were built for scale; these tests pin the
+opposite end — empty graphs, all-dangling graphs, one-node self-loops, and
+queries for nodes no stored walk has ever visited — for all three
+backends, asserting both sane behavior and cross-backend bit-identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import make_walk_store
+from repro.core.incremental import IncrementalPageRank
+from repro.core.personalized import PersonalizedPageRank
+from repro.core.salsa import IncrementalSALSA
+from repro.graph.digraph import DynamicDiGraph
+from repro.serve.engine import QueryEngine
+from repro.store.persistence import load_walk_store, save_walk_store
+
+BACKENDS = ["object", "columnar", "sharded:3"]
+
+
+def _engines(graph: DynamicDiGraph, *, rng_seed: int = 7):
+    return [
+        IncrementalPageRank.from_graph(
+            graph.copy(), walks_per_node=3, rng=rng_seed, store_backend=backend
+        )
+        for backend in BACKENDS
+    ]
+
+
+# ----------------------------------------------------------------------
+# Empty graph
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_graph_engine(backend):
+    engine = IncrementalPageRank.from_graph(
+        DynamicDiGraph(0), walks_per_node=3, rng=1, store_backend=backend
+    )
+    assert engine.num_nodes == 0
+    assert engine.walks.num_segments == 0
+    assert engine.walks.total_visits == 0
+    assert engine.pagerank().size == 0
+    assert engine.top(5) == []
+    engine.walks.check_invariants()
+    # the first edge creates both nodes and their walks
+    report = engine.add_edge(0, 1)
+    assert engine.num_nodes == 2
+    assert engine.walks.num_segments == 2 * engine.walks_per_node
+    assert report.steps_initialized >= 0
+    engine.walks.check_invariants()
+
+
+def test_empty_graph_engines_bit_identical():
+    engines = _engines(DynamicDiGraph(0))
+    for engine in engines:
+        engine.add_edge(0, 1)
+        engine.add_edge(1, 2)
+    reference = engines[0].pagerank()
+    for engine in engines[1:]:
+        assert np.array_equal(engine.pagerank(), reference)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_store_roundtrip(tmp_path, backend):
+    store = make_walk_store(0, backend=backend)
+    store.check_invariants()
+    path = tmp_path / "empty.npz"
+    save_walk_store(store, path)
+    restored = load_walk_store(path)
+    assert restored.num_segments == 0
+    assert restored.total_visits == 0
+    restored.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# All-dangling graph (nodes, zero edges)
+# ----------------------------------------------------------------------
+
+
+def test_all_dangling_graph_backends_agree():
+    engines = _engines(DynamicDiGraph(6))
+    for engine in engines:
+        # every walk is pinned at its source (reset or pending-dangling)
+        assert engine.walks.num_segments == 6 * engine.walks_per_node
+        for node in range(6):
+            assert engine.walks.visit_count(node) == engine.walks_per_node
+        # uniform scores over a rankless graph
+        scores = engine.pagerank()
+        assert np.allclose(scores, scores[0])
+        engine.walks.check_invariants()
+    # un-dangling one node resumes pending steps identically everywhere
+    reports = [engine.add_edge(2, 4) for engine in engines]
+    for report in reports[1:]:
+        assert report.segments_rerouted == reports[0].segments_rerouted
+        assert report.dirty_nodes == reports[0].dirty_nodes
+    reference = engines[0].pagerank()
+    for engine in engines[1:]:
+        assert np.array_equal(engine.pagerank(), reference)
+        engine.walks.check_invariants()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_all_dangling_salsa(backend):
+    engine = IncrementalSALSA.from_graph(
+        DynamicDiGraph(4), walks_per_node=2, rng=3, store_backend=backend
+    )
+    # no edges: hub and authority visits are the trivial start visits
+    assert engine.walks.num_segments == 4 * 2 * 2
+    authority = engine.authority_scores()
+    assert authority.shape == (4,)
+    engine.walks.check_invariants()
+    engine.add_edge(0, 1)
+    engine.walks.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Single-node self-loop
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_single_node_self_loop(backend):
+    graph = DynamicDiGraph(1)
+    graph.add_edge(0, 0)
+    engine = IncrementalPageRank.from_graph(
+        graph, walks_per_node=4, rng=5, store_backend=backend
+    )
+    # every step loops back to node 0, so all mass sits there
+    assert engine.walks.visit_count(0) == engine.walks.total_visits
+    assert engine.pagerank_of(0) > 0.0
+    assert engine.top(1)[0][0] == 0
+    engine.walks.check_invariants()
+    # removing the loop strands the walks at a now-dangling node
+    report = engine.remove_edge(0, 0)
+    assert engine.walks.total_visits == engine.walks.num_segments
+    assert report.steps_discarded >= 0
+    engine.walks.check_invariants()
+
+
+def test_single_node_self_loop_backends_agree():
+    graph = DynamicDiGraph(1)
+    graph.add_edge(0, 0)
+    engines = _engines(graph)
+    for engine in engines[1:]:
+        assert np.array_equal(engine.pagerank(), engines[0].pagerank())
+    walks = [engine.remove_edge(0, 0) for engine in engines]
+    for report in walks[1:]:
+        assert report.steps_discarded == walks[0].steps_discarded
+
+
+# ----------------------------------------------------------------------
+# Querying a node never seen by any walk
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_store_queries_beyond_known_nodes(backend):
+    store = make_walk_store(3, backend=backend)
+    unknown = 99
+    assert store.visits_of(unknown) == {}
+    assert store.segment_ids_visiting(unknown) == []
+    assert store.segments_starting_at(unknown) == []
+    assert store.visit_count(unknown) == 0
+    assert store.distinct_segment_count(unknown) == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_query_node_never_visited(backend):
+    # node 3 is isolated: no edges touch it, and its own walks never leave
+    graph = DynamicDiGraph(4)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 0)
+    graph.add_edge(0, 2)
+    engine = IncrementalPageRank.from_graph(
+        graph, walks_per_node=2, rng=9, store_backend=backend
+    )
+    # isolated node: only its own trivial segments visit it
+    assert engine.walks.visit_count(3) == engine.walks_per_node
+    walker = PersonalizedPageRank(engine.pagerank_store)
+    walk = walker.stitched_walk(3, 50, rng=np.random.default_rng(1))
+    # a walk seeded at a dangling isolate never escapes the seed
+    assert set(walk.visit_counts) == {3}
+    assert walk.visit_counts[3] == 50
+
+
+def test_query_engine_degenerate_paths():
+    graph = DynamicDiGraph(4)
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 0)
+    backends_results = []
+    for backend in BACKENDS:
+        engine = IncrementalPageRank.from_graph(
+            graph.copy(), walks_per_node=2, rng=11, store_backend=backend
+        )
+        qe = QueryEngine(engine, rng_seed=4)
+        isolated = qe.top_k(3, 2)
+        assert isolated.ranking == []  # nothing reachable beyond the seed
+        ppr = qe.ppr(3, 40)
+        assert set(ppr.visit_counts) == {3}
+        # served answers survive an update that touches the isolate
+        engine.add_edge(3, 0)
+        after = qe.top_k(3, 2)
+        assert after.ranking  # the isolate can now reach the core
+        backends_results.append((isolated.ranking, after.ranking))
+        qe.detach()
+    assert backends_results.count(backends_results[0]) == len(backends_results)
+
+
+def test_query_engine_on_all_dangling_graph():
+    for backend in BACKENDS:
+        engine = IncrementalPageRank.from_graph(
+            DynamicDiGraph(3), walks_per_node=2, rng=13, store_backend=backend
+        )
+        qe = QueryEngine(engine, rng_seed=1)
+        result = qe.top_k(0, 3)
+        assert result.ranking == []
+        assert qe.ppr(1, 25).visit_counts == {1: 25}
+        qe.detach()

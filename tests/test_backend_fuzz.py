@@ -1,0 +1,355 @@
+"""Randomized cross-backend differential stress suite.
+
+One seeded op-sequence generator drives every :class:`WalkIndex` backend —
+object, columnar, and sharded with shard counts {1, 2, 4, 7} — through the
+same interleaving of edge arrivals/removals, batched slices, PPR / top-k /
+SALSA queries, and persistence roundtrips, asserting a **bit-identical
+observable trace at every step** (DESIGN.md §6's determinism contract and
+§9's shard-count-invariance guarantee).
+
+When a sequence diverges, :func:`shrink_ops` delta-debugs it down to a
+(locally) minimal failing op list and the assertion message prints the
+seed plus the surviving ops — paste them into :func:`replay` to reproduce.
+Quick sequences run in tier-1; the long sweep is marked ``fuzz`` and runs
+via ``pytest -m fuzz`` (the CI coverage job includes it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalPageRank
+from repro.core.personalized import PersonalizedPageRank
+from repro.core.salsa import IncrementalSALSA, PersonalizedSALSA
+from repro.core.sharded_walks import ShardedWalkIndex
+from repro.core.topk import top_k_personalized
+from repro.core.walks import WalkStore
+from repro.graph.arrival import ArrivalEvent
+from repro.store.persistence import load_engine, save_engine
+from repro.workloads.twitter_like import twitter_like_graph
+
+BACKENDS = ["object", "columnar", "sharded:1", "sharded:2", "sharded:4", "sharded:7"]
+SALSA_BACKENDS = ["object", "columnar", "sharded:2", "sharded:7"]
+
+NUM_NODES = 90
+NUM_EDGES = 700
+
+
+# ----------------------------------------------------------------------
+# Op-sequence generation
+# ----------------------------------------------------------------------
+
+
+def generate_ops(seed: int, num_ops: int, *, salsa: bool = False) -> list[tuple]:
+    """A deterministic op sequence for ``seed``.
+
+    Ops carry concrete operands and are *self-validating on replay* (an
+    add of a present edge replays as a no-op), so any subsequence is also
+    a valid sequence — the property :func:`shrink_ops` relies on.
+    """
+    driver = np.random.default_rng(seed)
+    ops: list[tuple] = []
+    kinds = ("add", "remove", "query", "topk") if not salsa else ("add", "remove", "query")
+    for index in range(num_ops):
+        roll = driver.random()
+        if not salsa and roll < 0.12:
+            events = []
+            for _ in range(int(driver.integers(3, 25))):
+                u = int(driver.integers(NUM_NODES))
+                v = int(driver.integers(NUM_NODES))
+                events.append((u, v))
+            ops.append(("batch", events))
+            continue
+        if not salsa and roll < 0.18:
+            ops.append(("roundtrip", index))
+            continue
+        kind = kinds[int(driver.integers(len(kinds)))]
+        if kind in ("add", "remove"):
+            ops.append(
+                (
+                    kind,
+                    int(driver.integers(NUM_NODES)),
+                    int(driver.integers(NUM_NODES)),
+                )
+            )
+        elif kind == "query":
+            ops.append(("query", int(driver.integers(NUM_NODES)), index))
+        else:
+            ops.append(("topk", int(driver.integers(NUM_NODES)), index))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Replay — one backend, one observable trace
+# ----------------------------------------------------------------------
+
+
+def _save_version(engine) -> "int | None":
+    """Snapshot version that keeps the engine's backend class stable."""
+    if isinstance(engine.walks, WalkStore):
+        return 1
+    return None  # native default: v3 for sharded, v2 for columnar
+
+
+def replay(
+    ops: list[tuple], backend: str, seed: int, tmp_path, *, salsa: bool = False
+) -> list[tuple]:
+    """Run ``ops`` on ``backend``; return the step-by-step observable trace."""
+    graph = twitter_like_graph(NUM_NODES, NUM_EDGES, rng=seed)
+    if salsa:
+        engine = IncrementalSALSA.from_graph(
+            graph, walks_per_node=2, rng=seed + 1, store_backend=backend
+        )
+    else:
+        engine = IncrementalPageRank.from_graph(
+            graph, walks_per_node=3, rng=seed + 1, store_backend=backend
+        )
+    trace: list[tuple] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "add":
+            _, u, v = op
+            if u == v or engine.graph.has_edge(u, v):
+                trace.append(("noop",))
+                continue
+            report = engine.add_edge(u, v)
+            trace.append(_mutation_digest(engine, report, salsa))
+        elif kind == "remove":
+            _, u, v = op
+            if not engine.graph.has_edge(u, v):
+                trace.append(("noop",))
+                continue
+            report = engine.remove_edge(u, v)
+            trace.append(_mutation_digest(engine, report, salsa))
+        elif kind == "batch":
+            _, pairs = op
+            present = set(engine.graph.edge_list())
+            events: list[ArrivalEvent] = []
+            for u, v in pairs:
+                if u == v:
+                    continue
+                if (u, v) in present:
+                    events.append(ArrivalEvent("remove", u, v))
+                    present.discard((u, v))
+                else:
+                    events.append(ArrivalEvent("add", u, v))
+                    present.add((u, v))
+            if not events:
+                trace.append(("noop",))
+                continue
+            report = engine.apply_batch(events)
+            trace.append(_mutation_digest(engine, report, salsa))
+        elif kind == "query":
+            _, qseed, index = op
+            rng = np.random.default_rng([seed, index])
+            if salsa:
+                walk = PersonalizedSALSA(engine.pagerank_store).stitched_walk(
+                    qseed % engine.graph.num_nodes, 250, rng=rng
+                )
+                trace.append(
+                    (
+                        "squery",
+                        tuple(sorted(walk.hub_counts.items())),
+                        tuple(sorted(walk.authority_counts.items())),
+                        walk.fetches,
+                    )
+                )
+            else:
+                walk = PersonalizedPageRank(engine.pagerank_store).stitched_walk(
+                    qseed % engine.num_nodes, 350, rng=rng
+                )
+                trace.append(
+                    (
+                        "query",
+                        tuple(sorted(walk.visit_counts.items())),
+                        walk.fetches,
+                        walk.segments_used,
+                    )
+                )
+        elif kind == "topk":
+            _, qseed, index = op
+            top = top_k_personalized(
+                PersonalizedPageRank(engine.pagerank_store),
+                qseed % engine.num_nodes,
+                5,
+                rng=np.random.default_rng([seed, index]),
+            )
+            trace.append(("topk", tuple(top.ranking), top.walk_length))
+        elif kind == "roundtrip":
+            _, index = op
+            path = tmp_path / f"fuzz-{backend.replace(':', '-')}-{index}.npz"
+            save_engine(engine, path, version=_save_version(engine))
+            engine = load_engine(path, rng=np.random.default_rng([seed, index]))
+            trace.append(
+                (
+                    "roundtrip",
+                    engine.walks.num_segments,
+                    engine.walks.total_visits,
+                    engine.walks.visit_count_array().tobytes(),
+                )
+            )
+        else:  # pragma: no cover - generator and replay agree on kinds
+            raise AssertionError(f"unknown op {op!r}")
+    engine.walks.check_invariants()
+    trace.append(("final", _scores_digest(engine, salsa)))
+    return trace
+
+
+def _mutation_digest(engine, report, salsa: bool) -> tuple:
+    return (
+        "mut",
+        report.segments_rerouted,
+        report.steps_resimulated,
+        report.steps_discarded,
+        getattr(report, "segments_examined", 0),
+        tuple(sorted(getattr(report, "dirty_nodes", ()) or ())),
+        _scores_digest(engine, salsa),
+    )
+
+
+def _scores_digest(engine, salsa: bool) -> bytes:
+    if salsa:
+        return (
+            engine.authority_scores().tobytes() + engine.hub_scores().tobytes()
+        )
+    return engine.pagerank().tobytes()
+
+
+# ----------------------------------------------------------------------
+# Differential driver + shrinking repro helper
+# ----------------------------------------------------------------------
+
+
+def first_divergence(
+    ops: list[tuple], seed: int, tmp_path, backends=BACKENDS, *, salsa: bool = False
+) -> "tuple | None":
+    """Earliest (step, backend) whose trace leaves the reference, else None."""
+    reference, *others = [
+        replay(ops, backend, seed, tmp_path, salsa=salsa) for backend in backends
+    ]
+    for backend, trace in zip(backends[1:], others):
+        for step, (expected, got) in enumerate(zip(reference, trace)):
+            if expected != got:
+                return step, backend
+        if len(trace) != len(reference):  # pragma: no cover - defensive
+            return min(len(trace), len(reference)), backend
+    return None
+
+
+def shrink_ops(
+    ops: list[tuple],
+    seed: int,
+    tmp_path,
+    backends=BACKENDS,
+    *,
+    salsa: bool = False,
+    still_fails=None,
+) -> list[tuple]:
+    """Delta-debug ``ops`` to a 1-minimal subsequence that still diverges.
+
+    ``still_fails(subsequence) -> bool`` defaults to "some backend's trace
+    diverges"; tests for the shrinker itself inject a synthetic predicate.
+    Subsequences stay valid because every op is self-validating on replay.
+    """
+    if still_fails is None:
+
+        def still_fails(candidate: list[tuple]) -> bool:
+            return (
+                first_divergence(candidate, seed, tmp_path, backends, salsa=salsa)
+                is not None
+            )
+
+    current = list(ops)
+    chunk = max(len(current) // 2, 1)
+    while True:
+        shrunk = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk :]
+            if candidate and still_fails(candidate):
+                current = candidate
+                shrunk = True
+            else:
+                start += chunk
+        if chunk == 1:
+            if not shrunk:
+                break
+        else:
+            chunk = max(chunk // 2, 1)
+    return current
+
+
+def format_repro(seed: int, ops: list[tuple]) -> str:
+    """Paste-able reproduction: the seed plus the (shrunk) op list."""
+    lines = [f"seed = {seed}", "ops = ["]
+    lines += [f"    {op!r}," for op in ops]
+    lines += ["]", "# replay(ops, backend, seed, tmp_path) reproduces the trace"]
+    return "\n".join(lines)
+
+
+def assert_backends_agree(seed, num_ops, tmp_path, backends, *, salsa=False):
+    ops = generate_ops(seed, num_ops, salsa=salsa)
+    divergence = first_divergence(ops, seed, tmp_path, backends, salsa=salsa)
+    if divergence is None:
+        return
+    step, backend = divergence
+    minimal = shrink_ops(ops, seed, tmp_path, backends, salsa=salsa)
+    pytest.fail(
+        f"backend {backend!r} diverged from {backends[0]!r} at step {step} "
+        f"(shrunk to {len(minimal)} ops):\n{format_repro(seed, minimal)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Tests
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_fuzz_all_backends_quick(seed, tmp_path):
+    assert_backends_agree(seed, 35, tmp_path, BACKENDS)
+
+
+@pytest.mark.parametrize("seed", [10])
+def test_fuzz_salsa_backends_quick(seed, tmp_path):
+    assert_backends_agree(seed, 25, tmp_path, SALSA_BACKENDS, salsa=True)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(2, 8))
+def test_fuzz_all_backends_long(seed, tmp_path):
+    assert_backends_agree(seed, 120, tmp_path, BACKENDS)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", [20, 21])
+def test_fuzz_salsa_backends_long(seed, tmp_path):
+    assert_backends_agree(seed, 80, tmp_path, SALSA_BACKENDS, salsa=True)
+
+
+def test_sharded_store_class_is_used(tmp_path):
+    engine = IncrementalPageRank.from_graph(
+        twitter_like_graph(40, 200, rng=0), walks_per_node=2, rng=1,
+        store_backend="sharded:4",
+    )
+    assert isinstance(engine.walks, ShardedWalkIndex)
+    assert engine.walks.num_shards == 4
+
+
+def test_shrinker_minimizes_and_formats(tmp_path):
+    """The repro helper finds a small culprit set and prints it."""
+    ops = generate_ops(3, 30)
+    culprits = {5, 17}
+
+    def still_fails(candidate: list[tuple]) -> bool:
+        chosen = {id(op) for op in candidate}
+        return all(id(ops[i]) in chosen for i in culprits)
+
+    minimal = shrink_ops(ops, 3, tmp_path, still_fails=still_fails)
+    assert len(minimal) == len(culprits)
+    assert all(any(op is ops[i] for i in culprits) for op in minimal)
+    repro = format_repro(3, minimal)
+    assert "seed = 3" in repro
+    for op in minimal:
+        assert repr(op) in repro

@@ -11,6 +11,7 @@ from repro.core.columnar import ColumnarWalkStore
 from repro.core.incremental import IncrementalPageRank
 from repro.core.monte_carlo import build_walk_store
 from repro.core.salsa import IncrementalSALSA
+from repro.core.sharded_walks import ShardedWalkIndex
 from repro.core.walks import WalkStore
 from repro.errors import ConfigurationError, WalkStateError
 from repro.store.persistence import (
@@ -246,3 +247,150 @@ class TestFormatVersions:
             assert restored.side_visit_count_array(side).tolist() == (
                 engine.walks.side_visit_count_array(side).tolist()
             )
+
+
+class TestShardedManifests:
+    """v3 per-shard manifests, v1 → v2 → v3 migration, corruption."""
+
+    def _sharded_engine(self, graph, *, shards=5, rng=21):
+        return IncrementalPageRank.from_graph(
+            graph.copy(),
+            walks_per_node=2,
+            rng=rng,
+            store_backend=f"sharded:{shards}",
+        )
+
+    def test_sharded_store_roundtrips_as_manifest(self, random_graph, tmp_path):
+        engine = self._sharded_engine(random_graph)
+        path = tmp_path / "sharded.npz"
+        save_walk_store(engine.walks, path)  # native default = v3
+        restored = load_walk_store(path)
+        assert isinstance(restored, ShardedWalkIndex)
+        assert restored.num_shards == 5
+        restored.check_invariants()
+        assert restored.visit_count_array().tolist() == (
+            engine.walks.visit_count_array().tolist()
+        )
+        for gid, segment in engine.walks.iter_segments():
+            assert restored.segment_nodes(gid) == segment.nodes
+
+    def test_sharded_engine_roundtrip_continues_identically(
+        self, random_graph, tmp_path
+    ):
+        engine = self._sharded_engine(random_graph)
+        twin = self._sharded_engine(random_graph)
+        path = tmp_path / "engine_v3.npz"
+        save_engine(engine, path)
+        restored = load_engine(path, rng=np.random.default_rng(77))
+        assert isinstance(restored.walks, ShardedWalkIndex)
+        assert restored.store_backend == "sharded:5"
+        # a restored engine and a never-persisted twin (same fresh RNG)
+        # keep producing identical results
+        twin._rng = np.random.default_rng(77)
+        for source, target in ((1, 5), (5, 9), (2, 4)):
+            if restored.graph.has_edge(source, target):
+                ra = restored.remove_edge(source, target)
+                rb = twin.remove_edge(source, target)
+            else:
+                ra = restored.add_edge(source, target)
+                rb = twin.add_edge(source, target)
+            assert ra.dirty_nodes == rb.dirty_nodes
+        assert np.array_equal(restored.pagerank(), twin.pagerank())
+
+    def test_v1_to_v2_to_sharded_migration_chain(self, random_graph, tmp_path):
+        """The full upgrade path: legacy v1 → flat v2 → sharded v3."""
+        engine = IncrementalPageRank.from_graph(
+            random_graph.copy(), walks_per_node=2, rng=31, store_backend="object"
+        )
+        v1 = tmp_path / "chain_v1.npz"
+        save_engine(engine, v1, version=1)
+
+        # v1 → v2: load (object), re-save as flat columnar
+        from_v1 = load_engine(v1, rng=np.random.default_rng(1))
+        assert isinstance(from_v1.walks, WalkStore)
+        v2 = tmp_path / "chain_v2.npz"
+        save_engine(from_v1, v2, version=2)
+
+        # v2 → v3: load (columnar), migrate the store, re-save as manifest
+        from_v2 = load_engine(v2, rng=np.random.default_rng(1))
+        assert isinstance(from_v2.walks, ColumnarWalkStore)
+        from_v2.pagerank_store.walks = ShardedWalkIndex.from_arrays(
+            *from_v2.walks.to_arrays(),
+            num_nodes=from_v2.walks.num_nodes,
+            num_shards=3,
+        )
+        v3 = tmp_path / "chain_v3.npz"
+        save_engine(from_v2, v3)
+
+        from_v3 = load_engine(v3, rng=np.random.default_rng(1))
+        assert isinstance(from_v3.walks, ShardedWalkIndex)
+        from_v3.walks.check_invariants()
+        # nothing was lost anywhere along the chain
+        assert from_v3.walks.visit_count_array().tolist() == (
+            engine.walks.visit_count_array().tolist()
+        )
+        assert np.array_equal(from_v3.pagerank(), engine.pagerank())
+        # and the sharded engine can downgrade-save back to v2 losslessly
+        back = tmp_path / "chain_back_v2.npz"
+        save_engine(from_v3, back, version=2)
+        assert isinstance(
+            load_engine(back, rng=np.random.default_rng(2)).walks,
+            ColumnarWalkStore,
+        )
+
+    def test_truncated_manifest_raises_cleanly(self, random_graph, tmp_path):
+        engine = self._sharded_engine(random_graph)
+        path = tmp_path / "trunc.npz"
+        save_engine(engine, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        with pytest.raises((ConfigurationError, WalkStateError)):
+            load_engine(path)
+
+    def test_garbage_file_raises_cleanly(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(ConfigurationError):
+            load_walk_store(path)
+
+    def test_missing_shard_arrays_raise_cleanly(self, random_graph, tmp_path):
+        engine = self._sharded_engine(random_graph, shards=3)
+        path = tmp_path / "missing.npz"
+        save_walk_store(engine.walks, path)
+        data = dict(np.load(path, allow_pickle=False))
+        data.pop("shard2_segment_nodes")
+        np.savez_compressed(path, **data)
+        with pytest.raises(WalkStateError, match="missing array"):
+            load_walk_store(path)
+
+    def test_manifest_without_shard_count_raises_cleanly(
+        self, random_graph, tmp_path
+    ):
+        engine = self._sharded_engine(random_graph, shards=2)
+        path = tmp_path / "nocount.npz"
+        save_walk_store(engine.walks, path)
+        data = dict(np.load(path, allow_pickle=False))
+        meta = json.loads(str(data["meta"]))
+        del meta["num_shards"]
+        data["meta"] = json.dumps(meta)
+        np.savez_compressed(path, **data)
+        with pytest.raises(WalkStateError, match="shard count"):
+            load_walk_store(path)
+
+    def test_corrupt_global_ids_raise_cleanly(self, random_graph, tmp_path):
+        engine = self._sharded_engine(random_graph, shards=2)
+        path = tmp_path / "badids.npz"
+        save_walk_store(engine.walks, path)
+        data = dict(np.load(path, allow_pickle=False))
+        table = data["shard0_global_ids"].copy()
+        if table.size:
+            table[0] = 10**9  # escapes the segment-id space
+            data["shard0_global_ids"] = table
+        np.savez_compressed(path, **data)
+        with pytest.raises(WalkStateError, match="corrupt snapshot"):
+            load_walk_store(path)
+
+    def test_flat_store_cannot_save_as_v3(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=41)
+        with pytest.raises(ConfigurationError, match="sharded"):
+            save_walk_store(store, tmp_path / "nope.npz", version=3)

@@ -511,6 +511,54 @@ class TestRequestBatcher:
         with pytest.raises(ConfigurationError):
             QueryRequest(kind="ppr", seed=0, length=None)
 
+    def test_restart_resets_counters_between_sessions(self, service):
+        """Regression: ServeStats/CallStats outlive a batcher, so a second
+        serve session in the same process inherited the first session's
+        counts (hit rates, latency percentiles, fetch totals all lied)."""
+        requests = [
+            QueryRequest(seed=s % NODES, k=3, length=WALK_LENGTH)
+            for s in range(12)
+        ]
+        with RequestBatcher(service, max_workers=2) as batcher:
+            batcher.run(requests)
+        first_session = service.stats.snapshot()
+        assert first_session["queries"] > 0
+        assert service.store.stats.count("fetch") > 0
+
+        # restart WITHOUT fresh_stats: the stale counts leak through
+        with RequestBatcher(service, max_workers=2) as stale:
+            assert stale.stats.queries == first_session["queries"]
+
+        # restart WITH fresh_stats: both counter objects start from zero
+        with RequestBatcher(service, max_workers=2, fresh_stats=True) as batcher:
+            assert batcher.stats.queries == 0
+            assert batcher.stats.shed == 0
+            assert batcher.stats.mean_latency == 0.0
+            assert service.store.stats.count("fetch") == 0
+            batcher.run(requests[:5])
+        second_session = service.stats.snapshot()
+        assert second_session["queries"] == 5
+        assert second_session["queries"] < first_session["queries"]
+        # the result cache is intact across the restart, so the second
+        # session's hits reflect only its own traffic
+        assert second_session["hits"] <= 5
+
+    def test_serve_stats_reset_is_complete(self):
+        stats = ServeStats()
+        stats.record_query(hit=True, latency=0.25)
+        stats.record_query(hit=False, latency=0.5)
+        stats.record_shed()
+        stats.record_coalesced()
+        stats.record_invalidation(3, flush=True)
+        stats.reset()
+        snap = stats.snapshot()
+        assert all(value == 0 for value in snap.values())
+        assert stats.percentile(0.99) == 0.0
+        assert stats.max_latency == 0.0
+        # the object keeps working after a reset
+        stats.record_query(hit=False, latency=0.1)
+        assert stats.queries == 1 and stats.hit_rate == 0.0
+
 
 # ----------------------------------------------------------------------
 # Traffic generation + stats

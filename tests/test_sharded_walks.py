@@ -1,0 +1,365 @@
+"""Unit tests for the sharded walk-index engine (DESIGN.md §9).
+
+Cross-backend behavior is pinned by ``tests/test_backend_fuzz.py``; these
+tests cover the sharded store's own mechanics — routing, global-id maps,
+merged enumerations, the parallel repair/build paths, manifest
+validation, and observability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import ColumnarWalkStore, make_walk_store
+from repro.core.sharded_walks import (
+    COLD_BUILD_PROCESS,
+    ShardedWalkIndex,
+    parse_sharded_backend,
+)
+from repro.core.walks import END_DANGLING, END_RESET, WalkIndex, WalkSegment
+from repro.errors import ConfigurationError, WalkStateError
+
+
+def _random_segments(seed: int, count: int, num_nodes: int = 50):
+    rng = np.random.default_rng(seed)
+    segments = [
+        [int(node) for node in rng.integers(0, num_nodes, int(rng.integers(1, 12)))]
+        for _ in range(count)
+    ]
+    reasons = [int(rng.integers(2)) for _ in range(count)]
+    return segments, reasons
+
+
+def _paired_stores(seed: int = 0, count: int = 120, num_shards: int = 4):
+    segments, reasons = _random_segments(seed, count)
+    flat = ColumnarWalkStore()
+    flat.bulk_add_segments(segments, reasons)
+    sharded = ShardedWalkIndex(num_shards=num_shards)
+    sharded.bulk_add_segments(segments, reasons)
+    return flat, sharded
+
+
+def _assert_equivalent(flat: WalkIndex, sharded: ShardedWalkIndex) -> None:
+    assert sharded.num_segments == flat.num_segments
+    assert sharded.total_visits == flat.total_visits
+    assert sharded.num_nodes == flat.num_nodes
+    assert np.array_equal(sharded.visit_count_array(), flat.visit_count_array())
+    for node in range(flat.num_nodes):
+        assert sharded.visits_of(node) == flat.visits_of(node)
+        assert sharded.segment_ids_visiting(node) == flat.segment_ids_visiting(node)
+        assert sharded.segments_starting_at(node) == flat.segments_starting_at(node)
+        assert sharded.visit_count(node) == flat.visit_count(node)
+        assert sharded.distinct_segment_count(node) == flat.distinct_segment_count(
+            node
+        )
+    for (gid_a, seg_a), (gid_b, seg_b) in zip(
+        sharded.iter_segments(), flat.iter_segments()
+    ):
+        assert gid_a == gid_b
+        assert seg_a.nodes == seg_b.nodes
+        assert seg_a.end_reason == seg_b.end_reason
+    sharded.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Construction + routing
+# ----------------------------------------------------------------------
+
+
+def test_parse_sharded_backend():
+    assert parse_sharded_backend("sharded") == 4
+    assert parse_sharded_backend("sharded:7") == 7
+    assert parse_sharded_backend("columnar") is None
+    with pytest.raises(ConfigurationError):
+        parse_sharded_backend("sharded:nope")
+    with pytest.raises(ConfigurationError):
+        parse_sharded_backend("sharded:0")
+
+
+def test_make_walk_store_sharded():
+    store = make_walk_store(10, backend="sharded:3")
+    assert isinstance(store, ShardedWalkIndex)
+    assert isinstance(store, WalkIndex)  # satisfies the runtime protocol
+    assert store.num_shards == 3
+    assert store.num_nodes == 10
+    assert isinstance(make_walk_store(backend="sharded"), ShardedWalkIndex)
+    with pytest.raises(ConfigurationError):
+        make_walk_store(backend="bogus")
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        ShardedWalkIndex(num_shards=0)
+    with pytest.raises(ConfigurationError):
+        ShardedWalkIndex(max_workers=0)
+    with pytest.raises(ConfigurationError):
+        ShardedWalkIndex(cold_build="gpu")
+
+
+def test_segments_route_to_source_shard():
+    sharded = ShardedWalkIndex(num_shards=3)
+    for source in range(12):
+        sharded.add_segment(WalkSegment([source, (source + 1) % 12], END_RESET))
+    for gid in range(12):
+        source = sharded.source_of(gid)
+        shard_index = sharded.shard_of(source)
+        assert int(sharded._seg_shard[gid]) == shard_index
+    assert sum(shard.num_segments for shard in sharded.shards) == 12
+    sharded.check_invariants()
+
+
+def test_incremental_adds_match_flat_store():
+    segments, reasons = _random_segments(5, 80)
+    flat = ColumnarWalkStore()
+    sharded = ShardedWalkIndex(num_shards=5)
+    for nodes, reason in zip(segments, reasons):
+        flat.add_segment(WalkSegment(list(nodes), reason))
+        sharded.add_segment(WalkSegment(list(nodes), reason))
+    _assert_equivalent(flat, sharded)
+
+
+def test_bulk_build_matches_flat_store():
+    flat, sharded = _paired_stores()
+    _assert_equivalent(flat, sharded)
+
+
+def test_bulk_add_on_nonempty_store():
+    flat, sharded = _paired_stores(count=30)
+    more, reasons = _random_segments(9, 25)
+    flat.bulk_add_segments(more, reasons)
+    sharded.bulk_add_segments(more, reasons)
+    _assert_equivalent(flat, sharded)
+
+
+def test_bulk_add_validation():
+    sharded = ShardedWalkIndex(num_shards=2)
+    with pytest.raises(WalkStateError):
+        sharded.bulk_add_segments([[0, 1]], [END_RESET, END_RESET])
+    with pytest.raises(WalkStateError):
+        sharded.bulk_add_segments([[0], [1]], [END_RESET, END_RESET], [0])
+    with pytest.raises(WalkStateError):
+        sharded.bulk_add_segments([[]], [END_RESET])
+
+
+def test_rejected_block_leaves_store_untouched():
+    """A corrupt bulk install must fail before any map/shard state lands."""
+    sharded = ShardedWalkIndex(num_shards=2)
+    for bad_segments, bad_reasons in (
+        ([[0], [1]], [99, 99]),  # unknown end reason
+        ([[0], [-3]], [END_RESET, END_RESET]),  # negative node id
+    ):
+        with pytest.raises(WalkStateError):
+            sharded.bulk_add_segments(bad_segments, bad_reasons)
+        assert sharded.num_segments == 0
+        assert sharded.total_visits == 0
+        sharded.check_invariants()
+    # the store still works after the rejections
+    sharded.bulk_add_segments([[0, 1], [1]], [END_RESET, END_DANGLING])
+    assert sharded.num_segments == 2
+    sharded.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Mutation paths
+# ----------------------------------------------------------------------
+
+
+def test_replace_rebuild_and_updates_match_flat_store():
+    flat, sharded = _paired_stores(seed=2)
+    rng = np.random.default_rng(3)
+    for _ in range(40):
+        gid = int(rng.integers(flat.num_segments))
+        length = flat.segment_length(gid)
+        if rng.random() < 0.5:
+            keep = int(rng.integers(length))
+            tail = [int(n) for n in rng.integers(0, 50, int(rng.integers(0, 6)))]
+            reason = END_RESET if tail else END_DANGLING
+            flat.replace_suffix(gid, keep, tail, reason)
+            sharded.replace_suffix(gid, keep, tail, reason)
+        else:
+            source = flat.source_of(gid)
+            tail = [source] + [
+                int(n) for n in rng.integers(0, 50, int(rng.integers(0, 6)))
+            ]
+            flat.rebuild_segment(gid, tail, END_RESET)
+            sharded.rebuild_segment(gid, tail, END_RESET)
+    _assert_equivalent(flat, sharded)
+
+
+@pytest.mark.parametrize("max_workers", [None, 4])
+def test_apply_segment_updates_parallel_matches_serial(max_workers):
+    segments, reasons = _random_segments(4, 400)
+    flat = ColumnarWalkStore()
+    flat.bulk_add_segments(segments, reasons)
+    sharded = ShardedWalkIndex(num_shards=4, max_workers=max_workers)
+    sharded.bulk_add_segments(segments, reasons)
+    rng = np.random.default_rng(8)
+    updates = []
+    for gid in rng.choice(400, size=300, replace=False).tolist():
+        keep = int(rng.integers(flat.segment_length(gid)))
+        tail = [int(n) for n in rng.integers(0, 50, int(rng.integers(1, 8)))]
+        updates.append((int(gid), keep, tail, END_RESET))
+    flat.apply_segment_updates(updates)
+    sharded.apply_segment_updates(updates)
+    _assert_equivalent(flat, sharded)
+    sharded.shutdown()
+
+
+def test_updates_can_grow_node_space():
+    _, sharded = _paired_stores(count=10)
+    before = sharded.num_nodes
+    sharded.apply_segment_updates([(0, 0, [before + 5], END_RESET)])
+    assert sharded.num_nodes == before + 6
+    for shard in sharded.shards:
+        assert shard.num_nodes == sharded.num_nodes
+    sharded.check_invariants()
+
+
+def test_unknown_segment_id_raises():
+    _, sharded = _paired_stores(count=5)
+    with pytest.raises(WalkStateError):
+        sharded.get(99)
+    with pytest.raises(WalkStateError):
+        sharded.apply_segment_updates([(99, 0, [1], END_RESET)])
+
+
+def test_segment_view_is_read_only():
+    _, sharded = _paired_stores(count=5)
+    view = sharded.segment_view(0)
+    assert view.tolist() == sharded.segment_nodes(0)
+    with pytest.raises(ValueError):
+        view[0] = 42
+
+
+# ----------------------------------------------------------------------
+# Parallel cold build
+# ----------------------------------------------------------------------
+
+
+def test_threaded_cold_build_matches_serial():
+    segments, reasons = _random_segments(6, 600)
+    serial = ShardedWalkIndex(num_shards=4)
+    serial.bulk_add_segments(segments, reasons)
+    threaded = ShardedWalkIndex(num_shards=4, max_workers=4)
+    threaded.bulk_add_segments(segments, reasons)
+    _assert_equivalent(serial, threaded)
+    threaded.shutdown()
+
+
+@pytest.mark.fuzz
+def test_process_cold_build_matches_serial():
+    """Shared-memory subprocess build (falls back cleanly if forbidden)."""
+    segments, reasons = _random_segments(7, 600)
+    serial = ShardedWalkIndex(num_shards=4)
+    serial.bulk_add_segments(segments, reasons)
+    processed = ShardedWalkIndex(
+        num_shards=4, max_workers=2, cold_build=COLD_BUILD_PROCESS
+    )
+    processed.bulk_add_segments(segments, reasons)
+    _assert_equivalent(serial, processed)
+    processed.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Manifest validation + observability
+# ----------------------------------------------------------------------
+
+
+def test_from_shard_arrays_rejects_corrupt_manifests():
+    _, sharded = _paired_stores(count=40, num_shards=3)
+    good = sharded.shard_arrays()
+
+    bad = [dict(block) for block in good]
+    bad[0]["global_ids"] = bad[0]["global_ids"][:-1]
+    with pytest.raises(WalkStateError, match="global-id table length"):
+        ShardedWalkIndex.from_shard_arrays(bad, num_nodes=sharded.num_nodes)
+
+    bad = [dict(block) for block in good]
+    bad[1]["global_ids"] = bad[1]["global_ids"][::-1].copy()
+    with pytest.raises(WalkStateError, match="not ascending"):
+        ShardedWalkIndex.from_shard_arrays(bad, num_nodes=sharded.num_nodes)
+
+    bad = [dict(block) for block in good]
+    bad[0]["global_ids"] = bad[0]["global_ids"].copy()
+    bad[0]["global_ids"][0] = bad[1]["global_ids"][0]
+    with pytest.raises(WalkStateError, match="partition"):
+        ShardedWalkIndex.from_shard_arrays(bad, num_nodes=sharded.num_nodes)
+
+    bad = [dict(block) for block in good]
+    bad[0]["segment_nodes"] = bad[0]["segment_nodes"][:-1]
+    with pytest.raises(WalkStateError, match="length mismatch"):
+        ShardedWalkIndex.from_shard_arrays(bad, num_nodes=sharded.num_nodes)
+
+    # shards swapped: segments placed where their source does not hash
+    if sharded.shards[0].num_segments and sharded.shards[1].num_segments:
+        swapped = [dict(block) for block in good]
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        with pytest.raises(WalkStateError, match="hashes elsewhere"):
+            ShardedWalkIndex.from_shard_arrays(swapped, num_nodes=sharded.num_nodes)
+
+    with pytest.raises(WalkStateError, match="no shards"):
+        ShardedWalkIndex.from_shard_arrays([])
+
+
+def test_global_order_export_roundtrip():
+    flat, sharded = _paired_stores(seed=11, count=70, num_shards=7)
+    assert [a.tolist() for a in sharded.to_arrays()] == [
+        a.tolist() for a in flat.to_arrays()
+    ]
+    migrated = ShardedWalkIndex.from_arrays(
+        *flat.to_arrays(), num_nodes=flat.num_nodes, num_shards=2
+    )
+    _assert_equivalent(flat, migrated)
+
+
+def test_memory_and_load_observability():
+    _, sharded = _paired_stores(count=100)
+    stats = sharded.memory_stats()
+    assert stats["num_shards"] == 4
+    assert stats["bytes"] == sharded.memory_bytes()
+    assert sum(stats["shard_segments"]) == sharded.num_segments
+    assert sum(stats["shard_visits"]) == sharded.total_visits
+    assert len(sharded.shard_load()) == 4
+    assert sharded.load_imbalance() >= 1.0
+    assert "ShardedWalkIndex" in repr(sharded)
+    empty = ShardedWalkIndex(num_shards=2)
+    assert empty.load_imbalance() == 0.0
+    assert empty.memory_stats()["arena_utilization"] == 1.0
+
+
+def test_side_counters_sum_across_shards():
+    flat = ColumnarWalkStore(track_sides=True)
+    sharded = ShardedWalkIndex(num_shards=3, track_sides=True)
+    segments, reasons = _random_segments(17, 60)
+    parities = [i % 2 for i in range(60)]
+    flat.bulk_add_segments(segments, reasons, parities)
+    sharded.bulk_add_segments(segments, reasons, parities)
+    for side in (0, 1):
+        assert np.array_equal(
+            sharded.side_visit_count_array(side), flat.side_visit_count_array(side)
+        )
+        for node in range(0, flat.num_nodes, 7):
+            assert sharded.side_visit_count(node, side) == flat.side_visit_count(
+                node, side
+            )
+    sharded.check_invariants()
+    sideless = ShardedWalkIndex(num_shards=2)
+    with pytest.raises(WalkStateError):
+        sideless.side_visit_count(0, 0)
+    with pytest.raises(WalkStateError):
+        sideless.side_visit_count_array(0)
+
+
+def test_compact_preserves_contents():
+    flat, sharded = _paired_stores(seed=13, count=60)
+    rng = np.random.default_rng(1)
+    for gid in range(0, 60, 3):
+        tail = [int(n) for n in rng.integers(0, 50, 20)]
+        keep = 0
+        flat.replace_suffix(gid, keep, tail, END_RESET)
+        sharded.replace_suffix(gid, keep, tail, END_RESET)
+    sharded.compact()
+    _assert_equivalent(flat, sharded)
+    for shard in sharded.shards:
+        assert shard.memory_stats()["arena_utilization"] == 1.0
