@@ -21,8 +21,7 @@ import argparse
 import time
 
 from repro.core.incremental import IncrementalPageRank
-from repro.core.personalized import PersonalizedPageRank
-from repro.core.topk import top_k_personalized
+from repro.core.query_kernel import QueryKernel
 from repro.serve import (
     QueryEngine,
     QueryRequest,
@@ -84,18 +83,15 @@ def main() -> None:
         f"{service.results.invalidations} results invalidated, "
         f"{len(service.results)} still valid"
     )
-    reference = PersonalizedPageRank(
-        engine.pagerank_store, reset_probability=args.eps
-    )
+    reference = QueryKernel(engine.pagerank_store, reset_probability=args.eps)
     served = service.top_k(seed, 10, length=args.length)
-    recomputed = top_k_personalized(
-        reference,
-        seed,
+    recomputed = reference.batch_top_k(
+        [seed],
         10,
         length=args.length,
         exclude_friends=True,
-        rng=service.query_rng(seed, args.length),
-    )
+        rngs=[service.query_rng(seed, args.length)],
+    )[0]
     assert served.ranking == recomputed.ranking
     print("served ranking == cache-free recompute on the updated store\n")
 

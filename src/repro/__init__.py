@@ -32,6 +32,8 @@ from repro.core import (
     MonteCarloPageRank,
     PersonalizedPageRank,
     PersonalizedSALSA,
+    QueryKernel,
+    SalsaQueryKernel,
     ShardedWalkIndex,
     TopKResult,
     UpdateReport,
@@ -66,6 +68,8 @@ __all__ = [
     "IncrementalSALSA",
     "PersonalizedPageRank",
     "PersonalizedSALSA",
+    "QueryKernel",
+    "SalsaQueryKernel",
     "UpdateReport",
     "BatchUpdateReport",
     "TopKResult",

@@ -20,6 +20,7 @@ from repro.core.personalized import (
     PersonalizedPageRank,
     StitchedWalkResult,
 )
+from repro.core.query_kernel import QueryKernel, SalsaQueryKernel
 from repro.core.salsa import (
     IncrementalSALSA,
     PersonalizedSALSA,
@@ -33,7 +34,12 @@ from repro.core.sharded_walks import (
     ShardedWalkIndex,
     parse_sharded_backend,
 )
-from repro.core.topk import TopKResult, top_k_personalized, walk_length_for_top_k
+from repro.core.topk import (
+    TopKResult,
+    top_k_dense,
+    top_k_personalized,
+    walk_length_for_top_k,
+)
 from repro.core.walks import (
     END_DANGLING,
     END_RESET,
@@ -78,7 +84,10 @@ __all__ = [
     "PersonalizedPageRank",
     "StitchedWalkResult",
     "FetchCache",
+    "QueryKernel",
+    "SalsaQueryKernel",
     "TopKResult",
+    "top_k_dense",
     "top_k_personalized",
     "walk_length_for_top_k",
 ]

@@ -880,6 +880,28 @@ class ColumnarWalkStore:
             return []
         return list(self._segments_of[node])
 
+    def segment_views_starting_at(self, node: int) -> list[np.ndarray]:
+        """Zero-copy node views of ``node``'s segments, in insertion order.
+
+        The query kernel's bulk fetch: one arena slice per stored segment,
+        no materialization.  Views are read-only and valid until the next
+        store mutation — consume them within the current query batch.
+        """
+        if node >= self._num_nodes:
+            return []
+        segment_ids = self._segments_of[node]
+        if not segment_ids:
+            return []
+        # one read-only alias; its slices inherit non-writeability
+        arena = self._arena[:]
+        arena.flags.writeable = False
+        offsets = self._seg_off[segment_ids]
+        ends = (offsets + self._seg_len[segment_ids]).tolist()
+        return [
+            arena[offset:end]
+            for offset, end in zip(offsets.tolist(), ends)
+        ]
+
     def visit_count(self, node: int) -> int:
         """``X(v)``: total visits to ``node`` across all segments."""
         if node >= self._num_nodes:

@@ -867,20 +867,13 @@ class IncrementalPageRank:
     def top(self, k: int) -> list[tuple[int, float]]:
         """The ``k`` nodes with the highest current estimates.
 
-        Ties are broken by node id, so rankings compare exactly across
-        runs and against cached results.  ``argpartition`` alone picks
-        arbitrary members among equal scores at the cut boundary, so the
-        candidate set is widened to every node tied with the k-th score
-        before the (stable, ascending-id input) sort — O(n + m log m).
+        Ties are broken by node id (via the shared
+        :func:`repro.core.topk.top_k_dense` rule), so rankings compare
+        exactly across runs and against cached results.
         """
-        scores = self.pagerank()
-        if k >= len(scores):
-            order = np.argsort(-scores, kind="stable")
-            return [(int(node), float(scores[node])) for node in order]
-        boundary = scores[np.argpartition(-scores, k - 1)[k - 1]]
-        candidates = np.flatnonzero(scores >= boundary)
-        order = candidates[np.argsort(-scores[candidates], kind="stable")]
-        return [(int(node), float(scores[node])) for node in order[:k]]
+        from repro.core.topk import top_k_dense
+
+        return top_k_dense(self.pagerank(), k)
 
     def __repr__(self) -> str:
         return (

@@ -152,14 +152,16 @@ class MonteCarloPageRank:
         raise ConfigurationError(f"unknown normalization {normalization!r}")
 
     def top(self, k: int, normalization: str = PAPER) -> list[tuple[int, float]]:
-        """The ``k`` highest-scoring nodes as ``(node, score)`` pairs."""
-        scores = self.scores(normalization)
-        if k >= len(scores):
-            order = np.argsort(-scores)
-        else:
-            partition = np.argpartition(-scores, k)[:k]
-            order = partition[np.argsort(-scores[partition])]
-        return [(int(node), float(scores[node])) for node in order[:k]]
+        """The ``k`` highest-scoring nodes as ``(node, score)`` pairs.
+
+        Ties are broken by node id via the shared
+        :func:`repro.core.topk.top_k_dense` rule — a bare
+        ``argpartition`` leaks its internal order into equal scores,
+        which made tied rankings flap across numpy versions and runs.
+        """
+        from repro.core.topk import top_k_dense
+
+        return top_k_dense(self.scores(normalization), k)
 
     def total_work_estimate(self) -> int:
         """Walk steps simulated during :meth:`build` (≈ nR/ε)."""

@@ -197,8 +197,10 @@ class FetchCache:
 
     def __repr__(self) -> str:
         return (
-            f"FetchCache(entries={len(self._entries)}, hits={self.hits}, "
-            f"misses={self.misses}, invalidated={self.invalidated})"
+            f"FetchCache(entries={len(self._entries)}, "
+            f"capacity={self.capacity}, hits={self.hits}, "
+            f"misses={self.misses}, evicted={self.evicted}, "
+            f"invalidated={self.invalidated})"
         )
 
 

@@ -1,0 +1,1040 @@
+"""Vectorized multi-seed PPR query kernel — batch walk stitching (DESIGN.md §10).
+
+PRs 1–4 vectorized walk *building* and *repair*; this module vectorizes the
+paper's §3 query path.  The scalar reference
+(:meth:`repro.core.personalized.PersonalizedPageRank.stitched_walk`) runs
+Algorithm 1 one Python step at a time: a scalar RNG call per coin, a store
+fetch materializing every segment as a Python list once per walk, and one
+``Counter`` update per visited node.  Serving throughput is therefore
+bounded by the interpreter, not the hardware.  :class:`QueryKernel`
+advances ``B`` concurrent stitched walks as frontier passes and moves all
+O(visits) work into numpy:
+
+* **Per-stream block RNG** — each walk consumes uniforms from its own
+  generator in blocks of :attr:`rng_block` draws instead of one scalar
+  call per coin; a plain step's neighbour choice spends one uniform
+  (``int(u · d)``, the same draw :func:`repro.graph.csr.batch_reset_walks`
+  uses) instead of a scalar ``Generator.integers`` call.
+* **Bulk segment lookup** — node payloads (adjacency + stored segment
+  tails) are loaded **once per batch** through
+  :meth:`~repro.core.walks.WalkIndex.segment_views_starting_at`: zero-copy
+  arena views on the columnar backend, a single-shard gather on
+  :class:`~repro.core.sharded_walks.ShardedWalkIndex`.  The reference pays
+  this materialization once per walk per node.
+* **Vectorized visit accumulation** — a splice appends the segment's
+  arena *view* to a chunk list (O(1) Python work regardless of segment
+  length); all per-walk visit counts are reduced at the end with one
+  combined-key sort + run-length encode + ``np.bincount`` pass, never a
+  per-visit ``Counter`` update.
+
+**RNG stream contract (normative).**  Each query walks with its own
+``np.random.Generator`` stream — by default spawned from the query's
+identity, ``default_rng([rng_seed, seed, length])``, exactly the serving
+layer's :meth:`~repro.serve.engine.QueryEngine.query_rng` — and only that
+walk consumes from it.  Results are therefore reproducible and
+**independent of batch composition**: a query returns bit-identical visit
+counts whether it runs alone, in any batch, in any position, on any
+:class:`~repro.core.walks.WalkIndex` backend (the normative enumeration
+orders make the consumed store state identical across backends).
+
+**Relation to the reference.**  The kernel consumes its streams in the
+same trajectory order as the reference (one uniform per ε-coin, then one
+per plain step) but the reference draws plain steps via
+``Generator.integers``, which consumes raw bit-stream words rather than
+doubles.  Kernel and reference walks are therefore *distributionally*
+equivalent in general, and **bit-identical whenever the walk takes no
+plain step** (every visited node still holds an unused segment, or is
+dangling) — then both sides consume only ε-coin doubles, in the same
+order.  ``tests/test_query_kernel.py`` pins both properties down.
+
+Fetch accounting: ``StitchedWalkResult.fetches`` / ``cached_fetches``
+count per-walk first visits exactly as a sequential reference replay
+(through the same shared :class:`~repro.core.personalized.FetchCache`, if
+one is given) would have counted them, while
+:attr:`PageRankStore.stats <repro.store.pagerank_store.PageRankStore>`
+bills only the *physical* fetches the kernel actually performed — one per
+distinct node per batch — because not re-fetching is precisely the win.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.personalized import (
+    FetchCache,
+    StitchedWalkResult,
+    _FetchedState,
+)
+from repro.core.salsa import SalsaWalkResult
+from repro.core.topk import TopKResult, walk_length_for_top_k
+from repro.core.walks import SIDE_HUB
+from repro.errors import ConfigurationError
+from repro.rng import RngLike, ensure_rng
+from repro.store.pagerank_store import FETCH_FULL, PageRankStore
+
+__all__ = ["QueryKernel", "SalsaQueryKernel"]
+
+#: Uniforms drawn per refill of a walk's private stream buffer.
+_DEFAULT_RNG_BLOCK = 256
+
+
+class _NodeInfo:
+    """Per-batch shared payload of one fetched node (PPR)."""
+
+    __slots__ = ("nseg", "views", "sizes", "neighbors", "degree", "cached")
+
+    def __init__(self, views, neighbors, degree, cached):
+        self.nseg = len(views)
+        #: Whole-segment views; splicing records the view as-is and the
+        #: assembly pass drops each view's leading source node, so no
+        #: per-segment tail slices are ever created.
+        self.views = views
+        #: Visits a splice adds: the tail plus the post-segment seed visit
+        #: (== the full segment length).
+        self.sizes = [view.shape[0] for view in views]
+        self.neighbors = neighbors
+        self.degree = degree
+        #: Whether a sequential reference replay would find this node in
+        #: the shared fetch cache (flips True after the first walk pays).
+        self.cached = cached
+
+
+class _SalsaNodeInfo:
+    """Per-batch shared payload of one fetched node (SALSA, both sides)."""
+
+    __slots__ = ("pools", "sizes", "out_neighbors", "in_neighbors", "degrees")
+
+    def __init__(self, forward, backward, out_neighbors, in_neighbors):
+        #: pools[side]: whole-segment views in fetch order; consumed from
+        #: the END (matching the reference's ``pool.pop()``).
+        self.pools = (forward, backward)
+        self.sizes = (len(forward), len(backward))
+        self.out_neighbors = out_neighbors
+        self.in_neighbors = in_neighbors
+        self.degrees = (len(out_neighbors), len(in_neighbors))
+
+
+def _counts_per_walk(
+    owner_parts: list[np.ndarray],
+    node_parts: list[np.ndarray],
+    num_walks: int,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Reduce (walk, node) visit events to per-walk ``(nodes, counts)``.
+
+    One ``lexsort`` + run-length encode over every recorded visit of the
+    batch — the ``np.bincount``-style accumulation that replaces the
+    reference's per-visit ``Counter`` updates.
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if not owner_parts:
+        return [(empty, empty)] * num_walks
+    owners = np.concatenate(owner_parts)
+    nodes = np.concatenate(node_parts)
+    total = owners.size
+    if total == 0:  # e.g. every spliced segment was single-node
+        return [(empty, empty)] * num_walks
+    max_node = int(nodes.max())
+    shift = max(max_node + 1, 1).bit_length()
+    if shift + max(num_walks, 1).bit_length() < 63:
+        # one single-key sort beats a two-key lexsort; decode afterwards
+        combined = np.sort((owners << shift) | nodes)
+        owners = combined >> shift
+        nodes = combined & ((1 << shift) - 1)
+    else:  # pragma: no cover - astronomically wide id spaces
+        order = np.lexsort((nodes, owners))
+        owners = owners[order]
+        nodes = nodes[order]
+    change = np.empty(total, dtype=bool)
+    change[0] = True
+    change[1:] = (owners[1:] != owners[:-1]) | (nodes[1:] != nodes[:-1])
+    starts = np.flatnonzero(change)
+    counts = np.diff(np.append(starts, total))
+    entry_owner = owners[starts]
+    entry_node = nodes[starts]
+    rows = np.bincount(entry_owner, minlength=num_walks)
+    boundaries = np.cumsum(rows)[:-1]
+    return list(
+        zip(np.split(entry_node, boundaries), np.split(counts, boundaries))
+    )
+
+
+def _per_walk_visit_counts(
+    num_walks: int,
+    chunk_counts,
+    chunk_tails,
+    step_counts,
+    step_nodes,
+) -> tuple[list[tuple[np.ndarray, np.ndarray]], np.ndarray]:
+    """Reduce the raw event streams to per-walk ``(nodes, counts)`` plus
+    per-walk spliced-step totals (seed visits excluded — the caller adds
+    them, or skips them when the seed is excluded from a ranking)."""
+    walk_ids = np.arange(num_walks, dtype=np.int64)
+    owner_parts: list[np.ndarray] = []
+    node_parts: list[np.ndarray] = []
+    segment_steps = np.zeros(num_walks, dtype=np.int64)
+    if chunk_tails:
+        lens = np.fromiter(
+            (view.shape[0] for view in chunk_tails),
+            dtype=np.int64,
+            count=len(chunk_tails),
+        )
+        per_chunk_owner = np.repeat(
+            walk_ids, np.asarray(chunk_counts, dtype=np.int64)
+        )
+        tail_lens = lens - 1
+        owner_parts.append(np.repeat(per_chunk_owner, tail_lens))
+        # chunks are whole segments; drop each one's leading source
+        # (only its tail was spliced into the walk)
+        nodes = np.concatenate(chunk_tails)
+        keep = np.ones(nodes.size, dtype=bool)
+        keep[np.cumsum(lens) - lens] = False
+        node_parts.append(nodes[keep])
+        segment_steps = np.bincount(
+            per_chunk_owner, weights=tail_lens, minlength=num_walks
+        ).astype(np.int64)
+    if step_nodes:
+        owner_parts.append(
+            np.repeat(walk_ids, np.asarray(step_counts, dtype=np.int64))
+        )
+        node_parts.append(np.asarray(step_nodes, dtype=np.int64))
+    return _counts_per_walk(owner_parts, node_parts, num_walks), segment_steps
+
+
+def _rank_arrays(
+    nodes: np.ndarray, visits: np.ndarray, k: int, excluded
+) -> list[tuple[int, int]]:
+    """``StitchedWalkResult.top``'s exact ranking, computed on arrays.
+
+    Sort key ``(-visits, node)`` — identical output to the Counter path,
+    one ``lexsort`` instead of a per-item Python comparison sort.
+    """
+    if excluded:
+        keep = ~np.isin(
+            nodes, np.fromiter(excluded, dtype=np.int64, count=len(excluded))
+        )
+        nodes = nodes[keep]
+        visits = visits[keep]
+    order = np.lexsort((nodes, -visits))[:k]
+    return list(zip(nodes[order].tolist(), visits[order].tolist()))
+
+
+def _derived_rngs(
+    seeds: Sequence[int], lengths: Sequence[int], rng_seed: int
+) -> list[np.random.Generator]:
+    """The default per-query streams: ``default_rng([rng_seed, seed, len])``."""
+    return [
+        np.random.default_rng([rng_seed, int(seed), int(length)])
+        for seed, length in zip(seeds, lengths)
+    ]
+
+
+class QueryKernel:
+    """Batch Algorithm-1 walk stitching over a :class:`PageRankStore`."""
+
+    def __init__(
+        self,
+        pagerank_store: PageRankStore,
+        *,
+        reset_probability: float = 0.2,
+        rng_block: int = _DEFAULT_RNG_BLOCK,
+    ) -> None:
+        if not 0.0 < reset_probability <= 1.0:
+            raise ConfigurationError(
+                f"reset_probability must be in (0, 1], got {reset_probability}"
+            )
+        if pagerank_store.fetch_mode != FETCH_FULL:
+            raise ConfigurationError(
+                "QueryKernel requires fetch_mode='full' (sampled_edge fetches "
+                "are single-use draws; use the scalar reference walker)"
+            )
+        if rng_block < 2:
+            raise ConfigurationError(
+                f"rng_block must be at least 2, got {rng_block}"
+            )
+        self.store = pagerank_store
+        self.reset_probability = reset_probability
+        self.rng_block = rng_block
+
+    # ------------------------------------------------------------------
+    # Node payloads (one physical fetch per node per batch)
+    # ------------------------------------------------------------------
+
+    def _load_node(
+        self,
+        node: int,
+        fetch_cache: Optional[FetchCache],
+        cache_guard: int,
+    ) -> _NodeInfo:
+        """Load one node's payload; *physical* fetches are billed in bulk
+        by the caller (one ``stats.record("fetch", n)`` per batch)."""
+        payload = fetch_cache.lookup(node) if fetch_cache is not None else None
+        if payload is not None:
+            views = [
+                np.asarray(segment, dtype=np.int64)
+                for segment in payload.segments
+            ]
+            return _NodeInfo(
+                views, list(payload.neighbors), payload.out_degree, True
+            )
+        store = self.store
+        views = store.walks.segment_views_starting_at(node)
+        neighbors = list(store.social_store.out_neighbors(node))
+        if fetch_cache is not None:
+            fetch_cache.store(
+                node,
+                _FetchedState(
+                    neighbors=list(neighbors),
+                    segments=[view.tolist() for view in views],
+                    out_degree=len(neighbors),
+                ),
+                guard_version=cache_guard,
+            )
+        return _NodeInfo(views, neighbors, len(neighbors), False)
+
+    # ------------------------------------------------------------------
+    # The batch engine
+    # ------------------------------------------------------------------
+
+    def batch_stitched_walks(
+        self,
+        seeds: Sequence[int],
+        lengths,
+        *,
+        rngs: Optional[Sequence[RngLike]] = None,
+        rng_seed: int = 0,
+        use_segments: bool = True,
+        fetch_cache: Optional[FetchCache] = None,
+    ) -> list[StitchedWalkResult]:
+        """Run one Algorithm-1 walk per entry of ``seeds``, batched.
+
+        ``lengths`` is one target length for the whole batch or one per
+        seed.  ``rngs`` supplies each walk's private stream; by default
+        streams are derived from the query identity (see the module
+        docstring's RNG contract).  Walks may overshoot their target by a
+        final segment splice, exactly like the reference.
+        """
+        seeds = [int(seed) for seed in seeds]
+        num_walks = len(seeds)
+        if isinstance(lengths, (int, np.integer)):
+            targets = [int(lengths)] * num_walks
+        else:
+            targets = [int(length) for length in lengths]
+            if len(targets) != num_walks:
+                raise ConfigurationError(
+                    f"{num_walks} seeds but {len(targets)} lengths"
+                )
+        for target in targets:
+            if target <= 0:
+                raise ConfigurationError(
+                    f"length must be positive, got {target}"
+                )
+        if fetch_cache is not None and self.store.fetch_mode != FETCH_FULL:
+            raise ConfigurationError(
+                "fetch_cache requires a store with fetch_mode='full'"
+            )
+        if rngs is None:
+            generators = _derived_rngs(seeds, targets, rng_seed)
+        else:
+            if len(rngs) != num_walks:
+                raise ConfigurationError(
+                    f"{num_walks} seeds but {len(rngs)} rngs"
+                )
+            generators = [ensure_rng(rng) for rng in rngs]
+        if num_walks == 0:
+            return []
+        raw = self._run(seeds, targets, generators, use_segments, fetch_cache)
+        return self._assemble(*raw)
+
+    def _run(self, seeds, targets, generators, use_segments, fetch_cache):
+        """Advance every walk to completion; returns the raw event streams."""
+        num_walks = len(seeds)
+        eps = self.reset_probability
+        block = self.rng_block
+        cache_guard = fetch_cache.version if fetch_cache is not None else 0
+        shared_fetch = fetch_cache is not None
+
+        # Per-walk scalar outputs (data-plane events below stay arrays).
+        visited = [0] * num_walks
+        resets = [0] * num_walks
+        splices = [0] * num_walks
+        plain = [0] * num_walks
+        fetches = [0] * num_walks
+        cached = [0] * num_walks
+        # Per-walk event streams, flat across the batch: splice tails and
+        # plain-step visits, grouped by walk (walks run to completion one
+        # after another — their streams are private, so any schedule
+        # produces the same results; sequential keeps the control plane in
+        # local variables).
+        chunk_counts = [0] * num_walks
+        chunk_tails: list[np.ndarray] = []
+        step_counts = [0] * num_walks
+        step_nodes: list[int] = []
+
+        node_info: dict[int, _NodeInfo] = {}
+        node_info_get = node_info.get
+        load_node = self._load_node
+        tails_append = chunk_tails.append
+        steps_append = step_nodes.append
+        physical_loads = 0
+
+        for walk in range(num_walks):
+            seed = seeds[walk]
+            target = targets[walk]
+            random_block = generators[walk].random
+            buffer: list[float] = []
+            buffer_len = 0
+            position = 0
+            count = 1  # the initial seed visit
+            # splices and plain steps are derived from the event-stream
+            # length deltas below — the hot branches only append
+            chunks_before = len(chunk_tails)
+            steps_before = len(step_nodes)
+            resets_w = 0  # coin + dangling resets (splices added at the end)
+            fetches_w = 0
+            cached_w = 0
+            # The walk's position: every splice and reset returns to the
+            # seed, so the seed-resident phase dominates — its cursor and
+            # payload columns live in locals, skipping every dict and
+            # attribute lookup on that path.
+            at_seed = True
+            node = seed
+            seed_cursor = -1
+            seed_nseg = 0
+            seed_views: list = []
+            seed_sizes: list = []
+            seed_neighbors: list = []
+            seed_degree = 0
+            # per-node walk state: [cursor, _NodeInfo] (one dict lookup)
+            cursors: dict[int, list] = {}
+            cursors_get = cursors.get
+
+            while count < target:
+                if position >= buffer_len:
+                    buffer = random_block(block).tolist()
+                    buffer_len = block
+                    position = 0
+                coin = buffer[position]
+                position += 1
+                if coin < eps:
+                    resets_w += 1
+                    count += 1
+                    at_seed = True
+                    continue
+                if at_seed:
+                    if seed_cursor < 0:
+                        # first visit: the fetch pass (re-enters with the
+                        # node in memory and re-flips the coin)
+                        seed_info = node_info_get(seed)
+                        if seed_info is None:
+                            seed_info = load_node(seed, fetch_cache, cache_guard)
+                            node_info[seed] = seed_info
+                            if not seed_info.cached:
+                                physical_loads += 1
+                        if seed_info.cached:
+                            cached_w += 1
+                        else:
+                            fetches_w += 1
+                            if shared_fetch:
+                                # a sequential replay would now hit the cache
+                                seed_info.cached = True
+                        seed_cursor = 0
+                        seed_nseg = seed_info.nseg if use_segments else 0
+                        seed_views = seed_info.views
+                        seed_sizes = seed_info.sizes
+                        seed_neighbors = seed_info.neighbors
+                        seed_degree = seed_info.degree
+                        continue
+                    if seed_cursor < seed_nseg:
+                        # splice: appending the view IS the accounting
+                        # (ends in the segment's own reset back to seed)
+                        tails_append(seed_views[seed_cursor])
+                        count += seed_sizes[seed_cursor]
+                        seed_cursor += 1
+                        continue
+                    if seed_degree == 0:
+                        resets_w += 1  # dangling: reset to the seed
+                        count += 1
+                        continue
+                    if position >= buffer_len:
+                        buffer = random_block(block).tolist()
+                        buffer_len = block
+                        position = 0
+                    node = seed_neighbors[int(buffer[position] * seed_degree)]
+                    position += 1
+                    steps_append(node)
+                    count += 1
+                    at_seed = node == seed
+                    continue
+                entry = cursors_get(node)
+                if entry is None:
+                    info = node_info_get(node)
+                    if info is None:
+                        info = load_node(node, fetch_cache, cache_guard)
+                        node_info[node] = info
+                        if not info.cached:
+                            physical_loads += 1
+                    if info.cached:
+                        cached_w += 1
+                    else:
+                        fetches_w += 1
+                        if shared_fetch:
+                            info.cached = True
+                    cursors[node] = [0, info]
+                    continue
+                cursor, info = entry
+                if use_segments and cursor < info.nseg:
+                    entry[0] = cursor + 1
+                    tails_append(info.views[cursor])
+                    count += info.sizes[cursor]
+                    at_seed = True
+                elif info.degree == 0:
+                    resets_w += 1
+                    count += 1
+                    at_seed = True
+                else:
+                    if position >= buffer_len:
+                        buffer = random_block(block).tolist()
+                        buffer_len = block
+                        position = 0
+                    node = info.neighbors[int(buffer[position] * info.degree)]
+                    position += 1
+                    steps_append(node)
+                    count += 1
+                    at_seed = node == seed
+
+            splices_w = len(chunk_tails) - chunks_before
+            visited[walk] = count
+            resets[walk] = resets_w + splices_w  # each splice ends in a reset
+            splices[walk] = splices_w
+            plain[walk] = len(step_nodes) - steps_before
+            fetches[walk] = fetches_w
+            cached[walk] = cached_w
+            chunk_counts[walk] = splices_w
+            step_counts[walk] = plain[walk]
+
+        if physical_loads:
+            self.store.stats.record("fetch", physical_loads)
+        return (
+            seeds,
+            visited,
+            resets,
+            splices,
+            plain,
+            fetches,
+            cached,
+            chunk_counts,
+            chunk_tails,
+            step_counts,
+            step_nodes,
+        )
+
+    def _assemble(
+        self,
+        seeds,
+        visited,
+        resets,
+        splices,
+        plain,
+        fetches,
+        cached,
+        chunk_counts,
+        chunk_tails,
+        step_counts,
+        step_nodes,
+    ) -> list[StitchedWalkResult]:
+        """Reduce the recorded event streams to per-walk results, vectorized.
+
+        ``chunk_tails`` / ``step_nodes`` are flat event streams grouped by
+        walk (``chunk_counts`` / ``step_counts`` delimit them); owners are
+        reconstructed with one ``np.repeat`` per stream and all visit
+        counts reduce in a single lexsort + run-length-encode pass.
+        """
+        num_walks = len(seeds)
+        per_walk, segment_steps = _per_walk_visit_counts(
+            num_walks, chunk_counts, chunk_tails, step_counts, step_nodes
+        )
+
+        results = []
+        for walk, seed in enumerate(seeds):
+            nodes_b, counts_b = per_walk[walk]
+            visit_counts: Counter = Counter()
+            # plain dict fill (no Counter.update dispatch, no intermediate)
+            dict.update(
+                visit_counts, zip(nodes_b.tolist(), counts_b.tolist())
+            )
+            # every reset revisited the seed, plus the initial visit
+            visit_counts[seed] += resets[walk] + 1
+            results.append(
+                StitchedWalkResult(
+                    seed=seed,
+                    length=visited[walk],
+                    visit_counts=visit_counts,
+                    fetches=fetches[walk],
+                    segments_used=splices[walk],
+                    segment_steps=int(segment_steps[walk]),
+                    plain_steps=plain[walk],
+                    resets=resets[walk],
+                    cached_fetches=cached[walk],
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Query shapes
+    # ------------------------------------------------------------------
+
+    def stitched_walk(
+        self,
+        seed: int,
+        length: int,
+        *,
+        rng: RngLike = None,
+        rng_seed: int = 0,
+        use_segments: bool = True,
+        fetch_cache: Optional[FetchCache] = None,
+    ) -> StitchedWalkResult:
+        """The B=1 batch — same signature shape as the scalar reference.
+
+        Identical to the walk's result inside any larger batch (the
+        composition-independence contract), and the serving layer's B=1
+        latency path.
+        """
+        rngs = None if rng is None else [rng]
+        return self.batch_stitched_walks(
+            [seed],
+            length,
+            rngs=rngs,
+            rng_seed=rng_seed,
+            use_segments=use_segments,
+            fetch_cache=fetch_cache,
+        )[0]
+
+    def batch_scores(
+        self,
+        seeds: Sequence[int],
+        length: int,
+        *,
+        rngs: Optional[Sequence[RngLike]] = None,
+        rng_seed: int = 0,
+        fetch_cache: Optional[FetchCache] = None,
+    ) -> np.ndarray:
+        """Personalized PageRank estimates, one dense row per seed.
+
+        Row ``i`` equals
+        ``batch_stitched_walks(...)[i].frequencies(num_nodes)`` — computed
+        without materializing per-walk ``Counter`` objects into a loop.
+        """
+        walks = self.batch_stitched_walks(
+            seeds, length, rngs=rngs, rng_seed=rng_seed, fetch_cache=fetch_cache
+        )
+        num_nodes = self.store.social_store.num_nodes
+        matrix = np.zeros((len(walks), num_nodes), dtype=np.float64)
+        for row, walk in enumerate(walks):
+            matrix[row] = walk.frequencies(num_nodes)
+        return matrix
+
+    def batch_top_k(
+        self,
+        seeds: Sequence[int],
+        k: int,
+        *,
+        alpha: float = 0.77,
+        c: float = 5.0,
+        exclude_friends: bool = True,
+        length: Optional[int] = None,
+        rngs: Optional[Sequence[RngLike]] = None,
+        rng_seed: int = 0,
+        fetch_cache: Optional[FetchCache] = None,
+    ) -> list[TopKResult]:
+        """Top-``k`` rankings for many seeds in one kernel invocation.
+
+        Mirrors :func:`repro.core.topk.top_k_personalized` per seed
+        (Equation-4 walk sizing, seed/friend exclusion, Corollary-9
+        bound); ``fetches`` reports the walk's first-visit count — the
+        cost a per-walk serving tier would have paid.  Rankings are
+        computed straight from the kernel's reduced count arrays (the
+        seed — always excluded — never needs its Counter materialized),
+        and are identical to ``batch_stitched_walks(...)[i].top(k, ...)``.
+        """
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        social = self.store.social_store
+        walk_length = (
+            length
+            if length is not None
+            else walk_length_for_top_k(k, social.num_nodes, alpha, c)
+        )
+        seeds = [int(seed) for seed in seeds]
+        if walk_length <= 0:
+            raise ConfigurationError(
+                f"length must be positive, got {walk_length}"
+            )
+        if rngs is None:
+            generators = _derived_rngs(
+                seeds, [walk_length] * len(seeds), rng_seed
+            )
+        else:
+            if len(rngs) != len(seeds):
+                raise ConfigurationError(
+                    f"{len(seeds)} seeds but {len(rngs)} rngs"
+                )
+            generators = [ensure_rng(rng) for rng in rngs]
+        if not seeds:
+            return []
+        raw = self._run(
+            seeds, [walk_length] * len(seeds), generators, True, fetch_cache
+        )
+        fetches = raw[5]
+        chunk_counts, chunk_tails, step_counts, step_nodes = raw[7:]
+        per_walk, _ = _per_walk_visit_counts(
+            len(seeds), chunk_counts, chunk_tails, step_counts, step_nodes
+        )
+        results = []
+        for walk_index, seed in enumerate(seeds):
+            excluded = {seed}
+            if exclude_friends:
+                excluded.update(social.out_neighbors(seed))
+            walks_at_seed = max(
+                len(self.store.walks.segments_starting_at(seed)), 1
+            )
+            nodes_b, counts_b = per_walk[walk_index]
+            results.append(
+                TopKResult(
+                    seed=seed,
+                    k=k,
+                    ranking=_rank_arrays(nodes_b, counts_b, k, excluded),
+                    walk_length=walk_length,
+                    fetches=fetches[walk_index],
+                    fetch_bound=theory.cor9_topk_fetch_bound(
+                        k, alpha, c, walks_at_seed
+                    ),
+                    alpha=alpha,
+                    c=c,
+                )
+            )
+        return results
+
+
+class SalsaQueryKernel:
+    """Batch personalized-SALSA walk stitching (the PPR kernel's sibling).
+
+    Same architecture — per-walk uniform streams, once-per-batch node
+    payloads, chunked visit assembly — specialized to the alternating
+    hub/authority walk of
+    :class:`~repro.core.salsa.PersonalizedSALSA`: ε-coins are flipped at
+    hub visits only, stored segments splice from the side-matching pool
+    (consumed from the end, like the reference), and every recorded visit
+    carries its side parity so hub/authority counts reduce in one
+    vectorized pass.
+    """
+
+    def __init__(
+        self,
+        pagerank_store: PageRankStore,
+        *,
+        reset_probability: float = 0.2,
+        rng_block: int = _DEFAULT_RNG_BLOCK,
+    ) -> None:
+        if not pagerank_store.walks.track_sides:
+            raise ConfigurationError(
+                "SalsaQueryKernel needs a side-tracking walk store "
+                "(build it via IncrementalSALSA)"
+            )
+        if not 0.0 < reset_probability <= 1.0:
+            raise ConfigurationError(
+                f"reset_probability must be in (0, 1], got {reset_probability}"
+            )
+        self.store = pagerank_store
+        self.reset_probability = reset_probability
+        self.rng_block = rng_block
+
+    def _load_node(self, node: int) -> _SalsaNodeInfo:
+        store = self.store
+        store.stats.record("fetch")
+        walks = store.walks
+        segment_ids = walks.segments_starting_at(node)
+        views = walks.segment_views_starting_at(node)
+        forward = []
+        backward = []
+        for segment_id, view in zip(segment_ids, views):
+            if walks.parity_of(segment_id) == SIDE_HUB:
+                forward.append(view)
+            else:
+                backward.append(view)
+        return _SalsaNodeInfo(
+            forward,
+            backward,
+            list(store.social_store.out_neighbors(node)),
+            list(store.social_store.in_neighbors(node)),
+        )
+
+    def batch_stitched_walks(
+        self,
+        seeds: Sequence[int],
+        lengths,
+        *,
+        rngs: Optional[Sequence[RngLike]] = None,
+        rng_seed: int = 0,
+    ) -> list[SalsaWalkResult]:
+        """Run one personalized-SALSA walk per seed, batched."""
+        seeds = [int(seed) for seed in seeds]
+        num_walks = len(seeds)
+        if isinstance(lengths, (int, np.integer)):
+            targets = [int(lengths)] * num_walks
+        else:
+            targets = [int(length) for length in lengths]
+            if len(targets) != num_walks:
+                raise ConfigurationError(
+                    f"{num_walks} seeds but {len(targets)} lengths"
+                )
+        for target in targets:
+            if target <= 0:
+                raise ConfigurationError(
+                    f"length must be positive, got {target}"
+                )
+        if rngs is None:
+            generators = _derived_rngs(seeds, targets, rng_seed)
+        else:
+            if len(rngs) != num_walks:
+                raise ConfigurationError(
+                    f"{num_walks} seeds but {len(rngs)} rngs"
+                )
+            generators = [ensure_rng(rng) for rng in rngs]
+        if num_walks == 0:
+            return []
+
+        eps = self.reset_probability
+        block = self.rng_block
+
+        visited = [0] * num_walks
+        resets = [0] * num_walks
+        splices = [0] * num_walks
+        plain = [0] * num_walks
+        fetches = [0] * num_walks
+        # Flat event streams grouped by walk (see the PPR kernel): spliced
+        # segment views with the splice side, and plain-step (node, side)
+        # visits.
+        chunk_counts = [0] * num_walks
+        chunk_views: list[np.ndarray] = []
+        chunk_parity: list[int] = []  # side of the tail's first visit
+        step_counts = [0] * num_walks
+        step_nodes: list[int] = []
+        step_sides: list[int] = []
+
+        node_info: dict[int, _SalsaNodeInfo] = {}
+        node_info_get = node_info.get
+        load_node = self._load_node
+        views_append = chunk_views.append
+        parity_append = chunk_parity.append
+        nodes_append = step_nodes.append
+        sides_append = step_sides.append
+
+        for walk in range(num_walks):
+            seed = seeds[walk]
+            target = targets[walk]
+            random_block = generators[walk].random
+            buffer: list[float] = []
+            buffer_len = 0
+            position = 0
+            count = 1  # the initial hub visit of the seed
+            node = seed
+            side = SIDE_HUB
+            resets_w = 0
+            splices_w = 0
+            plain_w = 0
+            fetches_w = 0
+            chunks_w = 0
+            steps_w = 0
+            # per-node [forward remaining, backward remaining] cursors
+            cursors: dict[int, list[int]] = {}
+            cursors_get = cursors.get
+
+            while count < target:
+                if side == SIDE_HUB:
+                    if position >= buffer_len:
+                        buffer = random_block(block).tolist()
+                        buffer_len = block
+                        position = 0
+                    coin = buffer[position]
+                    position += 1
+                    if coin < eps:
+                        resets_w += 1
+                        count += 1
+                        node = seed
+                        continue  # side stays HUB
+                remaining = cursors_get(node)
+                if remaining is None:
+                    info = node_info_get(node)
+                    if info is None:
+                        info = load_node(node)
+                        node_info[node] = info
+                    cursors[node] = list(info.sizes)
+                    fetches_w += 1
+                    continue
+                info = node_info[node]
+                index = remaining[side] - 1
+                if index >= 0:
+                    remaining[side] = index
+                    view = info.pools[side][index]
+                    if view.shape[0] > 1:
+                        views_append(view[1:])
+                        parity_append((side + 1) & 1)
+                        chunks_w += 1
+                    splices_w += 1
+                    resets_w += 1  # the segment's own reset
+                    count += int(view.shape[0])
+                    node = seed
+                    side = SIDE_HUB
+                    continue
+                degree = info.degrees[side]
+                if degree == 0:
+                    resets_w += 1
+                    count += 1
+                    node = seed
+                    side = SIDE_HUB
+                    continue
+                if position >= buffer_len:
+                    buffer = random_block(block).tolist()
+                    buffer_len = block
+                    position = 0
+                adjacency = (
+                    info.out_neighbors if side == SIDE_HUB else info.in_neighbors
+                )
+                node = adjacency[int(buffer[position] * degree)]
+                position += 1
+                side = 1 - side
+                nodes_append(node)
+                sides_append(side)
+                steps_w += 1
+                plain_w += 1
+                count += 1
+
+            visited[walk] = count
+            resets[walk] = resets_w
+            splices[walk] = splices_w
+            plain[walk] = plain_w
+            fetches[walk] = fetches_w
+            chunk_counts[walk] = chunks_w
+            step_counts[walk] = steps_w
+
+        return self._assemble(
+            seeds,
+            visited,
+            resets,
+            splices,
+            plain,
+            fetches,
+            chunk_counts,
+            chunk_views,
+            chunk_parity,
+            step_counts,
+            step_nodes,
+            step_sides,
+        )
+
+    def _assemble(
+        self,
+        seeds,
+        visited,
+        resets,
+        splices,
+        plain,
+        fetches,
+        chunk_counts,
+        chunk_views,
+        chunk_parity,
+        step_counts,
+        step_nodes,
+        step_sides,
+    ) -> list[SalsaWalkResult]:
+        """Reduce recorded events to per-walk hub/authority counters.
+
+        Spliced tails carry the splice side; each visit's side is its
+        alternating parity within the tail, computed in one vectorized
+        pass before the same lexsort reduction the PPR kernel uses (run
+        separately per side).
+        """
+        num_walks = len(seeds)
+        walk_ids = np.arange(num_walks, dtype=np.int64)
+
+        side_parts: dict[int, tuple[list, list]] = {0: ([], []), 1: ([], [])}
+        if chunk_views:
+            lens = np.fromiter(
+                (tail.shape[0] for tail in chunk_views),
+                dtype=np.int64,
+                count=len(chunk_views),
+            )
+            per_chunk_owner = np.repeat(
+                walk_ids, np.asarray(chunk_counts, dtype=np.int64)
+            )
+            owners = np.repeat(per_chunk_owner, lens)
+            nodes = np.concatenate(chunk_views)
+            starts = np.cumsum(lens) - lens
+            offsets = np.arange(nodes.size, dtype=np.int64) - np.repeat(
+                starts, lens
+            )
+            parities = np.repeat(np.asarray(chunk_parity, dtype=np.int64), lens)
+            visit_sides = (offsets + parities) & 1
+            for side in (0, 1):
+                mask = visit_sides == side
+                if mask.any():
+                    side_parts[side][0].append(owners[mask])
+                    side_parts[side][1].append(nodes[mask])
+        if step_nodes:
+            owners = np.repeat(
+                walk_ids, np.asarray(step_counts, dtype=np.int64)
+            )
+            nodes = np.asarray(step_nodes, dtype=np.int64)
+            sides = np.asarray(step_sides, dtype=np.int64)
+            for side in (0, 1):
+                mask = sides == side
+                if mask.any():
+                    side_parts[side][0].append(owners[mask])
+                    side_parts[side][1].append(nodes[mask])
+
+        per_walk_hub = _counts_per_walk(*side_parts[SIDE_HUB], num_walks)
+        per_walk_auth = _counts_per_walk(*side_parts[1 - SIDE_HUB], num_walks)
+
+        results = []
+        for walk, seed in enumerate(seeds):
+            hub_nodes, hub_counts = per_walk_hub[walk]
+            auth_nodes, auth_counts = per_walk_auth[walk]
+            hub: Counter = Counter()
+            dict.update(hub, zip(hub_nodes.tolist(), hub_counts.tolist()))
+            # every reset revisited (seed, HUB), plus the initial visit
+            hub[seed] += resets[walk] + 1
+            authority: Counter = Counter()
+            dict.update(
+                authority, zip(auth_nodes.tolist(), auth_counts.tolist())
+            )
+            results.append(
+                SalsaWalkResult(
+                    seed=seed,
+                    length=visited[walk],
+                    hub_counts=hub,
+                    authority_counts=authority,
+                    fetches=fetches[walk],
+                    segments_used=splices[walk],
+                    plain_steps=plain[walk],
+                    resets=resets[walk],
+                )
+            )
+        return results
+
+    def stitched_walk(
+        self,
+        seed: int,
+        length: int,
+        *,
+        rng: RngLike = None,
+        rng_seed: int = 0,
+    ) -> SalsaWalkResult:
+        """The B=1 batch (identical to the walk inside any larger batch)."""
+        rngs = None if rng is None else [rng]
+        return self.batch_stitched_walks(
+            [seed], length, rngs=rngs, rng_seed=rng_seed
+        )[0]

@@ -619,6 +619,17 @@ class ShardedWalkIndex:
             return []
         return self._to_global(shard_index, local_row).tolist()
 
+    def segment_views_starting_at(self, node: int) -> list[np.ndarray]:
+        """Zero-copy node views of ``node``'s segments, in insertion order.
+
+        Single-shard gather: every segment starting at ``node`` lives on
+        ``shard_of(node)``, and the monotone local → global id tables make
+        the shard-local insertion order the global one, so the owning
+        shard's arena slices are returned directly — the paper's per-node
+        fetch locality, with no id translation on the hot path.
+        """
+        return self.shards[self.shard_of(node)].segment_views_starting_at(node)
+
     def visit_count(self, node: int) -> int:
         return sum(shard.visit_count(node) for shard in self.shards)
 

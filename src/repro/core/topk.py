@@ -13,12 +13,42 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.core import theory
 from repro.core.personalized import FetchCache, PersonalizedPageRank
 from repro.errors import ConfigurationError
 from repro.rng import RngLike
 
-__all__ = ["TopKResult", "top_k_personalized", "walk_length_for_top_k"]
+__all__ = [
+    "TopKResult",
+    "top_k_dense",
+    "top_k_personalized",
+    "walk_length_for_top_k",
+]
+
+
+def top_k_dense(scores: np.ndarray, k: int) -> list[tuple[int, float]]:
+    """The ``k`` highest-scoring nodes of a dense vector, ties by node id.
+
+    The one ranking rule every dense-score ``top`` in this repository
+    uses (:meth:`IncrementalPageRank.top`, :meth:`MonteCarloPageRank.top`,
+    :meth:`IncrementalSALSA.top_authorities`), extracted so it cannot
+    drift: ``argpartition`` alone picks arbitrary members among equal
+    scores at the cut boundary, so the candidate set is widened to every
+    node tied with the k-th score before the (stable, ascending-id input)
+    sort — O(n + m log m), deterministic across runs and platforms.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be positive, got {k}")
+    scores = np.asarray(scores)
+    if k >= len(scores):
+        order = np.argsort(-scores, kind="stable")
+        return [(int(node), float(scores[node])) for node in order]
+    boundary = scores[np.argpartition(-scores, k - 1)[k - 1]]
+    candidates = np.flatnonzero(scores >= boundary)
+    order = candidates[np.argsort(-scores[candidates], kind="stable")]
+    return [(int(node), float(scores[node])) for node in order[:k]]
 
 
 def walk_length_for_top_k(

@@ -194,6 +194,8 @@ class WalkIndex(Protocol):
 
     def segments_starting_at(self, node: int) -> list[int]: ...
 
+    def segment_views_starting_at(self, node: int) -> list[np.ndarray]: ...
+
     def visit_count(self, node: int) -> int: ...
 
     def distinct_segment_count(self, node: int) -> int: ...
@@ -436,6 +438,23 @@ class WalkStore:
         if node >= self.num_nodes:
             return []
         return list(self.segments_of[node])
+
+    def segment_views_starting_at(self, node: int) -> list[np.ndarray]:
+        """Node arrays of ``node``'s segments, in insertion order.
+
+        The bulk-lookup primitive of the multi-seed query kernel
+        (:mod:`repro.core.query_kernel`): one call per node instead of one
+        ``segment_nodes`` materialization per segment per walk.  The object
+        store has no arena, so these are fresh arrays; the columnar
+        backends return zero-copy views valid until the next mutation.
+        Treat the result as read-only either way.
+        """
+        if node >= self.num_nodes:
+            return []
+        return [
+            np.asarray(self.get(segment_id).nodes, dtype=np.int64)
+            for segment_id in self.segments_of[node]
+        ]
 
     def visit_count(self, node: int) -> int:
         """``X(v)``: total visits to ``node`` across all segments."""

@@ -29,8 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.incremental import IncrementalPageRank
-from repro.core.personalized import PersonalizedPageRank
-from repro.core.topk import top_k_personalized
+from repro.core.query_kernel import QueryKernel
 from repro.experiments.common import ExperimentResult, register
 from repro.rng import ensure_rng, spawn
 from repro.serve.batcher import QueryRequest, RequestBatcher
@@ -96,21 +95,24 @@ def _sustained(query_engine, requests, *, batcher=None):
 
 
 def _differential_check(engine, query_engine, seeds, k, walk_length):
-    """Served answers vs cache-free same-RNG reference; returns (ok, total)."""
-    reference = PersonalizedPageRank(
+    """Served answers vs cache-free same-RNG reference; returns (ok, total).
+
+    The oracle is a fresh cache-free B=1 :class:`QueryKernel` — the serve
+    path's canonical computation (see :mod:`repro.serve.engine`).
+    """
+    reference = QueryKernel(
         engine.pagerank_store, reset_probability=engine.reset_probability
     )
     ok = 0
     for seed in seeds:
         served = query_engine.top_k(seed, k, length=walk_length)
-        expected = top_k_personalized(
-            reference,
-            seed,
+        expected = reference.batch_top_k(
+            [seed],
             k,
             length=walk_length,
             exclude_friends=True,
-            rng=query_engine.query_rng(seed, walk_length),
-        )
+            rngs=[query_engine.query_rng(seed, walk_length)],
+        )[0]
         if served.ranking == expected.ranking:
             ok += 1
     return ok, len(seeds)

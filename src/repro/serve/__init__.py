@@ -11,21 +11,23 @@ Module map (the query path, top to bottom)::
     client request
         │
         ▼
-    batcher.py   RequestBatcher — coalesces duplicate in-flight seeds,
-        │        executes distinct seeds on a worker pool, sheds load
-        │        past a queue-depth limit (LoadShedError)
+    batcher.py   RequestBatcher — coalesces duplicate seeds, sheds load
+        │        past a queue-depth limit (LoadShedError), and answers
+        │        each drain with one multi-seed kernel invocation per
+        │        worker pass (kernel_batching=True, the default)
         ▼
-    engine.py    QueryEngine — answers ppr()/top_k() with per-query
-        │        deterministic RNG; consults the seed-keyed result cache,
-        │        else runs a stitched walk through the shared fetch cache
+    engine.py    QueryEngine — answers ppr()/top_k()/run_batch() with
+        │        per-query deterministic RNG; consults the seed-keyed
+        │        result cache, else computes through the batch kernel
+        │        and the shared fetch cache
         ▼
     cache.py     ResultCache — LRU + TTL result store with footprint
         │        (dirty-set) invalidation fed by IncrementalPageRank's
         │        epoch/update listeners; full flush as fallback
         ▼
-    (core)       PersonalizedPageRank.stitched_walk + FetchCache
-        │        (repro.core.personalized) — Algorithm 1 with shared
-        │        cross-query fetched node states
+    (core)       QueryKernel (repro.core.query_kernel) — batch Algorithm
+        │        1 walk stitching with per-query RNG streams + FetchCache
+        │        shared cross-query fetched node states (DESIGN.md §10)
         ▼
     (store)      PageRankStore.fetch / SocialStore — the two §2 databases
 

@@ -11,6 +11,11 @@ A serving tier in front of a walk store sees three load phenomena the
   worker pool executes them concurrently.  Queries stay deterministic
   under concurrency because each walk's RNG is derived from the query
   itself (see :meth:`QueryEngine.query_rng`), never from execution order.
+* **kernel batching** — a queue drain of distinct seeds is itself batch
+  work: :meth:`RequestBatcher.run` splits the admitted drain into at most
+  one chunk per worker and answers each chunk with a single multi-seed
+  kernel invocation (:meth:`QueryEngine.run_batch`), amortizing node
+  payload loads and visit accounting across the whole pass.
 * **overload** — a bounded in-flight window sheds excess requests with
   :class:`~repro.errors.LoadShedError` instead of letting latency grow
   without bound (queue-depth load shedding, the standard admission-control
@@ -71,12 +76,19 @@ class RequestBatcher:
         max_workers: int = 4,
         max_queue_depth: int = 256,
         fresh_stats: bool = False,
+        kernel_batching: bool = True,
+        max_kernel_batch: int = 64,
     ) -> None:
         """Front a :class:`QueryEngine` with a coalescing worker pool.
 
         ``fresh_stats=True`` zeroes the engine's (long-lived, shared)
         serve and store counters on construction, so a restarted batcher
         reports this session's rates rather than the process lifetime's.
+        ``kernel_batching`` makes :meth:`run` coalesce each queue drain
+        into one multi-seed kernel invocation per worker pass (capped at
+        ``max_kernel_batch`` queries per invocation); ``False`` restores
+        the one-future-per-request legacy drain.  Answers are identical
+        either way — kernel queries walk per-query RNG streams.
         """
         if max_workers <= 0:
             raise ConfigurationError(
@@ -86,14 +98,21 @@ class RequestBatcher:
             raise ConfigurationError(
                 f"max_queue_depth must be positive, got {max_queue_depth}"
             )
+        if max_kernel_batch <= 0:
+            raise ConfigurationError(
+                f"max_kernel_batch must be positive, got {max_kernel_batch}"
+            )
         self.query_engine = query_engine
         self.stats = query_engine.stats
         if fresh_stats:
             self.reset_stats()
         self.max_queue_depth = max_queue_depth
+        self.kernel_batching = kernel_batching
+        self.max_kernel_batch = max_kernel_batch
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-serve"
         )
+        self._max_workers = max_workers
         self._lock = threading.Lock()
         self._in_flight: dict[Hashable, Future] = {}
         self._depth = 0
@@ -156,19 +175,87 @@ class RequestBatcher:
     # ------------------------------------------------------------------
 
     def run(self, requests: Sequence[QueryRequest]) -> List[Optional[object]]:
-        """Submit a whole queue drain and gather results in request order.
+        """Answer a whole queue drain and gather results in request order.
 
-        Shed requests yield ``None`` (their count is in the stats); other
-        failures propagate.  Duplicate requests resolve to the shared
-        result.
+        With ``kernel_batching`` (the default) the drain is coalesced:
+        duplicate requests share one computation (billed ``coalesced``),
+        unique requests beyond ``max_queue_depth`` are shed (``None``
+        results, billed ``shed``), and the admitted remainder is split
+        into at most one chunk per worker — each chunk answered by a
+        single :meth:`QueryEngine.run_batch` kernel invocation on the
+        pool.  Otherwise every request is submitted as its own future
+        (the legacy drain).  Shed requests yield ``None``; other failures
+        propagate.  Duplicate requests resolve to the shared result.
         """
-        futures = [self.submit(request) for request in requests]
-        results: List[Optional[object]] = []
-        for future in futures:
-            try:
-                results.append(future.result())
-            except LoadShedError:
-                results.append(None)
+        if not self.kernel_batching:
+            futures = [self.submit(request) for request in requests]
+            results: List[Optional[object]] = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except LoadShedError:
+                    results.append(None)
+            return results
+        return self._run_batched(requests)
+
+    def _run_batched(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[Optional[object]]:
+        """One coalesced drain: dedupe, shed, chunk, one kernel per chunk.
+
+        Admission is charged against the same shared ``_depth`` window
+        ``submit`` uses, so concurrent drains (and interleaved single
+        submits) are jointly bounded by ``max_queue_depth``.  A duplicate
+        of an admitted key coalesces onto its computation; a duplicate of
+        a shed key is itself billed as shed (it is being refused too).
+        """
+        slots: dict[Hashable, List[int]] = {}
+        admitted: List[QueryRequest] = []
+        shed_keys: set = set()
+        with self._lock:
+            for index, request in enumerate(requests):
+                key = self._key(request)
+                entry = slots.get(key)
+                if entry is not None:
+                    entry.append(index)
+                    if key in shed_keys:
+                        self.stats.record_shed()
+                    else:
+                        self.stats.record_coalesced()
+                    continue
+                slots[key] = [index]
+                if self._depth >= self.max_queue_depth:
+                    shed_keys.add(key)
+                    self.stats.record_shed()
+                    continue
+                self._depth += 1
+                admitted.append(request)
+
+        results: List[Optional[object]] = [None] * len(requests)
+        if not admitted:
+            return results
+        try:
+            # one kernel invocation per worker pass: ceil-split the drain
+            # across the pool, capped at max_kernel_batch per invocation
+            chunk_size = min(
+                self.max_kernel_batch,
+                -(-len(admitted) // self._max_workers),
+            )
+            chunks = [
+                admitted[start : start + chunk_size]
+                for start in range(0, len(admitted), chunk_size)
+            ]
+            futures = [
+                self._executor.submit(self.query_engine.run_batch, chunk)
+                for chunk in chunks
+            ]
+            for chunk, future in zip(chunks, futures):
+                for request, value in zip(chunk, future.result()):
+                    for index in slots[self._key(request)]:
+                        results[index] = value
+        finally:
+            with self._lock:
+                self._depth -= len(admitted)
         return results
 
     def reset_stats(self) -> None:

@@ -12,21 +12,31 @@ engine's stores, through two caches:
   holding fetched node states, so even cache-miss walks skip most store
   round-trips (the hot core of the graph is read by nearly every walk).
 
+Cache misses are computed by the **multi-seed query kernel**
+(:class:`~repro.core.query_kernel.QueryKernel`): single queries run as
+B=1 batches, and :meth:`QueryEngine.run_batch` answers a whole drain of
+requests with one kernel invocation (the
+:class:`~repro.serve.batcher.RequestBatcher` feeds it per worker pass).
+``use_kernel=False`` falls back to the scalar reference walker.
+
 **Determinism.**  Each query's walk RNG is derived from
-``(rng_seed, query seed, walk length)`` — not from wall clock or arrival
-order — so the same query against the same store state always returns the
-same answer, no matter which worker thread runs it or what was cached.
+``(rng_seed, query seed, walk length)`` — not from wall clock, arrival
+order, or batch composition — so the same query against the same store
+state always returns the same answer, no matter which worker thread runs
+it, what was cached, or which other queries shared its kernel batch (the
+kernel's per-stream contract; see :mod:`repro.core.query_kernel`).
 Combined with footprint invalidation (see :mod:`repro.serve.cache`) this
-gives the serving layer's differential guarantee: hit or miss, the answer
-equals a cache-free :func:`repro.core.topk.top_k_personalized` /
-:meth:`~repro.core.personalized.PersonalizedPageRank.stitched_walk` run
-with the same derived generator on the current store state.
+gives the serving layer's differential guarantee: hit or miss, batched or
+not, the answer equals a cache-free B=1 kernel run with the same derived
+generator on the current store state (or a cache-free
+:meth:`~repro.core.personalized.PersonalizedPageRank.stitched_walk` when
+``use_kernel=False``).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Hashable, Optional
+from typing import Hashable, Optional, Sequence
 
 import numpy as np
 
@@ -37,10 +47,12 @@ from repro.core.personalized import (
     PersonalizedPageRank,
     StitchedWalkResult,
 )
+from repro.core.query_kernel import QueryKernel
 from repro.core.topk import TopKResult, walk_length_for_top_k
 from repro.errors import ConfigurationError
 from repro.serve.cache import ResultCache
 from repro.serve.stats import ServeStats
+from repro.store.pagerank_store import FETCH_FULL
 
 __all__ = ["QueryEngine"]
 
@@ -61,6 +73,7 @@ class QueryEngine:
         share_fetches: bool = True,
         alpha: float = 0.77,
         c: float = 5.0,
+        use_kernel: bool = True,
         stats: Optional[ServeStats] = None,
         clock=time.monotonic,
     ) -> None:
@@ -70,6 +83,13 @@ class QueryEngine:
         respective cache (every query recomputes) — the ablation the
         E-SERVE benchmark measures against.  ``alpha``/``c`` are the
         Equation-4 walk-sizing defaults for top-``k`` queries.
+        ``use_kernel=False`` computes misses with the scalar reference
+        walker instead of the batch kernel (a different—equally valid—
+        draw of each answer; pick one per deployment, as cached kernel
+        results never equal fresh reference recomputes and vice versa).
+        A ``sampled_edge``-mode store also falls back to the scalar
+        walker (the kernel requires ``fetch_mode='full'``); check
+        ``engine.kernel is None`` to see which path serves misses.
         """
         if rng_seed < 0:
             raise ConfigurationError(f"rng_seed must be >= 0, got {rng_seed}")
@@ -92,6 +112,14 @@ class QueryEngine:
         self.stats = stats if stats is not None else ServeStats()
         self._walker = PersonalizedPageRank(
             self.store, reset_probability=engine.reset_probability
+        )
+        #: The multi-seed batch kernel (None => scalar reference walker).
+        self.kernel: Optional[QueryKernel] = (
+            QueryKernel(
+                self.store, reset_probability=engine.reset_probability
+            )
+            if use_kernel and self.store.fetch_mode == FETCH_FULL
+            else None
         )
         self._listener = self._on_update
         engine.add_update_listener(self._listener)
@@ -186,13 +214,21 @@ class QueryEngine:
         self.stats.record_query(hit=False, latency=self.clock() - started)
         return value, False
 
-    def _run_walk(self, seed: int, length: int):
-        walk = self._walker.stitched_walk(
-            seed,
-            length,
-            rng=self.query_rng(seed, length),
-            fetch_cache=self.fetch_cache,
+    def _compute_walk(self, seed: int, length: int) -> StitchedWalkResult:
+        """One cache-miss walk: a B=1 kernel batch (or the reference)."""
+        rng = self.query_rng(seed, length)
+        if self.kernel is not None:
+            walk = self.kernel.stitched_walk(
+                seed, length, rng=rng, fetch_cache=self.fetch_cache
+            )
+            self.stats.record_kernel_batch(1, (walk.length,))
+            return walk
+        return self._walker.stitched_walk(
+            seed, length, rng=rng, fetch_cache=self.fetch_cache
         )
+
+    def _run_walk(self, seed: int, length: int):
+        walk = self._compute_walk(seed, length)
         return walk, frozenset(walk.visit_counts)
 
     def _run_top_k(
@@ -204,12 +240,20 @@ class QueryEngine:
         alpha: float,
         c: float,
     ):
-        walk = self._walker.stitched_walk(
-            seed,
-            walk_length,
-            rng=self.query_rng(seed, walk_length),
-            fetch_cache=self.fetch_cache,
-        )
+        walk = self._compute_walk(seed, walk_length)
+        return self._package_top_k(walk, k, walk_length, exclude_friends, alpha, c)
+
+    def _package_top_k(
+        self,
+        walk: StitchedWalkResult,
+        k: int,
+        walk_length: int,
+        exclude_friends: bool,
+        alpha: float,
+        c: float,
+    ):
+        """Rank a finished walk into a ``(TopKResult, footprint)`` pair."""
+        seed = walk.seed
         # Footprint = the *raw* visit set: excluded nodes (seed, friends)
         # were still read by the walk, so they must keep invalidating.
         footprint = frozenset(walk.visit_counts)
@@ -232,6 +276,137 @@ class QueryEngine:
 
     def _seed_walk_count(self, seed: int) -> int:
         return max(len(self.store.walks.segments_starting_at(seed)), 1)
+
+    # ------------------------------------------------------------------
+    # Batched execution (one kernel invocation per drain)
+    # ------------------------------------------------------------------
+
+    def run_batch(self, requests: Sequence) -> list:
+        """Answer many requests with one kernel invocation for the misses.
+
+        ``requests`` are :class:`~repro.serve.batcher.QueryRequest`-shaped
+        objects (``kind``/``seed``/``k``/``length``/``exclude_friends``).
+        Duplicate query keys are computed once; cache hits are served from
+        the result cache; every remaining miss joins one
+        :meth:`QueryKernel.batch_stitched_walks` call sharing the fetch
+        cache.  Each answer is identical to what the corresponding
+        single-query :meth:`ppr` / :meth:`top_k` call would return — the
+        kernel's per-query RNG streams make results independent of batch
+        composition — so batching is purely a throughput decision.
+        Returns values in request order.
+        """
+        if not requests:
+            return []
+        started = self.clock()
+        num_nodes = self.store.social_store.num_nodes
+        specs = []  # (key, kind, seed, walk_length, k, exclude_friends)
+        for request in requests:
+            if request.kind == "ppr":
+                if request.length is None:
+                    raise ConfigurationError(
+                        "ppr requests need an explicit length"
+                    )
+                key = ("ppr", request.seed, request.length)
+                specs.append(
+                    (key, "ppr", request.seed, request.length, 0, False)
+                )
+            else:
+                if request.k <= 0:
+                    raise ConfigurationError(
+                        f"k must be positive, got {request.k}"
+                    )
+                walk_length = (
+                    request.length
+                    if request.length is not None
+                    else walk_length_for_top_k(
+                        request.k, num_nodes, self.alpha, self.c
+                    )
+                )
+                key = (
+                    "topk",
+                    request.seed,
+                    request.k,
+                    walk_length,
+                    request.exclude_friends,
+                    self.alpha,
+                    self.c,
+                )
+                specs.append(
+                    (
+                        key,
+                        "topk",
+                        request.seed,
+                        walk_length,
+                        request.k,
+                        request.exclude_friends,
+                    )
+                )
+
+        resolved: dict[Hashable, object] = {}
+        misses = []
+        seen = set()
+        for spec in specs:
+            key = spec[0]
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.cache_results:
+                hit, value = self.results.get(key)
+                if hit:
+                    resolved[key] = value
+                    self.stats.record_query(
+                        hit=True, latency=self.clock() - started
+                    )
+                    continue
+            misses.append(spec)
+
+        if misses:
+            guard_version = self.results.version
+            rngs = [
+                self.query_rng(seed, walk_length)
+                for _, _, seed, walk_length, _, _ in misses
+            ]
+            if self.kernel is not None:
+                walks = self.kernel.batch_stitched_walks(
+                    [spec[2] for spec in misses],
+                    [spec[3] for spec in misses],
+                    rngs=rngs,
+                    fetch_cache=self.fetch_cache,
+                )
+                self.stats.record_kernel_batch(
+                    len(misses), [walk.length for walk in walks]
+                )
+            else:
+                walks = [
+                    self._walker.stitched_walk(
+                        seed, walk_length, rng=rng, fetch_cache=self.fetch_cache
+                    )
+                    for (_, _, seed, walk_length, _, _), rng in zip(
+                        misses, rngs
+                    )
+                ]
+            for spec, walk in zip(misses, walks):
+                key, kind, _, walk_length, k, exclude_friends = spec
+                if kind == "ppr":
+                    value, footprint = walk, frozenset(walk.visit_counts)
+                else:
+                    value, footprint = self._package_top_k(
+                        walk, k, walk_length, exclude_friends, self.alpha, self.c
+                    )
+                if self.cache_results:
+                    self.results.put(
+                        key,
+                        value,
+                        footprint,
+                        self.engine.epoch,
+                        guard_version=guard_version,
+                    )
+                resolved[key] = value
+            latency = self.clock() - started
+            for _ in misses:
+                self.stats.record_query(hit=False, latency=latency)
+
+        return [resolved[spec[0]] for spec in specs]
 
     # ------------------------------------------------------------------
     # Invalidation + lifecycle

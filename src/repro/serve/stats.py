@@ -24,6 +24,12 @@ __all__ = ["ServeStats"]
 #: Bucket upper bounds in seconds: 1 µs · 2^i, i = 0 … 39 (~18 minutes).
 _BUCKET_BOUNDS = [1e-6 * (2.0**i) for i in range(40)]
 
+#: Kernel-batch-size bucket upper bounds: 1, 2, 4, … 4096 queries.
+_BATCH_BUCKET_BOUNDS = [2**i for i in range(13)]
+
+#: Steps(visits)-per-query bucket upper bounds: 1, 2, 4, … ~8M steps.
+_STEP_BUCKET_BOUNDS = [2**i for i in range(24)]
+
 
 class ServeStats:
     """Counters + latency histogram for the query-serving layer."""
@@ -41,6 +47,12 @@ class ServeStats:
         self._latency_count = 0
         self._latency_total = 0.0
         self._latency_max = 0.0
+        #: Multi-seed query-kernel invocations and the queries they carried.
+        self.kernel_batches = 0
+        self.kernel_queries = 0
+        self._batch_size_buckets = [0] * (len(_BATCH_BUCKET_BOUNDS) + 1)
+        self._step_buckets = [0] * (len(_STEP_BUCKET_BOUNDS) + 1)
+        self._steps_total = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -77,6 +89,33 @@ class ServeStats:
             self._latency_count = 0
             self._latency_total = 0.0
             self._latency_max = 0.0
+            self.kernel_batches = 0
+            self.kernel_queries = 0
+            self._batch_size_buckets = [0] * (len(_BATCH_BUCKET_BOUNDS) + 1)
+            self._step_buckets = [0] * (len(_STEP_BUCKET_BOUNDS) + 1)
+            self._steps_total = 0
+
+    def record_kernel_batch(self, batch_size: int, steps_per_query) -> None:
+        """Bill one multi-seed kernel invocation.
+
+        ``batch_size`` is how many cache-miss queries the invocation
+        carried (lands in the geometric batch-size histogram);
+        ``steps_per_query`` is each query's realized walk length in
+        visits (lands in the steps-per-query histogram).
+        """
+        if batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive, got {batch_size}"
+            )
+        with self._lock:
+            self.kernel_batches += 1
+            self.kernel_queries += batch_size
+            self._batch_size_buckets[
+                bisect_left(_BATCH_BUCKET_BOUNDS, batch_size)
+            ] += 1
+            for steps in steps_per_query:
+                self._step_buckets[bisect_left(_STEP_BUCKET_BOUNDS, steps)] += 1
+                self._steps_total += steps
 
     def record_shed(self) -> None:
         with self._lock:
@@ -124,6 +163,46 @@ class ServeStats:
     def max_latency(self) -> float:
         return self._latency_max
 
+    @property
+    def mean_kernel_batch(self) -> float:
+        """Mean cache-miss queries per kernel invocation."""
+        return (
+            self.kernel_queries / self.kernel_batches
+            if self.kernel_batches
+            else 0.0
+        )
+
+    @property
+    def mean_steps_per_query(self) -> float:
+        """Mean realized walk length (visits) per kernel-served query."""
+        return (
+            self._steps_total / self.kernel_queries
+            if self.kernel_queries
+            else 0.0
+        )
+
+    def kernel_batch_size_histogram(self) -> Dict[int, int]:
+        """Nonzero batch-size buckets as ``{upper_bound: count}``."""
+        with self._lock:
+            return {
+                _BATCH_BUCKET_BOUNDS[index]: count
+                for index, count in enumerate(
+                    self._batch_size_buckets[: len(_BATCH_BUCKET_BOUNDS)]
+                )
+                if count
+            }
+
+    def steps_per_query_histogram(self) -> Dict[int, int]:
+        """Nonzero steps-per-query buckets as ``{upper_bound: count}``."""
+        with self._lock:
+            return {
+                _STEP_BUCKET_BOUNDS[index]: count
+                for index, count in enumerate(
+                    self._step_buckets[: len(_STEP_BUCKET_BOUNDS)]
+                )
+                if count
+            }
+
     def percentile(self, p: float) -> float:
         """Latency percentile ``p`` in [0, 1] (bucket upper-bound estimate)."""
         if not 0.0 <= p <= 1.0:
@@ -168,6 +247,18 @@ class ServeStats:
                     else 0.0
                 ),
                 "max_latency": self._latency_max,
+                "kernel_batches": self.kernel_batches,
+                "kernel_queries": self.kernel_queries,
+                "mean_kernel_batch": (
+                    self.kernel_queries / self.kernel_batches
+                    if self.kernel_batches
+                    else 0.0
+                ),
+                "mean_steps_per_query": (
+                    self._steps_total / self.kernel_queries
+                    if self.kernel_queries
+                    else 0.0
+                ),
             }
 
     def render(self) -> str:
@@ -184,6 +275,9 @@ class ServeStats:
             f"p50 {self.percentile(0.50) * 1e3:.3f} ms  "
             f"p99 {self.percentile(0.99) * 1e3:.3f} ms  "
             f"max {snap['max_latency'] * 1e3:.3f} ms",
+            f"kernel batches {snap['kernel_batches']:.0f}  "
+            f"mean batch {snap['mean_kernel_batch']:.1f}  "
+            f"mean steps/query {snap['mean_steps_per_query']:.0f}",
         ]
         return "\n".join(lines)
 

@@ -3,9 +3,10 @@
 One seeded op-sequence generator drives every :class:`WalkIndex` backend —
 object, columnar, and sharded with shard counts {1, 2, 4, 7} — through the
 same interleaving of edge arrivals/removals, batched slices, PPR / top-k /
-SALSA queries, and persistence roundtrips, asserting a **bit-identical
-observable trace at every step** (DESIGN.md §6's determinism contract and
-§9's shard-count-invariance guarantee).
+multi-seed kernel (``ppr_batch``) / SALSA queries, and persistence
+roundtrips, asserting a **bit-identical observable trace at every step**
+(DESIGN.md §6's determinism contract, §9's shard-count-invariance
+guarantee, and §10's kernel stream contract under interleaved updates).
 
 When a sequence diverges, :func:`shrink_ops` delta-debugs it down to a
 (locally) minimal failing op list and the assertion message prints the
@@ -21,6 +22,7 @@ import pytest
 
 from repro.core.incremental import IncrementalPageRank
 from repro.core.personalized import PersonalizedPageRank
+from repro.core.query_kernel import QueryKernel
 from repro.core.salsa import IncrementalSALSA, PersonalizedSALSA
 from repro.core.sharded_walks import ShardedWalkIndex
 from repro.core.topk import top_k_personalized
@@ -63,6 +65,13 @@ def generate_ops(seed: int, num_ops: int, *, salsa: bool = False) -> list[tuple]
             continue
         if not salsa and roll < 0.18:
             ops.append(("roundtrip", index))
+            continue
+        if not salsa and roll < 0.26:
+            batch_seeds = [
+                int(driver.integers(NUM_NODES))
+                for _ in range(int(driver.integers(2, 6)))
+            ]
+            ops.append(("ppr_batch", batch_seeds, index))
             continue
         kind = kinds[int(driver.integers(len(kinds)))]
         if kind in ("add", "remove"):
@@ -167,6 +176,38 @@ def replay(
                         walk.segments_used,
                     )
                 )
+        elif kind == "ppr_batch":
+            # the multi-seed kernel: one invocation, per-query streams;
+            # its trace must be bit-identical across every backend
+            _, batch_seeds, index = op
+            kernel = QueryKernel(
+                engine.pagerank_store,
+                reset_probability=engine.reset_probability,
+            )
+            walks = kernel.batch_stitched_walks(
+                [qseed % engine.num_nodes for qseed in batch_seeds],
+                300,
+                rngs=[
+                    np.random.default_rng([seed, index, position])
+                    for position in range(len(batch_seeds))
+                ],
+            )
+            trace.append(
+                (
+                    "ppr_batch",
+                    tuple(
+                        (
+                            tuple(sorted(walk.visit_counts.items())),
+                            walk.length,
+                            walk.fetches,
+                            walk.segments_used,
+                            walk.plain_steps,
+                            walk.resets,
+                        )
+                        for walk in walks
+                    ),
+                )
+            )
         elif kind == "topk":
             _, qseed, index = op
             top = top_k_personalized(

@@ -78,6 +78,22 @@ class TestEstimates:
         estimator = MonteCarloPageRank(graph, walks_per_node=2, rng=0).build()
         assert len(estimator.top(50)) == 5
 
+    def test_top_breaks_ties_by_node_id(self):
+        """Regression: ``argpartition`` order used to leak into tied
+        scores, making tied rankings flap; the shared ``top_k_dense``
+        helper pins ties to ascending node id."""
+        from repro.graph.digraph import DynamicDiGraph
+
+        graph = DynamicDiGraph(num_nodes=8)  # edgeless: every walk is [v]
+        estimator = MonteCarloPageRank(graph, walks_per_node=3, rng=1).build()
+        top = estimator.top(5)
+        scores = {score for _, score in top}
+        assert len(scores) == 1, "premise: genuinely tied"
+        assert [node for node, _ in top] == [0, 1, 2, 3, 4]
+        assert estimator.top(5) == estimator.top(5)
+        full = estimator.top(8)
+        assert [node for node, _ in full] == list(range(8))
+
     def test_more_walks_reduce_error(self, pa_graph):
         """Theorem 1: concentration tightens with R."""
         exact = exact_pagerank(pa_graph, reset_probability=0.2)

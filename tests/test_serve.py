@@ -1,11 +1,13 @@
 """The serving layer's differential harness and unit tests.
 
-The central contract (ISSUE 2's acceptance): for **any** interleaving of
-queries and ``apply_batch`` calls, a ``QueryEngine`` answer — cache hit or
-miss — equals a cache-free ``PersonalizedPageRank``/``top_k_personalized``
-run on the same post-update store with the same derived RNG.  Hypothesis
-drives random interleavings against that oracle; the rest of the file
-pins down each component (result cache, fetch cache, batcher, traffic).
+The central contract (ISSUE 2's acceptance, carried forward to the ISSUE
+5 kernel): for **any** interleaving of queries and ``apply_batch`` calls,
+a ``QueryEngine`` answer — cache hit or miss, batched or single — equals
+a cache-free B=1 ``QueryKernel`` run on the same post-update store with
+the same derived RNG (or a cache-free ``PersonalizedPageRank`` run when
+``use_kernel=False``).  Hypothesis drives random interleavings against
+that oracle; the rest of the file pins down each component (result cache,
+fetch cache, batcher, kernel batching, traffic).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from hypothesis import strategies as st
 
 from repro.core.incremental import IncrementalPageRank
 from repro.core.personalized import FetchCache, PersonalizedPageRank
-from repro.core.topk import top_k_personalized
+from repro.core.query_kernel import QueryKernel
 from repro.errors import ConfigurationError, LoadShedError
 from repro.graph.arrival import ArrivalEvent, RandomPermutationArrival
 from repro.serve import (
@@ -62,19 +64,18 @@ def _toggle_stream(ops) -> list[ArrivalEvent]:
 
 
 def _reference_top_k(query_engine, seed, k, length):
-    """The cache-free oracle: fresh walker, same derived RNG, same store."""
+    """The cache-free oracle: fresh B=1 kernel, same derived RNG, store."""
     engine = query_engine.engine
-    walker = PersonalizedPageRank(
+    kernel = QueryKernel(
         engine.pagerank_store, reset_probability=engine.reset_probability
     )
-    return top_k_personalized(
-        walker,
-        seed,
+    return kernel.batch_top_k(
+        [seed],
         k,
         length=length,
         exclude_friends=True,
-        rng=query_engine.query_rng(seed, length),
-    )
+        rngs=[query_engine.query_rng(seed, length)],
+    )[0]
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +150,34 @@ class TestDifferentialInterleaving:
             _toggle_stream([(i, (i + 2) % NODES) for i in range(NODES)])
         )
         query_engine = QueryEngine(engine, rng_seed=3)
+        kernel = QueryKernel(
+            engine.pagerank_store, reset_probability=engine.reset_probability
+        )
+        served = query_engine.ppr(query_seed, WALK_LENGTH)
+        expected = kernel.stitched_walk(
+            query_seed,
+            WALK_LENGTH,
+            rng=query_engine.query_rng(query_seed, WALK_LENGTH),
+        )
+        assert served.visit_counts == expected.visit_counts
+        # a repeat is a hit and returns the identical cached result
+        again = query_engine.ppr(query_seed, WALK_LENGTH)
+        assert again is served
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=NODES - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_reference_walker_mode_matches_scalar_reference(
+        self, seed, query_seed
+    ):
+        """``use_kernel=False`` preserves the pre-kernel serve contract."""
+        engine = _fresh_engine(seed)
+        engine.apply_batch(
+            _toggle_stream([(i, (i + 2) % NODES) for i in range(NODES)])
+        )
+        query_engine = QueryEngine(engine, rng_seed=3, use_kernel=False)
         walker = PersonalizedPageRank(
             engine.pagerank_store, reset_probability=engine.reset_probability
         )
@@ -159,9 +188,6 @@ class TestDifferentialInterleaving:
             rng=query_engine.query_rng(query_seed, WALK_LENGTH),
         )
         assert served.visit_counts == expected.visit_counts
-        # a repeat is a hit and returns the identical cached result
-        again = query_engine.ppr(query_seed, WALK_LENGTH)
-        assert again is served
 
     def test_differential_on_medium_graph_through_batcher(self):
         graph = twitter_like_graph(300, 3600, rng=11)
@@ -389,6 +415,27 @@ class TestFetchCache:
         assert len(cache) == 2
         assert cache.evicted == 1
 
+    def test_relooked_up_entry_survives_eviction_of_colder_one(self):
+        """Strict LRU: a re-``lookup``ed entry is *recently used* — the
+        eviction pops the coldest entry, not the oldest insertion."""
+        cache = FetchCache(capacity=2)
+        engine = _fresh_engine(11)
+        engine.add_edge(0, 1)
+        cache.prewarm(engine.pagerank_store, [0, 1])
+        assert cache.lookup(0) is not None  # 0 is now hotter than 1
+        cache.prewarm(engine.pagerank_store, [2])  # evicts 1, not 0
+        assert cache.lookup(0) is not None
+        assert cache.lookup(2) is not None
+        assert cache.lookup(1) is None
+        assert cache.evicted == 1
+
+    def test_repr_exposes_capacity_and_eviction_counters(self):
+        cache = FetchCache(capacity=3)
+        rendered = repr(cache)
+        assert "capacity=3" in rendered
+        assert "evicted=0" in rendered
+        assert repr(FetchCache()).count("capacity=None") == 1
+
     def test_sampled_edge_mode_rejected(self):
         engine = _fresh_engine(3)
         store = PageRankStore(
@@ -558,6 +605,175 @@ class TestRequestBatcher:
         # the object keeps working after a reset
         stats.record_query(hit=False, latency=0.1)
         assert stats.queries == 1 and stats.hit_rate == 0.0
+
+
+# ----------------------------------------------------------------------
+# Kernel-batched serving (ISSUE 5)
+# ----------------------------------------------------------------------
+
+class TestKernelBatchedServe:
+    @pytest.fixture
+    def service(self):
+        engine = _fresh_engine(21)
+        engine.apply_batch(
+            _toggle_stream([(i, (i + 1) % NODES) for i in range(NODES)])
+        )
+        yield QueryEngine(engine, rng_seed=4)
+
+    def test_run_batch_equals_singles(self, service):
+        requests = [
+            QueryRequest(seed=s % NODES, k=3, length=WALK_LENGTH)
+            for s in range(15)
+        ] + [QueryRequest(kind="ppr", seed=2, length=WALK_LENGTH)]
+        batched = service.run_batch(requests)
+        # recompute through the single-query path on a cache-free twin
+        twin = QueryEngine(service.engine, rng_seed=4, cache_results=False)
+        for request, result in zip(requests, batched):
+            if request.kind == "ppr":
+                single = twin.ppr(request.seed, request.length)
+                assert single.visit_counts == result.visit_counts
+            else:
+                single = twin.top_k(
+                    request.seed, request.k, length=request.length
+                )
+                assert single.ranking == result.ranking
+        twin.detach()
+
+    def test_run_batch_sizes_walks_via_equation_4(self, service):
+        request = QueryRequest(seed=3, k=2)  # no explicit length
+        batched = service.run_batch([request])[0]
+        single = service.top_k(3, 2)  # same key => the cached batch answer
+        assert single is batched
+        assert batched.walk_length > 0
+
+    def test_run_batch_without_kernel_matches_singles(self, service):
+        scalar_engine = QueryEngine(
+            service.engine, rng_seed=4, use_kernel=False
+        )
+        requests = [
+            QueryRequest(seed=s, k=3, length=WALK_LENGTH) for s in range(6)
+        ]
+        batched = scalar_engine.run_batch(requests)
+        twin = QueryEngine(
+            service.engine,
+            rng_seed=4,
+            use_kernel=False,
+            cache_results=False,
+        )
+        for request, result in zip(requests, batched):
+            single = twin.top_k(request.seed, request.k, length=request.length)
+            assert single.ranking == result.ranking
+        assert scalar_engine.stats.kernel_batches == 0
+        scalar_engine.detach()
+        twin.detach()
+
+    def test_batcher_validates_max_kernel_batch(self, service):
+        with pytest.raises(ConfigurationError):
+            RequestBatcher(service, max_kernel_batch=0)
+
+    def test_run_batch_serves_hits_and_dedupes(self, service):
+        request = QueryRequest(seed=1, k=3, length=WALK_LENGTH)
+        first = service.run_batch([request, request, request])
+        assert first[0] is first[1] is first[2]
+        before = service.stats.snapshot()
+        again = service.run_batch([request])
+        assert again[0] is first[0]  # served from the result cache
+        after = service.stats.snapshot()
+        assert after["hits"] == before["hits"] + 1
+        assert after["kernel_batches"] == before["kernel_batches"]
+
+    def test_run_batch_records_kernel_histograms(self, service):
+        requests = [
+            QueryRequest(seed=s, k=3, length=WALK_LENGTH)
+            for s in range(NODES)
+        ]
+        service.run_batch(requests)
+        assert service.stats.kernel_batches == 1
+        assert service.stats.kernel_queries == NODES
+        assert service.stats.mean_kernel_batch == NODES
+        assert service.stats.mean_steps_per_query >= WALK_LENGTH
+        assert sum(service.stats.kernel_batch_size_histogram().values()) == 1
+        assert (
+            sum(service.stats.steps_per_query_histogram().values()) == NODES
+        )
+
+    def test_batched_run_matches_legacy_run(self, service):
+        requests = [
+            QueryRequest(seed=s % NODES, k=3, length=WALK_LENGTH)
+            for s in range(20)
+        ]
+        with RequestBatcher(service, max_workers=3) as batched:
+            threaded = batched.run(requests)
+        legacy_engine = QueryEngine(service.engine, rng_seed=4)
+        with RequestBatcher(
+            legacy_engine, max_workers=3, kernel_batching=False
+        ) as legacy:
+            sequential = legacy.run(requests)
+        for a, b in zip(threaded, sequential):
+            assert a.ranking == b.ranking
+        assert service.stats.coalesced + legacy_engine.stats.coalesced > 0
+        legacy_engine.detach()
+
+    def test_batched_run_sheds_past_queue_depth(self, service):
+        requests = [
+            QueryRequest(seed=s, k=3, length=WALK_LENGTH)
+            for s in range(NODES)
+        ]
+        with RequestBatcher(
+            service, max_workers=2, max_queue_depth=4
+        ) as batcher:
+            results = batcher.run(requests)
+        assert sum(1 for r in results if r is None) == NODES - 4
+        assert service.stats.shed == NODES - 4
+        assert all(r is not None for r in results[:4])
+
+    def test_batched_drain_shares_depth_window_and_bills_shed_duplicates(
+        self, service
+    ):
+        requests = [
+            QueryRequest(seed=s, k=3, length=WALK_LENGTH) for s in range(6)
+        ] + [QueryRequest(seed=5, k=3, length=WALK_LENGTH)]
+        with RequestBatcher(
+            service, max_workers=2, max_queue_depth=4
+        ) as batcher:
+            results = batcher.run(requests)
+            # admission charges the shared window and releases it fully
+            assert batcher.depth == 0
+        # seeds 4 and 5 shed, plus the duplicate of the shed seed 5
+        assert service.stats.shed == 3
+        assert service.stats.coalesced == 0
+        assert results[4] is None and results[5] is None
+        assert results[6] is None
+        assert all(r is not None for r in results[:4])
+
+    def test_batched_run_respects_max_kernel_batch(self, service):
+        requests = [
+            QueryRequest(seed=s, k=3, length=WALK_LENGTH)
+            for s in range(NODES)
+        ]
+        with RequestBatcher(
+            service, max_workers=1, max_kernel_batch=3
+        ) as batcher:
+            batcher.run(requests)
+        # ceil(10 / 3) = 4 kernel invocations, all on one worker
+        assert service.stats.kernel_batches == 4
+        assert service.stats.kernel_queries == NODES
+
+    def test_batch_answers_survive_as_cache_hits_after_updates(self, service):
+        """Batched answers obey the same invalidation contract as singles."""
+        requests = [
+            QueryRequest(seed=s, k=3, length=WALK_LENGTH)
+            for s in range(NODES)
+        ]
+        with RequestBatcher(service, max_workers=2) as batcher:
+            batcher.run(requests)
+            service.engine.apply_batch([ArrivalEvent("add", 0, 5)])
+            second = batcher.run(requests)
+        for request, result in zip(requests, second):
+            expected = _reference_top_k(
+                service, request.seed, 3, WALK_LENGTH
+            )
+            assert result.ranking == expected.ranking
 
 
 # ----------------------------------------------------------------------

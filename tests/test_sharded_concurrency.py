@@ -93,12 +93,19 @@ class TestConcurrentReadAttribution:
             backend, engine = _sharded_setup(workload[: len(workload) // 2])
             # shared fetch cache off: with it on, which thread fetches a
             # node first is racy (the walks stay identical, but the store
-            # op counts would not be reproducible)
+            # op counts would not be reproducible).  Kernel batching off:
+            # this test compares the worker pool against the serial
+            # single-query path op for op, so every request must run as
+            # its own walk (a kernel drain would share node loads across
+            # the chunk — deliberately fewer reads; see the test below).
             service = QueryEngine(engine, rng_seed=9, share_fetches=False)
             before = _shard_snapshots(backend)
             if threaded:
                 with RequestBatcher(
-                    service, max_workers=4, max_queue_depth=4096
+                    service,
+                    max_workers=4,
+                    max_queue_depth=4096,
+                    kernel_batching=False,
                 ) as batcher:
                     results = batcher.run(requests)
             else:
@@ -121,6 +128,35 @@ class TestConcurrentReadAttribution:
             shard.get("out_neighbors", 0) for shard in threaded_delta
         )
         assert read_ops > 0
+
+    def test_kernel_batched_drain_bills_deterministically(self, workload):
+        """A kernel-batched threaded drain is still reproducible: chunking
+        is a pure function of the request list, node loads are per chunk,
+        and per-shard billing never depends on which worker ran a chunk —
+        two identical storms on identical stores bill identically (and
+        read strictly fewer adjacency rows than one-walk-per-request)."""
+        requests = [
+            QueryRequest(seed=seed, k=5, length=400)
+            for seed in zipf_seed_sequence(60, NODES, rng=3)
+        ]
+
+        def drive():
+            backend, engine = _sharded_setup(workload[: len(workload) // 2])
+            service = QueryEngine(engine, rng_seed=9, share_fetches=False)
+            before = _shard_snapshots(backend)
+            with RequestBatcher(
+                service, max_workers=4, max_queue_depth=4096
+            ) as batcher:
+                results = batcher.run(requests)
+            return results, _delta(_shard_snapshots(backend), before)
+
+        first_results, first_delta = drive()
+        second_results, second_delta = drive()
+        for one, other in zip(first_results, second_results):
+            assert one.ranking == other.ranking
+        assert first_delta == second_delta
+        reads = sum(s.get("out_neighbors", 0) for s in first_delta)
+        assert reads > 0
 
     def test_apply_batch_interleaved_with_queries_attributes_writes(
         self, workload

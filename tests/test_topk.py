@@ -7,7 +7,12 @@ import pytest
 from repro.core import theory
 from repro.core.incremental import IncrementalPageRank
 from repro.core.personalized import PersonalizedPageRank
-from repro.core.topk import TopKResult, top_k_personalized, walk_length_for_top_k
+from repro.core.topk import (
+    TopKResult,
+    top_k_dense,
+    top_k_personalized,
+    walk_length_for_top_k,
+)
 from repro.errors import ConfigurationError
 from repro.workloads.twitter_like import twitter_like_graph
 
@@ -70,3 +75,25 @@ class TestTopKQuery:
         graph, engine, query = setup
         with pytest.raises(ConfigurationError):
             top_k_personalized(query, seed=1, k=0)
+
+
+class TestTopKDense:
+    """The shared dense-ranking rule (ties by node id, satellite of ISSUE 5)."""
+
+    def test_ties_at_the_cut_boundary_resolve_ascending(self):
+        scores = [0.5, 0.9, 0.5, 0.5, 0.1, 0.9]
+        assert top_k_dense(scores, 3) == [(1, 0.9), (5, 0.9), (0, 0.5)]
+        assert top_k_dense(scores, 4) == [
+            (1, 0.9),
+            (5, 0.9),
+            (0, 0.5),
+            (2, 0.5),
+        ]
+
+    def test_k_at_least_n_ranks_everything(self):
+        scores = [0.2, 0.2, 0.7]
+        assert top_k_dense(scores, 10) == [(2, 0.7), (0, 0.2), (1, 0.2)]
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            top_k_dense([1.0], 0)
