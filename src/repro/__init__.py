@@ -35,6 +35,7 @@ from repro.core import (
     QueryKernel,
     SalsaQueryKernel,
     ShardedWalkIndex,
+    StalenessScheduler,
     TopKResult,
     UpdateReport,
     WalkIndex,
@@ -72,6 +73,7 @@ __all__ = [
     "SalsaQueryKernel",
     "UpdateReport",
     "BatchUpdateReport",
+    "StalenessScheduler",
     "TopKResult",
     "top_k_personalized",
     "QueryEngine",

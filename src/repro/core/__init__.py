@@ -28,6 +28,11 @@ from repro.core.salsa import (
     batch_salsa_walks,
     simulate_salsa_walk,
 )
+from repro.core.scheduler import (
+    REPAIR_COALESCE,
+    REPAIR_REPLAY,
+    StalenessScheduler,
+)
 from repro.core.sharded_walks import (
     BACKEND_SHARDED,
     DEFAULT_NUM_SHARDS,
@@ -78,6 +83,9 @@ __all__ = [
     "BatchUpdateReport",
     "REROUTE_REDIRECT",
     "REROUTE_RESIMULATE",
+    "StalenessScheduler",
+    "REPAIR_REPLAY",
+    "REPAIR_COALESCE",
     "IncrementalSALSA",
     "PersonalizedSALSA",
     "SalsaWalkResult",

@@ -169,6 +169,55 @@ class BatchUpdateReport:
         """Total touched walk steps — comparable to ``UpdateReport.work``."""
         return self.steps_resimulated + self.steps_discarded
 
+    @classmethod
+    def merge(
+        cls, reports: Iterable["UpdateReport | BatchUpdateReport"]
+    ) -> "BatchUpdateReport":
+        """Aggregate per-mutation and per-batch reports into one report.
+
+        The bounded-staleness scheduler (:mod:`repro.core.scheduler`)
+        replays a deferred queue as a sequence of engine calls and returns
+        the merged accounting to its caller; counters sum, dirty sets
+        union, and the mean activation probability is weighted by each
+        report's add count.
+        """
+        merged = cls()
+        dirty: set[int] = set()
+        activation_weighted = 0.0
+        activation_adds = 0
+        for report in reports:
+            if isinstance(report, BatchUpdateReport):
+                merged.num_events += report.num_events
+                merged.num_adds += report.num_adds
+                merged.num_removes += report.num_removes
+                merged.segments_initialized += report.segments_initialized
+                merged.capped += report.capped
+                activation_weighted += (
+                    report.mean_activation_probability * report.num_adds
+                )
+                activation_adds += report.num_adds
+            else:
+                merged.num_events += 1
+                if report.operation == "add":
+                    merged.num_adds += 1
+                    activation_weighted += report.activation_probability
+                    activation_adds += 1
+                else:
+                    merged.num_removes += 1
+            merged.segments_rerouted += report.segments_rerouted
+            merged.steps_resimulated += report.steps_resimulated
+            merged.steps_discarded += report.steps_discarded
+            merged.segments_examined += report.segments_examined
+            merged.steps_initialized += report.steps_initialized
+            merged.store_called = merged.store_called or report.store_called
+            dirty.update(report.dirty_nodes)
+        if activation_adds:
+            merged.mean_activation_probability = (
+                activation_weighted / activation_adds
+            )
+        merged.dirty_nodes = frozenset(dirty)
+        return merged
+
 
 @dataclass
 class _SourceDelta:

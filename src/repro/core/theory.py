@@ -29,6 +29,7 @@ __all__ = [
     "thm8_fetch_bound",
     "cor9_topk_fetch_bound",
     "thm1_required_walks",
+    "staleness_error_increment",
     "rank_exponent_to_tail_exponent",
     "tail_exponent_to_rank_exponent",
 ]
@@ -153,6 +154,53 @@ def thm1_required_walks(n: int, pi_v: float, constant: float = 1.0) -> float:
     if pi_v <= 0:
         raise ConfigurationError(f"pi_v must be positive, got {pi_v}")
     return constant * math.log(max(n, 2)) / (n * pi_v)
+
+
+def staleness_error_increment(
+    affected_segments: int,
+    eps: float,
+    total_visits: int,
+    safety: float = 2.0,
+    out_degree: int = 1,
+) -> float:
+    """Estimated PPR perturbation from deferring repair of one mutation.
+
+    A mutation at source ``u`` touches the ``W(u)`` stored segments that
+    visit ``u`` (``affected_segments``, Theorem 4's affected set), but
+    each such visit reroutes only with probability ``1/d(u)`` — the coin
+    behind the activation probability ``1 − (1 − 1/d)^{W(u)}`` — so the
+    expected number of perturbed segments is ``W(u)/d(u)``, the local
+    form of Theorem 4's per-arrival work ``nR/(t·ε²)``.  While repair is
+    deferred, each perturbed segment's stale suffix has expected length
+    ``1/ε`` by memorylessness of the ε-coin, and the eventual repair
+    replaces it with a fresh tail of the same expected length — so the
+    expected stored-visit mass whose distribution lags the graph is
+    ``(W(u)/d(u))·(1 + 1/ε)`` counting both halves.  Expressed as a
+    fraction of ``total_visits`` (the mass every score normalizes by)
+    this estimates the L1 perturbation of the served PageRank vector.
+
+    This is the error-budget unit of the bounded-staleness scheduler
+    (:mod:`repro.core.scheduler`), the Agenda-style accounting of Hou et
+    al. 2022 (PAPERS.md): an *expectation-level* estimate scaled by
+    ``safety`` (default 2×), not a worst-case bound — realized tails are
+    geometric, so a safety factor, not a max, is the right hedge.
+    """
+    if affected_segments < 0:
+        raise ConfigurationError(
+            f"affected_segments must be non-negative, got {affected_segments}"
+        )
+    if not 0.0 < eps <= 1.0:
+        raise ConfigurationError(f"eps must be in (0, 1], got {eps}")
+    if safety <= 0:
+        raise ConfigurationError(f"safety must be positive, got {safety}")
+    if out_degree < 1:
+        raise ConfigurationError(f"out_degree must be >= 1, got {out_degree}")
+    return (
+        safety
+        * (affected_segments / out_degree)
+        * (1.0 + 1.0 / eps)
+        / max(total_visits, 1)
+    )
 
 
 # ----------------------------------------------------------------------

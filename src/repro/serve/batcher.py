@@ -27,6 +27,12 @@ Concurrency contract: the pool parallelizes *reads*.  Store mutations
 (``apply``/``apply_batch``) must not run while futures are unresolved —
 drain the batcher (``run`` blocks until its drain completes) before
 ingesting, as all drivers here do.  See :mod:`repro.serve` for details.
+The exception is a bounded-freshness engine: mutations routed through its
+:class:`~repro.core.scheduler.StalenessScheduler` may land any time (the
+scheduler's readers-writer lock orders repairs against in-flight walks),
+and each batched drain flushes pending repairs for its admitted seeds
+*once*, before the kernel chunks fan out (repair-on-read, amortized per
+drain instead of per chunk).
 """
 
 from __future__ import annotations
@@ -235,6 +241,12 @@ class RequestBatcher:
         if not admitted:
             return results
         try:
+            # bounded-freshness engines repair-on-read: flush deferred
+            # repairs for this drain's seeds once, up front, so the
+            # concurrent chunks below never contend on the flush lock
+            self.query_engine.ensure_fresh_for(
+                {request.seed for request in admitted}
+            )
             # one kernel invocation per worker pass: ceil-split the drain
             # across the pool, capped at max_kernel_batch per invocation
             chunk_size = min(

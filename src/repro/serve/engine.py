@@ -36,6 +36,7 @@ generator on the current store state (or a cache-free
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Hashable, Optional, Sequence
 
 import numpy as np
@@ -48,13 +49,20 @@ from repro.core.personalized import (
     StitchedWalkResult,
 )
 from repro.core.query_kernel import QueryKernel
+from repro.core.scheduler import StalenessScheduler
 from repro.core.topk import TopKResult, walk_length_for_top_k
 from repro.errors import ConfigurationError
 from repro.serve.cache import ResultCache
 from repro.serve.stats import ServeStats
 from repro.store.pagerank_store import FETCH_FULL
 
-__all__ = ["QueryEngine"]
+__all__ = ["QueryEngine", "FRESHNESS_EAGER", "FRESHNESS_BOUNDED"]
+
+#: Every mutation repairs the index synchronously (today's behavior).
+FRESHNESS_EAGER = "eager"
+#: Mutations routed through a :class:`StalenessScheduler` defer repair
+#: inside ``staleness_budget``; queries repair-on-read through it.
+FRESHNESS_BOUNDED = "bounded"
 
 
 class QueryEngine:
@@ -75,6 +83,9 @@ class QueryEngine:
         c: float = 5.0,
         use_kernel: bool = True,
         stats: Optional[ServeStats] = None,
+        freshness: str = FRESHNESS_EAGER,
+        staleness_budget: float = 0.05,
+        scheduler: Optional[StalenessScheduler] = None,
         clock=time.monotonic,
     ) -> None:
         """Attach to ``engine`` and subscribe to its update feed.
@@ -90,9 +101,28 @@ class QueryEngine:
         A ``sampled_edge``-mode store also falls back to the scalar
         walker (the kernel requires ``fetch_mode='full'``); check
         ``engine.kernel is None`` to see which path serves misses.
+
+        ``freshness`` is the staleness SLO: ``"eager"`` (default) keeps
+        synchronous per-mutation repair; ``"bounded"`` fronts the engine
+        with a :class:`StalenessScheduler` capped at ``staleness_budget``
+        (the estimated PPR perturbation any single node may accumulate
+        before repair is forced — see
+        :func:`repro.core.theory.staleness_error_increment`).  Route
+        mutations through :attr:`scheduler` (not the raw engine) in
+        bounded mode; queries repair-on-read, so a seed with pending
+        mutations is flushed before its walk.  Pass ``scheduler=`` to
+        share an externally-owned scheduler (e.g. one with a background
+        worker); otherwise bounded mode creates and owns one, closed by
+        :meth:`detach`.
         """
         if rng_seed < 0:
             raise ConfigurationError(f"rng_seed must be >= 0, got {rng_seed}")
+        if freshness not in (FRESHNESS_EAGER, FRESHNESS_BOUNDED):
+            raise ConfigurationError(f"unknown freshness mode {freshness!r}")
+        if scheduler is not None and scheduler.engine is not engine:
+            raise ConfigurationError(
+                "scheduler fronts a different engine than this QueryEngine"
+            )
         self.engine = engine
         self.store = engine.pagerank_store
         self.rng_seed = rng_seed
@@ -110,6 +140,23 @@ class QueryEngine:
             FetchCache(capacity=fetch_cache_capacity) if share_fetches else None
         )
         self.stats = stats if stats is not None else ServeStats()
+        if scheduler is not None:
+            self.freshness = FRESHNESS_BOUNDED
+            self.scheduler: Optional[StalenessScheduler] = scheduler
+            self._owns_scheduler = False
+        elif freshness == FRESHNESS_BOUNDED:
+            self.freshness = FRESHNESS_BOUNDED
+            self.scheduler = StalenessScheduler(
+                engine,
+                staleness_budget=staleness_budget,
+                stats=self.stats,
+                clock=clock,
+            )
+            self._owns_scheduler = True
+        else:
+            self.freshness = FRESHNESS_EAGER
+            self.scheduler = None
+            self._owns_scheduler = False
         self._walker = PersonalizedPageRank(
             self.store, reset_probability=engine.reset_probability
         )
@@ -137,6 +184,33 @@ class QueryEngine:
         return np.random.default_rng([self.rng_seed, seed, length])
 
     # ------------------------------------------------------------------
+    # Freshness (bounded mode)
+    # ------------------------------------------------------------------
+
+    def ensure_fresh_for(self, seeds) -> bool:
+        """Repair-on-read hook: flush deferred repairs touching ``seeds``.
+
+        No-op in eager mode.  Runs *before* the cache lookup so the flush's
+        invalidation feed drops any result the repair made stale, and the
+        recompute sees the repaired store.  Returns whether a flush ran.
+        """
+        if self.scheduler is None:
+            return False
+        return self.scheduler.ensure_fresh(seeds)
+
+    def _store_read_lock(self):
+        """Lock queries hold while reading walk state (bounded mode only).
+
+        Keeps a background repair from rewriting arena memory under an
+        in-flight kernel batch.  Taken strictly *after*
+        :meth:`ensure_fresh_for` — never the other way — so a reader can
+        never deadlock against the flush's write side.
+        """
+        if self.scheduler is None:
+            return nullcontext()
+        return self.scheduler.read_lock()
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
@@ -147,6 +221,7 @@ class QueryEngine:
         personalized scores).  Cached results are shared objects — treat
         them as read-only.
         """
+        self.ensure_fresh_for((seed,))
         key = ("ppr", seed, length)
         return self._served(key, lambda: self._run_walk(seed, length))[0]
 
@@ -170,6 +245,7 @@ class QueryEngine:
         """
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k}")
+        self.ensure_fresh_for((seed,))
         alpha = self.alpha if alpha is None else alpha
         c = self.c if c is None else c
         num_nodes = self.store.social_store.num_nodes
@@ -217,15 +293,16 @@ class QueryEngine:
     def _compute_walk(self, seed: int, length: int) -> StitchedWalkResult:
         """One cache-miss walk: a B=1 kernel batch (or the reference)."""
         rng = self.query_rng(seed, length)
-        if self.kernel is not None:
-            walk = self.kernel.stitched_walk(
+        with self._store_read_lock():
+            if self.kernel is not None:
+                walk = self.kernel.stitched_walk(
+                    seed, length, rng=rng, fetch_cache=self.fetch_cache
+                )
+                self.stats.record_kernel_batch(1, (walk.length,))
+                return walk
+            return self._walker.stitched_walk(
                 seed, length, rng=rng, fetch_cache=self.fetch_cache
             )
-            self.stats.record_kernel_batch(1, (walk.length,))
-            return walk
-        return self._walker.stitched_walk(
-            seed, length, rng=rng, fetch_cache=self.fetch_cache
-        )
 
     def _run_walk(self, seed: int, length: int):
         walk = self._compute_walk(seed, length)
@@ -297,6 +374,7 @@ class QueryEngine:
         """
         if not requests:
             return []
+        self.ensure_fresh_for({request.seed for request in requests})
         started = self.clock()
         num_nodes = self.store.social_store.num_nodes
         specs = []  # (key, kind, seed, walk_length, k, exclude_friends)
@@ -366,25 +444,29 @@ class QueryEngine:
                 self.query_rng(seed, walk_length)
                 for _, _, seed, walk_length, _, _ in misses
             ]
-            if self.kernel is not None:
-                walks = self.kernel.batch_stitched_walks(
-                    [spec[2] for spec in misses],
-                    [spec[3] for spec in misses],
-                    rngs=rngs,
-                    fetch_cache=self.fetch_cache,
-                )
-                self.stats.record_kernel_batch(
-                    len(misses), [walk.length for walk in walks]
-                )
-            else:
-                walks = [
-                    self._walker.stitched_walk(
-                        seed, walk_length, rng=rng, fetch_cache=self.fetch_cache
+            with self._store_read_lock():
+                if self.kernel is not None:
+                    walks = self.kernel.batch_stitched_walks(
+                        [spec[2] for spec in misses],
+                        [spec[3] for spec in misses],
+                        rngs=rngs,
+                        fetch_cache=self.fetch_cache,
                     )
-                    for (_, _, seed, walk_length, _, _), rng in zip(
-                        misses, rngs
+                    self.stats.record_kernel_batch(
+                        len(misses), [walk.length for walk in walks]
                     )
-                ]
+                else:
+                    walks = [
+                        self._walker.stitched_walk(
+                            seed,
+                            walk_length,
+                            rng=rng,
+                            fetch_cache=self.fetch_cache,
+                        )
+                        for (_, _, seed, walk_length, _, _), rng in zip(
+                            misses, rngs
+                        )
+                    ]
             for spec, walk in zip(misses, walks):
                 key, kind, _, walk_length, k, exclude_friends = spec
                 if kind == "ppr":
@@ -431,8 +513,15 @@ class QueryEngine:
         return self.fetch_cache.prewarm(self.store, nodes, rng)
 
     def detach(self) -> None:
-        """Unsubscribe from the engine's update feed (lifecycle hygiene)."""
+        """Unsubscribe from the engine's update feed (lifecycle hygiene).
+
+        Also closes the staleness scheduler if this engine created it
+        (joining its worker and flushing what remains); an externally
+        supplied scheduler is left to its owner.
+        """
         self.engine.remove_update_listener(self._listener)
+        if self._owns_scheduler and self.scheduler is not None:
+            self.scheduler.close()
 
     def __repr__(self) -> str:
         return (

@@ -53,6 +53,18 @@ class ServeStats:
         self._batch_size_buckets = [0] * (len(_BATCH_BUCKET_BOUNDS) + 1)
         self._step_buckets = [0] * (len(_STEP_BUCKET_BOUNDS) + 1)
         self._steps_total = 0
+        #: Bounded-staleness scheduler accounting (PR 6).
+        self.deferred_events = 0
+        self.stale_depth = 0
+        self.max_stale_depth = 0
+        self.repairs = 0
+        self.repaired_events = 0
+        self.budget_repairs = 0
+        self.read_repairs = 0
+        self._repair_latency_buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self._repair_latency_count = 0
+        self._repair_latency_total = 0.0
+        self._repair_latency_max = 0.0
 
     # ------------------------------------------------------------------
     # Recording
@@ -94,6 +106,17 @@ class ServeStats:
             self._batch_size_buckets = [0] * (len(_BATCH_BUCKET_BOUNDS) + 1)
             self._step_buckets = [0] * (len(_STEP_BUCKET_BOUNDS) + 1)
             self._steps_total = 0
+            self.deferred_events = 0
+            self.stale_depth = 0
+            self.max_stale_depth = 0
+            self.repairs = 0
+            self.repaired_events = 0
+            self.budget_repairs = 0
+            self.read_repairs = 0
+            self._repair_latency_buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+            self._repair_latency_count = 0
+            self._repair_latency_total = 0.0
+            self._repair_latency_max = 0.0
 
     def record_kernel_batch(self, batch_size: int, steps_per_query) -> None:
         """Bill one multi-seed kernel invocation.
@@ -130,6 +153,45 @@ class ServeStats:
             self.invalidated_results += entries
             if flush:
                 self.flushes += 1
+
+    def record_deferred(self, events: int, depth: int) -> None:
+        """Bill mutations queued by the staleness scheduler.
+
+        ``events`` is how many arrivals this deferral added; ``depth`` is
+        the stale-queue depth after it (also tracked as a high-water
+        mark, the dashboard's backlog gauge).
+        """
+        if events <= 0:
+            raise ConfigurationError(f"events must be positive, got {events}")
+        with self._lock:
+            self.deferred_events += events
+            self.stale_depth = depth
+            self.max_stale_depth = max(self.max_stale_depth, depth)
+
+    def record_repair(
+        self, events: int, latency: float, *, reason: str = "manual", depth: int = 0
+    ) -> None:
+        """Bill one scheduler flush draining ``events`` deferred arrivals.
+
+        ``reason`` attributes the trigger: ``"budget"`` (error budget
+        exceeded), ``"read"`` (repair-on-read for a stale query seed), or
+        anything else (manual / close).  ``depth`` is the stale-queue
+        depth left behind (normally 0).
+        """
+        with self._lock:
+            self.repairs += 1
+            self.repaired_events += events
+            if reason == "budget":
+                self.budget_repairs += 1
+            elif reason == "read":
+                self.read_repairs += 1
+            self.stale_depth = depth
+            self._repair_latency_buckets[
+                bisect_left(_BUCKET_BOUNDS, latency)
+            ] += 1
+            self._repair_latency_count += 1
+            self._repair_latency_total += latency
+            self._repair_latency_max = max(self._repair_latency_max, latency)
 
     def _record_latency(self, latency: float) -> None:
         self._latency_buckets[bisect_left(_BUCKET_BOUNDS, latency)] += 1
@@ -180,6 +242,35 @@ class ServeStats:
             if self.kernel_queries
             else 0.0
         )
+
+    @property
+    def mean_repair_latency(self) -> float:
+        return (
+            self._repair_latency_total / self._repair_latency_count
+            if self._repair_latency_count
+            else 0.0
+        )
+
+    @property
+    def max_repair_latency(self) -> float:
+        return self._repair_latency_max
+
+    def repair_latency_percentile(self, p: float) -> float:
+        """Repair-latency percentile ``p`` in [0, 1] (bucket estimate)."""
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"percentile must be in [0, 1], got {p}")
+        with self._lock:
+            if not self._repair_latency_count:
+                return 0.0
+            rank = p * self._repair_latency_count
+            seen = 0
+            for index, count in enumerate(self._repair_latency_buckets):
+                seen += count
+                if seen >= rank:
+                    if index < len(_BUCKET_BOUNDS):
+                        return _BUCKET_BOUNDS[index]
+                    return self._repair_latency_max
+            return self._repair_latency_max
 
     def kernel_batch_size_histogram(self) -> Dict[int, int]:
         """Nonzero batch-size buckets as ``{upper_bound: count}``."""
@@ -259,6 +350,19 @@ class ServeStats:
                     if self.kernel_queries
                     else 0.0
                 ),
+                "deferred_events": self.deferred_events,
+                "stale_depth": self.stale_depth,
+                "max_stale_depth": self.max_stale_depth,
+                "repairs": self.repairs,
+                "repaired_events": self.repaired_events,
+                "budget_repairs": self.budget_repairs,
+                "read_repairs": self.read_repairs,
+                "mean_repair_latency": (
+                    self._repair_latency_total / self._repair_latency_count
+                    if self._repair_latency_count
+                    else 0.0
+                ),
+                "max_repair_latency": self._repair_latency_max,
             }
 
     def render(self) -> str:
@@ -278,6 +382,12 @@ class ServeStats:
             f"kernel batches {snap['kernel_batches']:.0f}  "
             f"mean batch {snap['mean_kernel_batch']:.1f}  "
             f"mean steps/query {snap['mean_steps_per_query']:.0f}",
+            f"stale queue {snap['stale_depth']:.0f} (max {snap['max_stale_depth']:.0f})  "
+            f"deferred {snap['deferred_events']:.0f}  "
+            f"repairs {snap['repairs']:.0f} "
+            f"(budget {snap['budget_repairs']:.0f}, read {snap['read_repairs']:.0f})  "
+            f"repair mean {snap['mean_repair_latency'] * 1e3:.3f} ms "
+            f"p99 {self.repair_latency_percentile(0.99) * 1e3:.3f} ms",
         ]
         return "\n".join(lines)
 

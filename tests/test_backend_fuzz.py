@@ -13,9 +13,19 @@ When a sequence diverges, :func:`shrink_ops` delta-debugs it down to a
 seed plus the surviving ops — paste them into :func:`replay` to reproduce.
 Quick sequences run in tier-1; the long sweep is marked ``fuzz`` and runs
 via ``pytest -m fuzz`` (the CI coverage job includes it).
+
+The ``scheduler`` dimension replays the same grammar through a
+:class:`~repro.core.scheduler.StalenessScheduler` (replay mode, infinite
+budget) with extra ``defer_updates`` / ``flush`` / ``query_stale`` ops:
+mutations defer, queries read the stale store, and every defer/flush step
+digests the queue accounting plus the post-flush scores — so deferred
+repair must be bit-identical across backends *and* (by the final digest)
+to what eager application would have produced.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 import pytest
@@ -24,6 +34,7 @@ from repro.core.incremental import IncrementalPageRank
 from repro.core.personalized import PersonalizedPageRank
 from repro.core.query_kernel import QueryKernel
 from repro.core.salsa import IncrementalSALSA, PersonalizedSALSA
+from repro.core.scheduler import StalenessScheduler
 from repro.core.sharded_walks import ShardedWalkIndex
 from repro.core.topk import top_k_personalized
 from repro.core.walks import WalkStore
@@ -43,16 +54,29 @@ NUM_EDGES = 700
 # ----------------------------------------------------------------------
 
 
-def generate_ops(seed: int, num_ops: int, *, salsa: bool = False) -> list[tuple]:
+def generate_ops(
+    seed: int, num_ops: int, *, salsa: bool = False, scheduler: bool = False
+) -> list[tuple]:
     """A deterministic op sequence for ``seed``.
 
     Ops carry concrete operands and are *self-validating on replay* (an
     add of a present edge replays as a no-op), so any subsequence is also
     a valid sequence — the property :func:`shrink_ops` relies on.
+
+    ``scheduler=True`` swaps persistence roundtrips (a pending queue does
+    not survive save/load) for the deferred-repair grammar:
+    ``defer_updates`` (a queued event slice), ``flush`` (explicit drain),
+    and ``query_stale`` (a PPR walk against the possibly-stale store,
+    digested together with the queue depth it observed).
     """
     driver = np.random.default_rng(seed)
     ops: list[tuple] = []
-    kinds = ("add", "remove", "query", "topk") if not salsa else ("add", "remove", "query")
+    if salsa:
+        kinds = ("add", "remove", "query")
+    elif scheduler:
+        kinds = ("add", "remove", "query_stale", "topk")
+    else:
+        kinds = ("add", "remove", "query", "topk")
     for index in range(num_ops):
         roll = driver.random()
         if not salsa and roll < 0.12:
@@ -61,10 +85,10 @@ def generate_ops(seed: int, num_ops: int, *, salsa: bool = False) -> list[tuple]
                 u = int(driver.integers(NUM_NODES))
                 v = int(driver.integers(NUM_NODES))
                 events.append((u, v))
-            ops.append(("batch", events))
+            ops.append(("defer_updates", events) if scheduler else ("batch", events))
             continue
         if not salsa and roll < 0.18:
-            ops.append(("roundtrip", index))
+            ops.append(("flush",) if scheduler else ("roundtrip", index))
             continue
         if not salsa and roll < 0.26:
             batch_seeds = [
@@ -82,8 +106,8 @@ def generate_ops(seed: int, num_ops: int, *, salsa: bool = False) -> list[tuple]
                     int(driver.integers(NUM_NODES)),
                 )
             )
-        elif kind == "query":
-            ops.append(("query", int(driver.integers(NUM_NODES)), index))
+        elif kind in ("query", "query_stale"):
+            ops.append((kind, int(driver.integers(NUM_NODES)), index))
         else:
             ops.append(("topk", int(driver.integers(NUM_NODES)), index))
     return ops
@@ -102,7 +126,13 @@ def _save_version(engine) -> "int | None":
 
 
 def replay(
-    ops: list[tuple], backend: str, seed: int, tmp_path, *, salsa: bool = False
+    ops: list[tuple],
+    backend: str,
+    seed: int,
+    tmp_path,
+    *,
+    salsa: bool = False,
+    scheduler: bool = False,
 ) -> list[tuple]:
     """Run ``ops`` on ``backend``; return the step-by-step observable trace."""
     graph = twitter_like_graph(NUM_NODES, NUM_EDGES, rng=seed)
@@ -114,11 +144,26 @@ def replay(
         engine = IncrementalPageRank.from_graph(
             graph, walks_per_node=3, rng=seed + 1, store_backend=backend
         )
+    # Infinite budget: the queue drains only at explicit flush ops (and the
+    # final one), so the flush points are part of the op sequence itself
+    # and subsequences stay deterministic for the shrinker.
+    sched = (
+        StalenessScheduler(engine, staleness_budget=math.inf, repair="replay")
+        if scheduler
+        else None
+    )
     trace: list[tuple] = []
     for op in ops:
         kind = op[0]
         if kind == "add":
             _, u, v = op
+            if sched is not None:
+                if u == v or sched.has_edge(u, v):
+                    trace.append(("noop",))
+                    continue
+                sched.add_edge(u, v)
+                trace.append(_defer_digest(sched))
+                continue
             if u == v or engine.graph.has_edge(u, v):
                 trace.append(("noop",))
                 continue
@@ -126,29 +171,61 @@ def replay(
             trace.append(_mutation_digest(engine, report, salsa))
         elif kind == "remove":
             _, u, v = op
+            if sched is not None:
+                if not sched.has_edge(u, v):
+                    trace.append(("noop",))
+                    continue
+                sched.remove_edge(u, v)
+                trace.append(_defer_digest(sched))
+                continue
             if not engine.graph.has_edge(u, v):
                 trace.append(("noop",))
                 continue
             report = engine.remove_edge(u, v)
             trace.append(_mutation_digest(engine, report, salsa))
-        elif kind == "batch":
+        elif kind in ("batch", "defer_updates"):
             _, pairs = op
-            present = set(engine.graph.edge_list())
-            events: list[ArrivalEvent] = []
-            for u, v in pairs:
-                if u == v:
-                    continue
-                if (u, v) in present:
-                    events.append(ArrivalEvent("remove", u, v))
-                    present.discard((u, v))
-                else:
-                    events.append(ArrivalEvent("add", u, v))
-                    present.add((u, v))
+            events = _toggle_events(pairs, engine, sched)
             if not events:
                 trace.append(("noop",))
                 continue
+            if sched is not None:
+                sched.apply_batch(events)
+                trace.append(_defer_digest(sched))
+                continue
             report = engine.apply_batch(events)
             trace.append(_mutation_digest(engine, report, salsa))
+        elif kind == "flush":
+            report = sched.flush()
+            trace.append(
+                (
+                    "flush",
+                    0 if report is None else report.num_events,
+                    0 if report is None else report.segments_rerouted,
+                    0 if report is None else report.steps_resimulated,
+                    engine.walks.visit_count_array().tobytes(),
+                    _scores_digest(engine, salsa),
+                )
+            )
+        elif kind == "query_stale":
+            # reads the store as-is (the flushed prefix) — stale state is
+            # identical across backends, so the walk digest must be too
+            _, qseed, index = op
+            walk = PersonalizedPageRank(engine.pagerank_store).stitched_walk(
+                qseed % engine.num_nodes,
+                350,
+                rng=np.random.default_rng([seed, index]),
+            )
+            trace.append(
+                (
+                    "query_stale",
+                    sched.pending_events,
+                    sched.pending_error,
+                    tuple(sorted(walk.visit_counts.items())),
+                    walk.fetches,
+                    walk.segments_used,
+                )
+            )
         elif kind == "query":
             _, qseed, index = op
             rng = np.random.default_rng([seed, index])
@@ -232,9 +309,49 @@ def replay(
             )
         else:  # pragma: no cover - generator and replay agree on kinds
             raise AssertionError(f"unknown op {op!r}")
+    if sched is not None:
+        # Whatever is still queued must land identically on every backend.
+        sched.flush()
+        sched.close()
     engine.walks.check_invariants()
     trace.append(("final", _scores_digest(engine, salsa)))
     return trace
+
+
+def _toggle_events(pairs, engine, sched) -> list[ArrivalEvent]:
+    """Turn raw node pairs into a valid add/remove slice (self-validating).
+
+    Presence is judged against the *logical* graph — the scheduler's
+    pending queue included — overlaid with the slice's own earlier
+    toggles, mirroring the eager path's edge-set walk.
+    """
+    view: dict[tuple[int, int], bool] = {}
+    events: list[ArrivalEvent] = []
+    for u, v in pairs:
+        if u == v:
+            continue
+        key = (u, v)
+        present = view.get(key)
+        if present is None:
+            present = (
+                sched.has_edge(u, v)
+                if sched is not None
+                else engine.graph.has_edge(u, v)
+            )
+        events.append(ArrivalEvent("remove" if present else "add", u, v))
+        view[key] = not present
+    return events
+
+
+def _defer_digest(sched) -> tuple:
+    """Queue accounting after a deferral — error sums must match bit-for-bit
+    across backends because they are derived from store state."""
+    return (
+        "defer",
+        sched.pending_events,
+        sched.pending_error,
+        tuple(sorted(sched.pending_dirty_nodes)),
+    )
 
 
 def _mutation_digest(engine, report, salsa: bool) -> tuple:
@@ -263,11 +380,18 @@ def _scores_digest(engine, salsa: bool) -> bytes:
 
 
 def first_divergence(
-    ops: list[tuple], seed: int, tmp_path, backends=BACKENDS, *, salsa: bool = False
+    ops: list[tuple],
+    seed: int,
+    tmp_path,
+    backends=BACKENDS,
+    *,
+    salsa: bool = False,
+    scheduler: bool = False,
 ) -> "tuple | None":
     """Earliest (step, backend) whose trace leaves the reference, else None."""
     reference, *others = [
-        replay(ops, backend, seed, tmp_path, salsa=salsa) for backend in backends
+        replay(ops, backend, seed, tmp_path, salsa=salsa, scheduler=scheduler)
+        for backend in backends
     ]
     for backend, trace in zip(backends[1:], others):
         for step, (expected, got) in enumerate(zip(reference, trace)):
@@ -285,6 +409,7 @@ def shrink_ops(
     backends=BACKENDS,
     *,
     salsa: bool = False,
+    scheduler: bool = False,
     still_fails=None,
 ) -> list[tuple]:
     """Delta-debug ``ops`` to a 1-minimal subsequence that still diverges.
@@ -297,7 +422,14 @@ def shrink_ops(
 
         def still_fails(candidate: list[tuple]) -> bool:
             return (
-                first_divergence(candidate, seed, tmp_path, backends, salsa=salsa)
+                first_divergence(
+                    candidate,
+                    seed,
+                    tmp_path,
+                    backends,
+                    salsa=salsa,
+                    scheduler=scheduler,
+                )
                 is not None
             )
 
@@ -329,13 +461,19 @@ def format_repro(seed: int, ops: list[tuple]) -> str:
     return "\n".join(lines)
 
 
-def assert_backends_agree(seed, num_ops, tmp_path, backends, *, salsa=False):
-    ops = generate_ops(seed, num_ops, salsa=salsa)
-    divergence = first_divergence(ops, seed, tmp_path, backends, salsa=salsa)
+def assert_backends_agree(
+    seed, num_ops, tmp_path, backends, *, salsa=False, scheduler=False
+):
+    ops = generate_ops(seed, num_ops, salsa=salsa, scheduler=scheduler)
+    divergence = first_divergence(
+        ops, seed, tmp_path, backends, salsa=salsa, scheduler=scheduler
+    )
     if divergence is None:
         return
     step, backend = divergence
-    minimal = shrink_ops(ops, seed, tmp_path, backends, salsa=salsa)
+    minimal = shrink_ops(
+        ops, seed, tmp_path, backends, salsa=salsa, scheduler=scheduler
+    )
     pytest.fail(
         f"backend {backend!r} diverged from {backends[0]!r} at step {step} "
         f"(shrunk to {len(minimal)} ops):\n{format_repro(seed, minimal)}"
@@ -357,6 +495,32 @@ def test_fuzz_salsa_backends_quick(seed, tmp_path):
     assert_backends_agree(seed, 25, tmp_path, SALSA_BACKENDS, salsa=True)
 
 
+@pytest.mark.parametrize("seed", [30, 31])
+def test_fuzz_scheduler_all_backends_quick(seed, tmp_path):
+    """Deferred repair + flush + stale queries agree across every backend."""
+    assert_backends_agree(seed, 35, tmp_path, BACKENDS, scheduler=True)
+
+
+@pytest.mark.parametrize("seed", [40])
+def test_fuzz_scheduler_matches_eager_final_state(seed, tmp_path):
+    """The scheduler trace's *final* digest equals the eager replay's.
+
+    The same toggle decisions fall out of the logical edge view in both
+    modes (deferral keeps presence semantics), so after the terminal flush
+    the replay-mode engine must have walked the identical RNG stream —
+    Algorithm 1 deferred is bit-for-bit Algorithm 1 eager.
+    """
+    ops = generate_ops(seed, 30, scheduler=True)
+    eager_ops = [
+        ("batch", op[1]) if op[0] == "defer_updates" else op
+        for op in ops
+        if op[0] not in ("flush", "query_stale")
+    ]
+    deferred = replay(ops, "columnar", seed, tmp_path, scheduler=True)
+    eager = replay(eager_ops, "columnar", seed, tmp_path)
+    assert deferred[-1] == eager[-1]
+
+
 @pytest.mark.fuzz
 @pytest.mark.parametrize("seed", range(2, 8))
 def test_fuzz_all_backends_long(seed, tmp_path):
@@ -367,6 +531,12 @@ def test_fuzz_all_backends_long(seed, tmp_path):
 @pytest.mark.parametrize("seed", [20, 21])
 def test_fuzz_salsa_backends_long(seed, tmp_path):
     assert_backends_agree(seed, 80, tmp_path, SALSA_BACKENDS, salsa=True)
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", range(32, 36))
+def test_fuzz_scheduler_all_backends_long(seed, tmp_path):
+    assert_backends_agree(seed, 110, tmp_path, BACKENDS, scheduler=True)
 
 
 def test_sharded_store_class_is_used(tmp_path):

@@ -239,3 +239,115 @@ def test_stitched_walk_composition(ops, seed_node, length, seed):
     assert sum(walk.visit_counts.values()) == walk.length
     assert 1 + walk.resets + walk.segment_steps + walk.plain_steps == walk.length
     assert walk.fetches <= len(walk.visit_counts)  # at most one fetch per node
+
+
+# ----------------------------------------------------------------------
+# Bounded-staleness scheduler: error-budget accounting properties
+# ----------------------------------------------------------------------
+
+
+def _fresh_engine(seed: int) -> IncrementalPageRank:
+    engine = IncrementalPageRank(walks_per_node=2, rng=seed, reset_probability=0.3)
+    for _ in range(NODES):
+        engine.add_node()
+    return engine
+
+
+def _engine_digest(engine: IncrementalPageRank) -> tuple:
+    return (
+        tuple(sorted(engine.graph.edge_list())),
+        engine.walks.visit_count_array().tobytes(),
+        engine.pagerank().tobytes(),
+        repr(engine._rng.bit_generator.state),
+    )
+
+
+@given(edge_ops, st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=80, deadline=None)
+def test_scheduler_error_accounting(ops, seed):
+    """The budget ledger under arbitrary deferral histories:
+
+    * pending error accumulates *strictly monotonically* — one positive
+      increment per deferred event, never negative, never forgotten;
+    * per-node attribution sums (within float tolerance) to the total;
+    * a flush resets the ledger *exactly* — not approximately — because
+      the repaired store owes nothing.
+    """
+    import math
+
+    from repro.core.scheduler import StalenessScheduler
+
+    engine = _fresh_engine(seed)
+    sched = StalenessScheduler(engine, staleness_budget=math.inf)
+    previous = 0.0
+    for u, v in ops:
+        event = ArrivalEvent(
+            "remove" if sched.has_edge(u, v) else "add", u, v
+        )
+        sched.apply(event)
+        assert sched.pending_error > previous, "deferral must cost something"
+        previous = sched.pending_error
+        assert u in sched.pending_dirty_nodes
+        assert v in sched.pending_dirty_nodes
+        assert sched.error_of(u) > 0.0
+    per_node = sum(sched.error_of(node) for node in range(NODES))
+    assert abs(per_node - sched.pending_error) < 1e-9 * max(per_node, 1.0)
+    assert sched.pending_events == len(ops)
+    sched.flush()
+    assert sched.pending_error == 0.0, "reset must be exact, not approximate"
+    assert sched.pending_events == 0
+    assert sched.pending_dirty_nodes == frozenset()
+    assert all(sched.error_of(node) == 0.0 for node in range(NODES))
+    # the ledger restarts cleanly: a fresh deferral accounts from zero
+    u, v = ops[0]
+    event = ArrivalEvent("remove" if sched.has_edge(u, v) else "add", u, v)
+    sched.apply(event)
+    assert 0.0 < sched.pending_error < previous + 1.0
+    sched.close()
+    engine.walks.check_invariants()
+
+
+@given(
+    edge_ops,
+    st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=12),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_scheduler_granularity_invariance(ops, flush_plan, seed):
+    """The final repaired state is invariant to *when* repairs ran.
+
+    Eager application, flush-after-every-event, and flushes at arbitrary
+    plan-chosen points must all land on the byte-identical engine —
+    graph, walk store, scores, and RNG stream position — because replay
+    re-issues the exact eager calls and deferral consumes no randomness.
+    """
+    import math
+
+    from repro.core.scheduler import StalenessScheduler
+
+    eager = _fresh_engine(seed)
+    events = []
+    for u, v in ops:
+        event = ArrivalEvent(
+            "remove" if eager.graph.has_edge(u, v) else "add", u, v
+        )
+        eager.apply(event)
+        events.append(event)
+
+    digests = [_engine_digest(eager)]
+    for plan in ([1] * len(events), flush_plan):
+        engine = _fresh_engine(seed)
+        sched = StalenessScheduler(engine, staleness_budget=math.inf)
+        schedule = iter(plan)
+        until_flush = next(schedule)
+        for event in events:
+            sched.apply(event)
+            until_flush -= 1
+            if until_flush == 0:
+                sched.flush()
+                until_flush = next(schedule, len(events) + 1)
+        sched.flush()
+        sched.close()
+        engine.walks.check_invariants()
+        digests.append(_engine_digest(engine))
+    assert digests[0] == digests[1] == digests[2]

@@ -591,20 +591,52 @@ class TestRequestBatcher:
         assert second_session["hits"] <= 5
 
     def test_serve_stats_reset_is_complete(self):
+        """Regression (extends the PR 4 fix): every counter — including
+        the PR 6 staleness-scheduler family — must zero on reset; a
+        counter missed here silently pollutes the next serve session."""
         stats = ServeStats()
         stats.record_query(hit=True, latency=0.25)
         stats.record_query(hit=False, latency=0.5)
         stats.record_shed()
         stats.record_coalesced()
         stats.record_invalidation(3, flush=True)
+        stats.record_kernel_batch(2, (10, 12))
+        stats.record_deferred(4, depth=4)
+        stats.record_repair(3, 0.02, reason="budget", depth=1)
+        stats.record_repair(1, 0.01, reason="read")
+        assert stats.repairs == 2 and stats.max_stale_depth == 4
         stats.reset()
         snap = stats.snapshot()
         assert all(value == 0 for value in snap.values())
         assert stats.percentile(0.99) == 0.0
         assert stats.max_latency == 0.0
+        assert stats.mean_repair_latency == 0.0
+        assert stats.max_repair_latency == 0.0
+        assert stats.repair_latency_percentile(0.99) == 0.0
         # the object keeps working after a reset
         stats.record_query(hit=False, latency=0.1)
         assert stats.queries == 1 and stats.hit_rate == 0.0
+        stats.record_repair(2, 0.05, reason="budget", depth=0)
+        assert stats.budget_repairs == 1 and stats.repaired_events == 2
+
+    def test_serve_stats_repair_accounting_and_render(self):
+        stats = ServeStats()
+        stats.record_deferred(2, depth=2)
+        stats.record_deferred(3, depth=5)
+        assert stats.deferred_events == 5
+        assert stats.stale_depth == 5 and stats.max_stale_depth == 5
+        stats.record_repair(5, 0.004, reason="budget", depth=0)
+        assert stats.stale_depth == 0 and stats.max_stale_depth == 5
+        assert stats.repairs == 1 and stats.budget_repairs == 1
+        assert stats.read_repairs == 0
+        assert stats.mean_repair_latency == pytest.approx(0.004)
+        assert stats.repair_latency_percentile(0.5) >= 0.004
+        with pytest.raises(ConfigurationError):
+            stats.record_deferred(0, depth=0)
+        with pytest.raises(ConfigurationError):
+            stats.repair_latency_percentile(1.5)
+        rendered = stats.render()
+        assert "stale queue" in rendered and "repairs 1" in rendered
 
 
 # ----------------------------------------------------------------------
