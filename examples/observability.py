@@ -1,0 +1,227 @@
+#!/usr/bin/env python
+"""The observability plane: one registry, spans, and stage timings live.
+
+Every layer of the stack — serve caches, kernel batches, store fetch
+accounting, the staleness scheduler — bills into a single
+:class:`~repro.obs.MetricsRegistry`, and (at ``REPRO_OBS=2``) emits
+structured spans through a shared :class:`~repro.obs.Tracer`.  This demo
+drives a bounded-freshness serving stack under Zipf query traffic
+interleaved with edge-arrival slices, then shows what the plane captured:
+
+1. a live ASCII dashboard (per-round throughput and cache hit rate) plus
+   the serve-layer scoreboard;
+2. the Prometheus text exposition — the exact payload a scrape of this
+   process would return, covering serve/store/scheduler/kernel series;
+3. the span log exported as JSONL, with one request path reconstructed
+   as a tree: drain -> chunk -> kernel.batch -> store.fetch.
+
+Run:  python examples/observability.py [--nodes 1200] [--edges 14400]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from collections import defaultdict
+from pathlib import Path
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.core.incremental import IncrementalPageRank
+from repro.obs import LEVEL_TRACE, MetricsRegistry, Tracer, set_level
+from repro.serve import (
+    QueryEngine,
+    QueryRequest,
+    RequestBatcher,
+    zipf_seed_sequence,
+)
+from repro.workloads.twitter_like import twitter_like_stream
+
+
+def render_trace_tree(spans, max_children: int = 4) -> str:
+    """One drain's span tree, store.fetch fan-out summarized."""
+    children = defaultdict(list)
+    for span in spans:
+        children[span.parent_id].append(span)
+    drains = [s for s in spans if s.name == "serve.drain"]
+    if not drains:
+        return "(no serve.drain spans captured)"
+
+    def has_kernel_work(span) -> bool:
+        stack = [span]
+        while stack:
+            node = stack.pop()
+            if node.name == "kernel.batch":
+                return True
+            stack.extend(children.get(node.span_id, []))
+        return False
+
+    # Prefer a drain that did kernel work (an all-cache-hit drain has
+    # nothing below its chunks).
+    interesting = [d for d in drains if has_kernel_work(d)]
+    root = (interesting or drains)[-1]
+    lines: list[str] = []
+
+    def walk(span, depth: int) -> None:
+        attrs = ", ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+        lines.append(
+            f"{'  ' * depth}{span.name}"
+            f"{f' [{attrs}]' if attrs else ''}"
+            f"  ({span.duration * 1e3:.2f} ms, {span.thread})"
+        )
+        kids = children.get(span.span_id, [])
+        fetches = [k for k in kids if k.name == "store.fetch"]
+        rest = [k for k in kids if k.name != "store.fetch"]
+        for kid in rest:
+            walk(kid, depth + 1)
+        for kid in fetches[:max_children]:
+            walk(kid, depth + 1)
+        if len(fetches) > max_children:
+            lines.append(
+                f"{'  ' * (depth + 1)}... {len(fetches) - max_children} "
+                f"more store.fetch spans"
+            )
+
+    walk(root, 0)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=1200)
+    parser.add_argument("--edges", type=int, default=14_400)
+    parser.add_argument("--walks", type=int, default=5)
+    parser.add_argument("--eps", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--length", type=int, default=800, help="walk length")
+    parser.add_argument("--rounds", type=int, default=6)
+    parser.add_argument("--queries", type=int, default=200, help="per round")
+    parser.add_argument("--pool", type=int, default=100, help="active users")
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="JSONL span export path (default: a temp file)",
+    )
+    args = parser.parse_args()
+
+    # Full observability: stage profiling AND span collection.  In
+    # production you'd set REPRO_OBS=2 in the environment instead.
+    previous_level = set_level(LEVEL_TRACE)
+
+    # ONE registry end to end: the engine threads it through both stores
+    # and the update path; handing the same object to the QueryEngine
+    # unifies serve/kernel/scheduler series into the same exposition.
+    registry = MetricsRegistry()
+    tracer = Tracer(capacity=65_536)
+
+    stream = twitter_like_stream(args.nodes, args.edges, rng=args.seed)
+    cut = int(len(stream) * 0.7)
+    engine = IncrementalPageRank.from_graph(
+        stream.snapshot_at(cut),
+        reset_probability=args.eps,
+        walks_per_node=args.walks,
+        rng=args.seed,
+        registry=registry,
+    )
+    service = QueryEngine(
+        engine,
+        rng_seed=7,
+        registry=registry,
+        tracer=tracer,
+        freshness="bounded",
+        staleness_budget=0.05,
+    )
+    window = stream.suffix(cut)
+    slice_size = max(len(window) // max(args.rounds, 1), 1)
+    print(f"store: {engine!r}\n")
+
+    # -- 1. Zipf traffic interleaved with deferred ingestion -----------
+    rounds_x, qps_series, hit_series = [], [], []
+    with RequestBatcher(
+        service, max_workers=4, max_queue_depth=4096
+    ) as batcher:
+        for round_index in range(args.rounds):
+            requests = [
+                QueryRequest(seed=s, k=10, length=args.length)
+                for s in zipf_seed_sequence(
+                    args.queries, args.pool, rng=round_index
+                )
+            ]
+            started = time.perf_counter()
+            # Two drains of the same traffic: the first pays for walks
+            # (duplicates coalesce), the second is served from cache.
+            results = batcher.run(requests)
+            results += batcher.run(requests)
+            seconds = time.perf_counter() - started
+            answered = sum(1 for r in results if r is not None)
+            rounds_x.append(round_index + 1)
+            qps_series.append(answered / max(seconds, 1e-9))
+            hit_series.append(service.stats.hit_rate * 100.0)
+            # Mutations go through the scheduler: deferred inside the
+            # staleness budget, repaired lazily / on read.
+            chunk = window[
+                round_index * slice_size : (round_index + 1) * slice_size
+            ]
+            if chunk:
+                service.scheduler.apply_batch(chunk)
+            print(
+                f"round {round_index + 1}: {answered}/{len(results)} "
+                f"answered, {qps_series[-1]:,.0f} qps, "
+                f"hit rate {hit_series[-1]:.0f}%, "
+                f"pending repairs {service.scheduler.pending_events}"
+            )
+
+    print()
+    print(
+        ascii_plot(
+            {
+                "qps/100": (rounds_x, [q / 100.0 for q in qps_series]),
+                "hit %": (rounds_x, hit_series),
+            },
+            width=64,
+            height=12,
+            title="serve dashboard (per round)",
+        )
+    )
+    print()
+    print(service.stats.render())
+
+    # -- 2. the Prometheus scrape payload ------------------------------
+    exposition = registry.render_prometheus()
+    print("\n--- Prometheus exposition (one registry, every layer) ---")
+    # The real scrape payload includes every histogram bucket; elide
+    # them here so the example output stays readable.
+    kept = [
+        line
+        for line in exposition.splitlines()
+        if "_bucket{" not in line and not line.startswith("# TYPE")
+    ]
+    elided = len(exposition.splitlines()) - len(kept)
+    print("\n".join(kept))
+    print(f"... ({elided} # TYPE / histogram-bucket lines elided)")
+    for layer in ("serve", "store", "scheduler", "kernel"):
+        assert f"repro_{layer}_" in exposition, f"missing {layer} series"
+    print(
+        "layers exposed: serve + store + scheduler + kernel "
+        f"({len(registry.names())} metric families)"
+    )
+
+    # -- 3. spans: export, then reconstruct one request path -----------
+    trace_path = args.trace_out
+    if trace_path is None:
+        trace_path = Path(tempfile.gettempdir()) / "repro_spans.jsonl"
+    count = tracer.export_jsonl(trace_path)
+    with open(trace_path) as handle:
+        first = json.loads(handle.readline())
+    print(f"\nexported {count} spans to {trace_path} (first: {first['name']})")
+    print("\n--- one drain reconstructed from spans ---")
+    print(render_trace_tree(tracer.spans()))
+
+    service.detach()
+    set_level(previous_level)
+
+
+if __name__ == "__main__":
+    main()

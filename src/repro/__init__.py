@@ -47,6 +47,15 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.graph import DynamicDiGraph
+from repro.obs import (
+    MetricsRegistry,
+    RingSink,
+    Span,
+    StageProfiler,
+    Tracer,
+    get_level,
+    set_level,
+)
 from repro.serve import QueryEngine, RequestBatcher, ServeStats
 from repro.store import PageRankStore, SocialStore
 
@@ -79,5 +88,12 @@ __all__ = [
     "QueryEngine",
     "RequestBatcher",
     "ServeStats",
+    "MetricsRegistry",
+    "StageProfiler",
+    "Tracer",
+    "Span",
+    "RingSink",
+    "get_level",
+    "set_level",
     "theory",
 ]

@@ -66,6 +66,7 @@ the cached results whose walks read a dirty node.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterable, Optional
 
 import numpy as np
@@ -83,6 +84,8 @@ from repro.errors import ConfigurationError
 from repro.graph.arrival import ADD, ArrivalEvent
 from repro.graph.csr import batch_reset_walks
 from repro.graph.digraph import DynamicDiGraph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import StageProfiler
 from repro.rng import RngLike, ensure_rng
 from repro.store.pagerank_store import PageRankStore
 from repro.store.social_store import SocialStore
@@ -246,6 +249,7 @@ class IncrementalPageRank:
         reroute_policy: str = REROUTE_REDIRECT,
         pagerank_store: Optional[PageRankStore] = None,
         store_backend: str = BACKEND_COLUMNAR,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 < reset_probability <= 1.0:
             raise ConfigurationError(
@@ -257,7 +261,15 @@ class IncrementalPageRank:
             )
         if reroute_policy not in (REROUTE_REDIRECT, REROUTE_RESIMULATE):
             raise ConfigurationError(f"unknown reroute_policy {reroute_policy!r}")
-        self.social_store = social_store if social_store is not None else SocialStore()
+        #: The unified observability sink for this engine and the stores it
+        #: default-constructs (DESIGN.md §12).  Explicitly passed stores
+        #: keep whatever stats/registry they were built with.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.social_store = (
+            social_store
+            if social_store is not None
+            else SocialStore(registry=self.registry)
+        )
         self.reset_probability = reset_probability
         self.walks_per_node = walks_per_node
         self.reroute_policy = reroute_policy
@@ -269,8 +281,38 @@ class IncrementalPageRank:
         self.pagerank_store = (
             pagerank_store
             if pagerank_store is not None
-            else PageRankStore(self.social_store)
+            else PageRankStore(self.social_store, registry=self.registry)
         )
+        #: apply_batch phase attribution (enabled at REPRO_OBS >= 1).
+        self._profiler = StageProfiler(
+            self.registry,
+            metric="repro_core_stage_seconds",
+            documentation="Wall-clock seconds per apply_batch phase",
+        )
+        self._store_profiler = StageProfiler(
+            self.registry,
+            metric="repro_store_stage_seconds",
+            documentation="Wall-clock seconds per storage repair stage",
+        )
+        self._mutation_counter = self.registry.counter(
+            "repro_core_mutations_total",
+            "Graph mutations processed by the incremental engine",
+            labels=("kind",),
+        )
+        self._repair_counters = {
+            "segments_rerouted": self.registry.counter(
+                "repro_core_segments_rerouted_total",
+                "Stored walk segments rerouted by updates (Theorem 4 units)",
+            ),
+            "steps_resimulated": self.registry.counter(
+                "repro_core_steps_resimulated_total",
+                "Walk steps regenerated by update repair",
+            ),
+            "steps_discarded": self.registry.counter(
+                "repro_core_steps_discarded_total",
+                "Stored walk steps discarded by update repair",
+            ),
+        }
         # Cumulative counters across the engine's lifetime.
         self.total_segments_rerouted = 0
         self.total_steps_resimulated = 0
@@ -323,15 +365,18 @@ class IncrementalPageRank:
         rng: RngLike = None,
         reroute_policy: str = REROUTE_REDIRECT,
         store_backend: str = BACKEND_COLUMNAR,
+        registry: Optional[MetricsRegistry] = None,
     ) -> "IncrementalPageRank":
         """Wrap an existing graph and initialize all walk segments (batch)."""
+        registry = registry if registry is not None else MetricsRegistry()
         engine = cls(
-            SocialStore.of_graph(graph),
+            SocialStore(graph=graph, registry=registry),
             reset_probability=reset_probability,
             walks_per_node=walks_per_node,
             rng=rng,
             reroute_policy=reroute_policy,
             store_backend=store_backend,
+            registry=registry,
         )
         engine.initialize()
         return engine
@@ -340,6 +385,9 @@ class IncrementalPageRank:
         """(Re)simulate ``R`` segments per existing node, vectorized."""
         graph = self.graph
         store = make_walk_store(graph.num_nodes, backend=self.store_backend)
+        bind_profiler = getattr(store, "bind_profiler", None)
+        if bind_profiler is not None:
+            bind_profiler(self._store_profiler)
         if graph.num_nodes:
             csr = graph.to_csr("out")
             starts = np.repeat(
@@ -624,6 +672,11 @@ class IncrementalPageRank:
         report = BatchUpdateReport(num_events=len(events))
         if not events:
             return report
+        # Phase attribution (REPRO_OBS >= 1): one enabled check per batch,
+        # one clock read per phase boundary.
+        profiler = self._profiler
+        profiling = profiler.enabled
+        mark = perf_counter() if profiling else 0.0
         graph = self.graph
         walks = self.walks
         nodes_before = graph.num_nodes
@@ -683,6 +736,11 @@ class IncrementalPageRank:
             report.mean_activation_probability = float(
                 np.average(values, weights=source_counts)
             )
+
+        if profiling:
+            now = perf_counter()
+            profiler.record("apply_batch.snapshot_and_mutate", now - mark)
+            mark = now
 
         # -- 4. one index scan: candidate step positions at dirty sources -
         # All affected segments are concatenated into a single flat node
@@ -811,6 +869,11 @@ class IncrementalPageRank:
                 len(affected_ids) - rerouted_mask.sum() - resumed.size
             )
 
+        if profiling:
+            now = perf_counter()
+            profiler.record("apply_batch.scan", now - mark)
+            mark = now
+
         # -- 7. one vectorized resimulation against a frozen snapshot -----
         init_starts = np.repeat(
             np.arange(nodes_before, graph.num_nodes, dtype=np.int64),
@@ -833,6 +896,10 @@ class IncrementalPageRank:
                 ),
             )
             report.capped = result.capped
+            if profiling:
+                now = perf_counter()
+                profiler.record("apply_batch.resimulate", now - mark)
+                mark = now
             # merge repaired tails back into the store — one bulk call so
             # the columnar backend can rebuild its index vectorized
             updates: list[tuple[int, int, list[int], int]] = []
@@ -857,6 +924,9 @@ class IncrementalPageRank:
                 )
                 report.segments_initialized += 1
                 report.steps_initialized += len(tail) - 1
+
+        if profiling:
+            profiler.record("apply_batch.writeback", perf_counter() - mark)
 
         touched.update(
             walks.source_of(segment_id) for segment_id, _ in resim_specs
@@ -887,6 +957,10 @@ class IncrementalPageRank:
         self.total_segments_rerouted += report.segments_rerouted
         self.total_steps_resimulated += report.steps_resimulated
         self.total_steps_discarded += report.steps_discarded
+        self._mutation_counter.inc(kind=getattr(report, "operation", "batch"))
+        self._repair_counters["segments_rerouted"].inc(report.segments_rerouted)
+        self._repair_counters["steps_resimulated"].inc(report.steps_resimulated)
+        self._repair_counters["steps_discarded"].inc(report.steps_discarded)
 
     @property
     def total_work(self) -> int:

@@ -59,6 +59,8 @@ distinct node per batch — because not re-fetching is precisely the win.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import nullcontext
+from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
@@ -73,6 +75,7 @@ from repro.core.salsa import SalsaWalkResult
 from repro.core.topk import TopKResult, walk_length_for_top_k
 from repro.core.walks import SIDE_HUB
 from repro.errors import ConfigurationError
+from repro.obs.profile import StageProfiler
 from repro.rng import RngLike, ensure_rng
 from repro.store.pagerank_store import FETCH_FULL, PageRankStore
 
@@ -241,6 +244,8 @@ class QueryKernel:
         *,
         reset_probability: float = 0.2,
         rng_block: int = _DEFAULT_RNG_BLOCK,
+        registry=None,
+        tracer=None,
     ) -> None:
         if not 0.0 < reset_probability <= 1.0:
             raise ConfigurationError(
@@ -258,6 +263,27 @@ class QueryKernel:
         self.store = pagerank_store
         self.reset_probability = reset_probability
         self.rng_block = rng_block
+        #: Observability plane (DESIGN.md §12).  With a registry attached,
+        #: stage profiling (rng_draw / segment_gather / reduce) activates
+        #: at REPRO_OBS >= 1; spans (kernel.batch, store.fetch) at >= 2 via
+        #: the tracer.  With neither, the hot loop is untouched.
+        self.tracer = tracer
+        if registry is not None:
+            self.profiler = StageProfiler(
+                registry,
+                metric="repro_kernel_stage_seconds",
+                documentation="Wall-clock seconds per query-kernel stage",
+            )
+            self._batch_counter = registry.counter(
+                "repro_kernel_batches_total", "Multi-seed kernel invocations"
+            )
+            self._walk_counter = registry.counter(
+                "repro_kernel_walks_total", "Walks executed by kernel batches"
+            )
+        else:
+            self.profiler = None
+            self._batch_counter = None
+            self._walk_counter = None
 
     # ------------------------------------------------------------------
     # Node payloads (one physical fetch per node per batch)
@@ -281,8 +307,19 @@ class QueryKernel:
                 views, list(payload.neighbors), payload.out_degree, True
             )
         store = self.store
+        tracer = self.tracer
+        # start_leaf/finish_leaf, not span(): a fetch span has no
+        # children, and the cheap path is what keeps full tracing
+        # inside the DESIGN §12 overhead budget.
+        span = (
+            tracer.start_leaf("store.fetch", node=node)
+            if tracer is not None
+            else None
+        )
         views = store.walks.segment_views_starting_at(node)
         neighbors = list(store.social_store.out_neighbors(node))
+        if span is not None:
+            tracer.finish_leaf(span)
         if fetch_cache is not None:
             fetch_cache.store(
                 node,
@@ -346,8 +383,25 @@ class QueryKernel:
             generators = [ensure_rng(rng) for rng in rngs]
         if num_walks == 0:
             return []
-        raw = self._run(seeds, targets, generators, use_segments, fetch_cache)
-        return self._assemble(*raw)
+        tracer = self.tracer
+        span = (
+            tracer.span("kernel.batch", walks=num_walks)
+            if tracer is not None and tracer.enabled
+            else nullcontext()
+        )
+        with span:
+            if self._batch_counter is not None:
+                self._batch_counter.inc()
+                self._walk_counter.inc(num_walks)
+            raw = self._run(seeds, targets, generators, use_segments, fetch_cache)
+            profiler = self.profiler
+            if profiler is not None and profiler.enabled:
+                start = perf_counter()
+                results = self._assemble(*raw)
+                profiler.record("reduce", perf_counter() - start)
+            else:
+                results = self._assemble(*raw)
+        return results
 
     def _run(self, seeds, targets, generators, use_segments, fetch_cache):
         """Advance every walk to completion; returns the raw event streams."""
@@ -356,6 +410,13 @@ class QueryKernel:
         block = self.rng_block
         cache_guard = fetch_cache.version if fetch_cache is not None else 0
         shared_fetch = fetch_cache is not None
+        # Stage profiling (REPRO_OBS >= 1): the enabled check runs once per
+        # batch; when off, the per-step path gains exactly one branch at
+        # each (rare) RNG-refill and first-visit site.
+        profiler = self.profiler
+        profiling = profiler is not None and profiler.enabled
+        rng_time = 0.0
+        gather_time = 0.0
 
         # Per-walk scalar outputs (data-plane events below stay arrays).
         visited = [0] * num_walks
@@ -414,7 +475,12 @@ class QueryKernel:
 
             while count < target:
                 if position >= buffer_len:
-                    buffer = random_block(block).tolist()
+                    if profiling:
+                        stamp = perf_counter()
+                        buffer = random_block(block).tolist()
+                        rng_time += perf_counter() - stamp
+                    else:
+                        buffer = random_block(block).tolist()
                     buffer_len = block
                     position = 0
                 coin = buffer[position]
@@ -430,7 +496,16 @@ class QueryKernel:
                         # node in memory and re-flips the coin)
                         seed_info = node_info_get(seed)
                         if seed_info is None:
-                            seed_info = load_node(seed, fetch_cache, cache_guard)
+                            if profiling:
+                                stamp = perf_counter()
+                                seed_info = load_node(
+                                    seed, fetch_cache, cache_guard
+                                )
+                                gather_time += perf_counter() - stamp
+                            else:
+                                seed_info = load_node(
+                                    seed, fetch_cache, cache_guard
+                                )
                             node_info[seed] = seed_info
                             if not seed_info.cached:
                                 physical_loads += 1
@@ -460,7 +535,12 @@ class QueryKernel:
                         count += 1
                         continue
                     if position >= buffer_len:
-                        buffer = random_block(block).tolist()
+                        if profiling:
+                            stamp = perf_counter()
+                            buffer = random_block(block).tolist()
+                            rng_time += perf_counter() - stamp
+                        else:
+                            buffer = random_block(block).tolist()
                         buffer_len = block
                         position = 0
                     node = seed_neighbors[int(buffer[position] * seed_degree)]
@@ -473,7 +553,12 @@ class QueryKernel:
                 if entry is None:
                     info = node_info_get(node)
                     if info is None:
-                        info = load_node(node, fetch_cache, cache_guard)
+                        if profiling:
+                            stamp = perf_counter()
+                            info = load_node(node, fetch_cache, cache_guard)
+                            gather_time += perf_counter() - stamp
+                        else:
+                            info = load_node(node, fetch_cache, cache_guard)
                         node_info[node] = info
                         if not info.cached:
                             physical_loads += 1
@@ -497,7 +582,12 @@ class QueryKernel:
                     at_seed = True
                 else:
                     if position >= buffer_len:
-                        buffer = random_block(block).tolist()
+                        if profiling:
+                            stamp = perf_counter()
+                            buffer = random_block(block).tolist()
+                            rng_time += perf_counter() - stamp
+                        else:
+                            buffer = random_block(block).tolist()
                         buffer_len = block
                         position = 0
                     node = info.neighbors[int(buffer[position] * info.degree)]
@@ -518,6 +608,9 @@ class QueryKernel:
 
         if physical_loads:
             self.store.stats.record("fetch", physical_loads)
+        if profiling:
+            profiler.record("rng_draw", rng_time)
+            profiler.record("segment_gather", gather_time)
         return (
             seeds,
             visited,
@@ -685,14 +778,32 @@ class QueryKernel:
             generators = [ensure_rng(rng) for rng in rngs]
         if not seeds:
             return []
-        raw = self._run(
-            seeds, [walk_length] * len(seeds), generators, True, fetch_cache
+        tracer = self.tracer
+        span = (
+            tracer.span("kernel.batch", walks=len(seeds), kind="top_k")
+            if tracer is not None and tracer.enabled
+            else nullcontext()
         )
-        fetches = raw[5]
-        chunk_counts, chunk_tails, step_counts, step_nodes = raw[7:]
-        per_walk, _ = _per_walk_visit_counts(
-            len(seeds), chunk_counts, chunk_tails, step_counts, step_nodes
-        )
+        with span:
+            if self._batch_counter is not None:
+                self._batch_counter.inc()
+                self._walk_counter.inc(len(seeds))
+            raw = self._run(
+                seeds, [walk_length] * len(seeds), generators, True, fetch_cache
+            )
+            fetches = raw[5]
+            chunk_counts, chunk_tails, step_counts, step_nodes = raw[7:]
+            profiler = self.profiler
+            if profiler is not None and profiler.enabled:
+                start = perf_counter()
+                per_walk, _ = _per_walk_visit_counts(
+                    len(seeds), chunk_counts, chunk_tails, step_counts, step_nodes
+                )
+                profiler.record("reduce", perf_counter() - start)
+            else:
+                per_walk, _ = _per_walk_visit_counts(
+                    len(seeds), chunk_counts, chunk_tails, step_counts, step_nodes
+                )
         results = []
         for walk_index, seed in enumerate(seeds):
             excluded = {seed}

@@ -54,7 +54,7 @@ from __future__ import annotations
 import math
 import threading
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Iterable, Optional, Sequence
 
 from repro.core.incremental import BatchUpdateReport, IncrementalPageRank
@@ -163,6 +163,7 @@ class StalenessScheduler:
         compact_below: Optional[float] = None,
         stats=None,
         clock=time.monotonic,
+        tracer=None,
     ) -> None:
         """Front ``engine`` with a deferred-repair queue.
 
@@ -187,7 +188,11 @@ class StalenessScheduler:
         after a flush leaves its utilization under the given fraction —
         background repair is the natural place for that maintenance.
         ``stats`` is an optional :class:`~repro.serve.stats.ServeStats`
-        to bill deferrals and repairs into.
+        to bill deferrals and repairs into.  ``tracer`` is an optional
+        :class:`~repro.obs.Tracer`; each flush then emits a
+        ``scheduler.flush`` span (parented to the caller's active span,
+        so budget flushes on the background worker start fresh traces
+        while repair-on-read flushes nest under the query that paid).
         """
         if staleness_budget <= 0:
             raise ConfigurationError(
@@ -216,6 +221,7 @@ class StalenessScheduler:
         self.compact_below = compact_below
         self.clock = clock
         self._stats = stats
+        self._tracer = tracer
         # Queue + accounting (mutex-protected).
         self._mutex = threading.Lock()
         self._work_ready = threading.Condition(self._mutex)
@@ -438,24 +444,35 @@ class StalenessScheduler:
                 self._pending_dirty = set()
                 self._edge_overrides = {}
                 self._logical_num_nodes = self.engine.graph.num_nodes
-            started = self.clock()
-            if self.repair == REPAIR_COALESCE:
-                events = [
-                    event
-                    for kind, payload in items
-                    for event in (payload if kind == _ITEM_BATCH else (payload,))
-                ]
-                merged = self.engine.apply_batch(events)
-            else:
-                reports = []
-                for kind, payload in items:
-                    if kind == _ITEM_BATCH:
-                        reports.append(self.engine.apply_batch(payload))
-                    else:
-                        reports.append(self.engine.apply(payload))
-                merged = BatchUpdateReport.merge(reports)
-            latency = self.clock() - started
-            self._maybe_compact()
+            tracer = self._tracer
+            span = (
+                tracer.span(
+                    "scheduler.flush", reason=reason, events=flushed_events
+                )
+                if tracer is not None and tracer.enabled
+                else nullcontext()
+            )
+            with span:
+                started = self.clock()
+                if self.repair == REPAIR_COALESCE:
+                    events = [
+                        event
+                        for kind, payload in items
+                        for event in (
+                            payload if kind == _ITEM_BATCH else (payload,)
+                        )
+                    ]
+                    merged = self.engine.apply_batch(events)
+                else:
+                    reports = []
+                    for kind, payload in items:
+                        if kind == _ITEM_BATCH:
+                            reports.append(self.engine.apply_batch(payload))
+                        else:
+                            reports.append(self.engine.apply(payload))
+                    merged = BatchUpdateReport.merge(reports)
+                latency = self.clock() - started
+                self._maybe_compact()
         with self._mutex:
             self.flushes += 1
             self.flushed_events += flushed_events

@@ -50,6 +50,7 @@ from __future__ import annotations
 import os
 import weakref
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from time import perf_counter
 from typing import Iterator, Optional, Sequence, Union
 
 import numpy as np
@@ -186,6 +187,16 @@ class ShardedWalkIndex:
         self._globals_used = [0] * num_shards  # local -> global fill level
         self._num_segments = 0
         self._executor: Optional[Executor] = None
+        #: Optional StageProfiler billing per-shard repair time (obs plane).
+        self._profiler = None
+
+    def bind_profiler(self, profiler) -> None:
+        """Attach a :class:`~repro.obs.StageProfiler` for repair fan-out.
+
+        When profiling is enabled, each shard's share of a batched
+        ``apply_segment_updates`` bills one ``shard_repair`` observation,
+        so the fan-out's balance is visible as a histogram."""
+        self._profiler = profiler
 
     # ------------------------------------------------------------------
     # Routing
@@ -533,16 +544,20 @@ class ShardedWalkIndex:
         pool = (
             self._pool() if len(updates) >= _PARALLEL_UPDATE_THRESHOLD else None
         )
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            def repair_shard(i: int) -> None:
+                start = perf_counter()
+                self.shards[i].apply_segment_updates(grouped[i])
+                profiler.record("shard_repair", perf_counter() - start)
+        else:
+            def repair_shard(i: int) -> None:
+                self.shards[i].apply_segment_updates(grouped[i])
         if pool is not None and len(populated) > 1:
-            list(
-                pool.map(
-                    lambda i: self.shards[i].apply_segment_updates(grouped[i]),
-                    populated,
-                )
-            )
+            list(pool.map(repair_shard, populated))
             return
         for shard_index in populated:
-            self.shards[shard_index].apply_segment_updates(grouped[shard_index])
+            repair_shard(shard_index)
 
     # ------------------------------------------------------------------
     # Per-segment columns

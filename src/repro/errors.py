@@ -63,6 +63,23 @@ class StoreError(ReproError):
     """Base class for storage-layer errors (social store / pagerank store)."""
 
 
+class StaleSnapshotError(StoreError):
+    """A stats delta was requested against a snapshot from before a reset.
+
+    ``CallStats.reset()`` starts a new counting epoch; a snapshot taken in
+    an earlier epoch can no longer produce a meaningful delta (the naive
+    subtraction would return negative counts).  Re-snapshot and retry.
+    """
+
+    def __init__(self, snapshot_epoch: int, current_epoch: int) -> None:
+        super().__init__(
+            f"snapshot from epoch {snapshot_epoch} is stale: stats were "
+            f"reset (current epoch {current_epoch}); take a new snapshot"
+        )
+        self.snapshot_epoch = snapshot_epoch
+        self.current_epoch = current_epoch
+
+
 class StoreClosedError(StoreError):
     """An operation was issued against a store that has been closed."""
 

@@ -1,0 +1,47 @@
+"""Unified observability plane: metrics, tracing, and stage profiling.
+
+Every layer of the stack bills into one :class:`MetricsRegistry`
+(Prometheus-text and JSON exposition), emits structured spans through a
+:class:`Tracer`, and attributes hot-path wall-clock time via
+:class:`StageProfiler` — all gated by the ``REPRO_OBS`` level so the
+disabled path costs one branch.  See DESIGN.md §12.
+"""
+
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    STEP_BUCKETS,
+)
+from repro.obs.profile import (
+    LEVEL_OFF,
+    LEVEL_PROFILE,
+    LEVEL_TRACE,
+    StageProfiler,
+    get_level,
+    set_level,
+)
+from repro.obs.tracing import RingSink, Span, Tracer, current_span
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "LEVEL_OFF",
+    "LEVEL_PROFILE",
+    "LEVEL_TRACE",
+    "MetricsRegistry",
+    "RingSink",
+    "STEP_BUCKETS",
+    "Span",
+    "StageProfiler",
+    "Tracer",
+    "current_span",
+    "get_level",
+    "set_level",
+]

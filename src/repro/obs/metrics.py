@@ -1,0 +1,525 @@
+"""Thread-safe metrics primitives with Prometheus and JSON exposition.
+
+The paper states its efficiency claims in observable units — walk-segment
+updates per edge arrival (Theorem 4), store fetches per query (Theorem 8) —
+and every layer of this repo already counts *something*: ``ServeStats`` in
+the serve tier, ``CallStats`` in the stores, the staleness scheduler's
+repair ledger.  :class:`MetricsRegistry` is the one sink they all bill
+into, so a single ``registry.render_prometheus()`` shows the whole stack.
+
+Three primitives, all label-aware and thread-safe:
+
+* :class:`Counter` — monotone totals (``repro_serve_queries_total``).
+* :class:`Gauge` — set/observe point-in-time values (stale-queue depth).
+* :class:`Histogram` — geometric-bucket distributions with interpolated
+  percentiles.  The bucket schemes (factor-2 from 1 µs for latencies,
+  powers of two for batch sizes and steps) are the ones ``serve/stats.py``
+  grew organically, extracted here so every layer shares them.
+
+Metric names follow ``repro_<layer>_<name>`` (layers: ``core``, ``store``,
+``serve``, ``scheduler``, ``kernel``); see DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "BATCH_SIZE_BUCKETS",
+    "STEP_BUCKETS",
+]
+
+#: Latency bucket upper bounds in seconds: 1 µs · 2^i, i = 0 … 39 (~18 min).
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(1e-6 * (2.0**i) for i in range(40))
+
+#: Kernel-batch-size bucket upper bounds: 1, 2, 4, … 4096 queries.
+BATCH_SIZE_BUCKETS: Tuple[float, ...] = tuple(float(2**i) for i in range(13))
+
+#: Steps(visits)-per-query bucket upper bounds: 1, 2, 4, … ~8M steps.
+STEP_BUCKETS: Tuple[float, ...] = tuple(float(2**i) for i in range(24))
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:g}"
+
+
+class _Metric:
+    """Shared labeled-series machinery for the three primitives."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        documentation: str,
+        label_names: Sequence[str],
+        lock: threading.RLock,
+    ) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_NAME_RE.match(label):
+                raise ConfigurationError(f"invalid label name {label!r}")
+        self.name = name
+        self.documentation = documentation
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        self._lock = lock
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ConfigurationError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _labels_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+    def _series_suffix(self, key: Tuple[str, ...]) -> str:
+        if not key:
+            return ""
+        inner = ",".join(
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.label_names, key)
+        )
+        return "{" + inner + "}"
+
+    def series_keys(self) -> List[Tuple[str, ...]]:
+        with self._lock:
+            return sorted(self._series)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(_Metric):
+    """Monotonically increasing total, optionally labeled."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"{self.name}: counter increment must be >= 0, got {amount}"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def total(self) -> float:
+        with self._lock:
+            return float(sum(self._series.values()))
+
+
+class Gauge(_Metric):
+    """Point-in-time value that can move both ways."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def set_max(self, value: float, **labels: object) -> None:
+        """Raise the gauge to ``value`` if it is above the current reading."""
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = max(self._series.get(key, 0.0), float(value))
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+
+class _HistogramSeries:
+    __slots__ = ("buckets", "count", "sum", "max")
+
+    def __init__(self, num_bounds: int) -> None:
+        self.buckets = [0] * (num_bounds + 1)  # +1 = overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+
+class Histogram(_Metric):
+    """Geometric-bucket distribution with interpolated percentiles.
+
+    Buckets are cumulative in the Prometheus exposition but stored
+    per-bucket internally; one overflow bucket catches observations above
+    the last bound.  :meth:`percentile` interpolates linearly *within* the
+    containing bucket (clamped to the observed max), rather than returning
+    the bucket's upper bound — for a factor-2 bucket scheme that halves the
+    worst-case estimation error.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        documentation: str,
+        label_names: Sequence[str],
+        lock: threading.RLock,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, documentation, label_names, lock)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"{name}: bucket bounds must be strictly increasing and non-empty"
+            )
+        self.bounds: Tuple[float, ...] = bounds
+
+    def _get_series(self, key: Tuple[str, ...]) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(len(self.bounds))
+            self._series[key] = series
+        return series  # type: ignore[return-value]
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            series = self._get_series(key)
+            series.buckets[index] += 1
+            series.count += 1
+            series.sum += value
+            if value > series.max:
+                series.max = value
+
+    def count(self, **labels: object) -> int:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series else 0
+
+    def total_count(self) -> int:
+        with self._lock:
+            return sum(s.count for s in self._series.values())
+
+    def sum_value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.sum if series else 0.0
+
+    def max_value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.max if series else 0.0
+
+    def mean(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if not series or not series.count:
+                return 0.0
+            return series.sum / series.count
+
+    def bucket_counts(self, **labels: object) -> Dict[float, int]:
+        """Nonzero finite buckets as ``{upper_bound: count}`` (no overflow)."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if not series:
+                return {}
+            return {
+                self.bounds[i]: count
+                for i, count in enumerate(series.buckets[: len(self.bounds)])
+                if count
+            }
+
+    def overflow_count(self, **labels: object) -> int:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.buckets[-1] if series else 0
+
+    def percentile(self, p: float, **labels: object) -> float:
+        """Percentile ``p`` in [0, 1], interpolated within the bucket.
+
+        Returns 0.0 for an empty histogram.  The estimate is clamped to the
+        observed maximum, so ``percentile(1.0)`` is exact.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"percentile must be in [0, 1], got {p}")
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if not series or not series.count:
+                return 0.0
+            rank = p * series.count
+            seen = 0
+            for index, count in enumerate(series.buckets):
+                if not count:
+                    continue
+                seen += count
+                if seen >= rank:
+                    lower = self.bounds[index - 1] if index > 0 else 0.0
+                    if index < len(self.bounds):
+                        upper = self.bounds[index]
+                    else:  # overflow bucket: interpolate toward the max
+                        upper = series.max
+                    fraction = (rank - (seen - count)) / count
+                    fraction = min(max(fraction, 0.0), 1.0)
+                    estimate = lower + (upper - lower) * fraction
+                    return min(estimate, series.max)
+            return series.max
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with unified exposition.
+
+    One ``threading.RLock`` guards every metric in the registry, so a
+    single lock acquisition covers any read-modify-write and renders are
+    internally consistent.  Re-registering a name returns the existing
+    metric after checking that kind, labels, and (for histograms) buckets
+    match — two components billing the same series compose instead of
+    clobbering each other.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _get_or_create(
+        self, cls: type, name: str, documentation: str, labels: Sequence[str], **kwargs
+    ) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"  # type: ignore[attr-defined]
+                    )
+                if existing.label_names != tuple(labels):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}, not {tuple(labels)}"
+                    )
+                buckets = kwargs.get("buckets")
+                if buckets is not None and existing.bounds != tuple(
+                    float(b) for b in buckets
+                ):  # type: ignore[attr-defined]
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered with different buckets"
+                    )
+                return existing
+            metric = cls(name, documentation, tuple(labels), self._lock, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, documentation: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, documentation, labels)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, documentation: str = "", labels: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, documentation, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        documentation: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, documentation, labels, buckets=buckets
+        )  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every series in every metric (metrics stay registered)."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    # ------------------------------------------------------------------
+    # Snapshot / delta
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``{series: value}`` map, keyed Prometheus-style.
+
+        Counters and gauges contribute one entry per series; histograms
+        contribute ``<name>_count`` and ``<name>_sum`` entries.
+        """
+        out: Dict[str, float] = {}
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                if isinstance(metric, Histogram):
+                    for key in sorted(metric._series):
+                        series = metric._series[key]
+                        suffix = metric._series_suffix(key)
+                        out[f"{name}_count{suffix}"] = float(series.count)
+                        out[f"{name}_sum{suffix}"] = series.sum
+                else:
+                    for key in sorted(metric._series):
+                        out[f"{name}{metric._series_suffix(key)}"] = float(
+                            metric._series[key]  # type: ignore[arg-type]
+                        )
+        return out
+
+    def delta_since(self, snapshot: Mapping[str, float]) -> Dict[str, float]:
+        """Per-series growth since a prior :meth:`snapshot` (changed only)."""
+        current = self.snapshot()
+        return {
+            series: current.get(series, 0.0) - snapshot.get(series, 0.0)
+            for series in set(current) | set(snapshot)
+            if current.get(series, 0.0) != snapshot.get(series, 0.0)
+        }
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, dict]:
+        """JSON-friendly dump: per-metric type, help, and series."""
+        out: Dict[str, dict] = {}
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                entry: Dict[str, object] = {
+                    "type": metric.kind,
+                    "help": metric.documentation,
+                    "labels": list(metric.label_names),
+                }
+                series_list: List[dict] = []
+                if isinstance(metric, Histogram):
+                    for key in sorted(metric._series):
+                        series = metric._series[key]
+                        series_list.append(
+                            {
+                                "labels": metric._labels_dict(key),
+                                "count": series.count,
+                                "sum": series.sum,
+                                "max": series.max,
+                                "buckets": {
+                                    _format_bound(metric.bounds[i]): c
+                                    for i, c in enumerate(
+                                        series.buckets[: len(metric.bounds)]
+                                    )
+                                    if c
+                                },
+                                "overflow": series.buckets[-1],
+                            }
+                        )
+                else:
+                    for key in sorted(metric._series):
+                        series_list.append(
+                            {
+                                "labels": metric._labels_dict(key),
+                                "value": metric._series[key],
+                            }
+                        )
+                entry["series"] = series_list
+                out[name] = entry
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._metrics):
+                metric = self._metrics[name]
+                help_text = metric.documentation.replace("\\", "\\\\").replace(
+                    "\n", "\\n"
+                )
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {metric.kind}")
+                if isinstance(metric, Histogram):
+                    for key in sorted(metric._series):
+                        series = metric._series[key]
+                        base_labels = [
+                            f'{n}="{_escape_label_value(v)}"'
+                            for n, v in zip(metric.label_names, key)
+                        ]
+                        cumulative = 0
+                        for i, bound in enumerate(metric.bounds):
+                            cumulative += series.buckets[i]
+                            labels = ",".join(
+                                base_labels + [f'le="{_format_bound(bound)}"']
+                            )
+                            lines.append(
+                                f"{name}_bucket{{{labels}}} {cumulative}"
+                            )
+                        cumulative += series.buckets[-1]
+                        labels = ",".join(base_labels + ['le="+Inf"'])
+                        lines.append(f"{name}_bucket{{{labels}}} {cumulative}")
+                        suffix = metric._series_suffix(key)
+                        lines.append(
+                            f"{name}_sum{suffix} {_format_value(series.sum)}"
+                        )
+                        lines.append(f"{name}_count{suffix} {series.count}")
+                else:
+                    keys = metric.series_keys() or ([()] if not metric.label_names else [])
+                    for key in keys:
+                        value = metric._series.get(key, 0.0)
+                        lines.append(
+                            f"{name}{metric._series_suffix(key)} "
+                            f"{_format_value(float(value))}"  # type: ignore[arg-type]
+                        )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"MetricsRegistry({len(self._metrics)} metrics)"

@@ -1,0 +1,256 @@
+"""Structured tracing: spans, context propagation, ring sink, JSONL export.
+
+A span is one timed, named unit of work (``kernel.batch``, ``store.fetch``)
+with free-form attributes and parent/trace identifiers.  The span taxonomy
+for this repo (DESIGN.md §12):
+
+* ``serve.request`` — one submitted request on the per-request path.
+* ``serve.drain`` — one batched drain cycle in ``RequestBatcher.run``.
+* ``serve.chunk`` — one kernel-sized chunk executed on a pool worker.
+* ``kernel.batch`` — one multi-seed query-kernel invocation.
+* ``store.fetch`` — one physical node fetch inside the kernel.
+* ``scheduler.flush`` — one staleness-scheduler repair flush.
+
+Context propagation uses a :mod:`contextvars` variable, which follows the
+synchronous call stack for free; crossing an executor boundary (the
+``RequestBatcher`` worker pool, the scheduler's background worker) is
+explicit — the submitter captures :meth:`Tracer.current` and the worker
+passes it as ``parent=``.  Finished spans land in a thread-safe ring
+buffer (:class:`RingSink`) and can be exported as JSON Lines for offline
+reconstruction of request paths.
+
+Tracing is enabled when the global ``REPRO_OBS`` level is >= 2 (see
+:mod:`repro.obs.profile`) or when the tracer is constructed with
+``enabled=True``.  A disabled tracer's :meth:`~Tracer.span` returns a
+shared no-op context manager: one branch, no allocation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs import profile as _profile
+
+__all__ = ["Span", "RingSink", "Tracer", "current_span"]
+
+_ids = itertools.count(1)
+_current_span: ContextVar[Optional["Span"]] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost open span on this thread/context, if any."""
+    return _current_span.get()
+
+
+class Span:
+    """One timed unit of work.  Created via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "attributes",
+        "thread",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: Optional[int],
+        attributes: Dict[str, object],
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = 0.0
+        self.duration = 0.0
+        self.attributes = attributes
+        self.thread = threading.current_thread().name
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "thread": self.thread,
+            "attributes": self.attributes,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, span={self.span_id}, "
+            f"parent={self.parent_id}, duration={self.duration:.6f})"
+        )
+
+
+class RingSink:
+    """Thread-safe bounded buffer of finished spans (oldest evicted)."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) == self.capacity:
+                self.dropped += 1
+            self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        """A stable copy of the buffered spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def export_jsonl(self, path) -> int:
+        """Write buffered spans as JSON Lines; returns the span count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_json()) + "\n")
+        return len(spans)
+
+
+class Tracer:
+    """Produces spans into a :class:`RingSink` with context propagation.
+
+    ``enabled=None`` (the default) defers to the global ``REPRO_OBS``
+    level; ``True``/``False`` pins the tracer regardless of the level.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[RingSink] = None,
+        capacity: int = 4096,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else RingSink(capacity)
+        self._forced = enabled
+
+    @property
+    def enabled(self) -> bool:
+        if self._forced is not None:
+            return self._forced
+        return _profile.get_level() >= _profile.LEVEL_TRACE
+
+    def current(self) -> Optional[Span]:
+        """Capture the current span for explicit cross-thread propagation."""
+        if not self.enabled:
+            return None
+        return _current_span.get()
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        **attributes: object,
+    ) -> Iterator[Optional[Span]]:
+        """Open a span; yields it (or ``None`` when tracing is disabled).
+
+        The parent is ``parent`` if given, else the innermost open span in
+        the current context.  While the block runs, the new span is the
+        current context span, so nested calls chain automatically.
+        """
+        if not self.enabled:
+            yield None
+            return
+        if parent is None:
+            parent = _current_span.get()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = next(_ids)
+            parent_id = None
+        span = Span(name, trace_id, next(_ids), parent_id, dict(attributes))
+        token = _current_span.set(span)
+        span.start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - span.start
+            _current_span.reset(token)
+            self.sink.emit(span)
+
+    def start_leaf(
+        self, name: str, **attributes: object
+    ) -> Optional[Span]:
+        """Open a *leaf* span cheaply; close with :meth:`finish_leaf`.
+
+        The hot-path variant of :meth:`span` for spans that never have
+        children (``store.fetch``): it skips the generator context
+        manager and the contextvar swap, which at thousands of spans per
+        batch is most of the tracing cost.  The caller must not open
+        descendant spans before finishing it — they would mis-parent to
+        this span's parent.  Returns ``None`` when tracing is disabled.
+        """
+        if not self.enabled:
+            return None
+        parent = _current_span.get()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        else:
+            trace_id = next(_ids)
+            parent_id = None
+        # **attributes is already a fresh dict — no defensive copy needed
+        span = Span(name, trace_id, next(_ids), parent_id, attributes)
+        span.start = time.perf_counter()
+        return span
+
+    def finish_leaf(self, span: Optional[Span]) -> None:
+        """Close and emit a span opened by :meth:`start_leaf` (None ok)."""
+        if span is None:
+            return
+        span.duration = time.perf_counter() - span.start
+        self.sink.emit(span)
+
+    # ------------------------------------------------------------------
+    # Export / inspection
+    # ------------------------------------------------------------------
+
+    def spans(self) -> List[Span]:
+        return self.sink.spans()
+
+    def clear(self) -> None:
+        self.sink.clear()
+
+    def export_jsonl(self, path) -> int:
+        return self.sink.export_jsonl(path)
+
+    def __repr__(self) -> str:
+        return f"Tracer(enabled={self.enabled}, buffered={len(self.sink)})"

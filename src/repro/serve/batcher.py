@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence
 
@@ -110,6 +111,9 @@ class RequestBatcher:
             )
         self.query_engine = query_engine
         self.stats = query_engine.stats
+        #: The engine's span collector; worker-pool hops re-parent their
+        #: spans explicitly (contextvars don't cross executor threads).
+        self.tracer = query_engine.tracer
         if fresh_stats:
             self.reset_stats()
         self.max_queue_depth = max_queue_depth
@@ -157,22 +161,37 @@ class RequestBatcher:
                 )
                 return shed
             self._depth += 1
-            future = self._executor.submit(self._execute, request, key)
+            # Capture the submitter's active span *now*: the pool thread's
+            # contextvars won't see it, so _execute re-parents explicitly.
+            parent = self.tracer.current() if self.tracer.enabled else None
+            future = self._executor.submit(self._execute, request, key, parent)
             # _execute's cleanup also takes the lock, so the future cannot
             # be reaped before it is registered here.
             self._in_flight[key] = future
             return future
 
-    def _execute(self, request: QueryRequest, key: Hashable):
-        try:
-            if request.kind == PPR:
-                return self.query_engine.ppr(request.seed, request.length)
-            return self.query_engine.top_k(
-                request.seed,
-                request.k,
-                length=request.length,
-                exclude_friends=request.exclude_friends,
+    def _execute(self, request: QueryRequest, key: Hashable, parent=None):
+        tracer = self.tracer
+        span = (
+            tracer.span(
+                "serve.request",
+                parent=parent,
+                kind=request.kind,
+                seed=request.seed,
             )
+            if tracer.enabled
+            else nullcontext()
+        )
+        try:
+            with span:
+                if request.kind == PPR:
+                    return self.query_engine.ppr(request.seed, request.length)
+                return self.query_engine.top_k(
+                    request.seed,
+                    request.k,
+                    length=request.length,
+                    exclude_friends=request.exclude_friends,
+                )
         finally:
             with self._lock:
                 self._in_flight.pop(key, None)
@@ -240,31 +259,51 @@ class RequestBatcher:
         results: List[Optional[object]] = [None] * len(requests)
         if not admitted:
             return results
+        tracer = self.tracer
+        tracing = tracer.enabled
+        drain_span = (
+            tracer.span(
+                "serve.drain", requests=len(requests), admitted=len(admitted)
+            )
+            if tracing
+            else nullcontext()
+        )
         try:
-            # bounded-freshness engines repair-on-read: flush deferred
-            # repairs for this drain's seeds once, up front, so the
-            # concurrent chunks below never contend on the flush lock
-            self.query_engine.ensure_fresh_for(
-                {request.seed for request in admitted}
-            )
-            # one kernel invocation per worker pass: ceil-split the drain
-            # across the pool, capped at max_kernel_batch per invocation
-            chunk_size = min(
-                self.max_kernel_batch,
-                -(-len(admitted) // self._max_workers),
-            )
-            chunks = [
-                admitted[start : start + chunk_size]
-                for start in range(0, len(admitted), chunk_size)
-            ]
-            futures = [
-                self._executor.submit(self.query_engine.run_batch, chunk)
-                for chunk in chunks
-            ]
-            for chunk, future in zip(chunks, futures):
-                for request, value in zip(chunk, future.result()):
-                    for index in slots[self._key(request)]:
-                        results[index] = value
+            with drain_span:
+                # Chunks run on pool threads, where the drain span's
+                # contextvar is invisible — re-parent each chunk span.
+                parent = tracer.current() if tracing else None
+                # bounded-freshness engines repair-on-read: flush deferred
+                # repairs for this drain's seeds once, up front, so the
+                # concurrent chunks below never contend on the flush lock
+                self.query_engine.ensure_fresh_for(
+                    {request.seed for request in admitted}
+                )
+                # one kernel invocation per worker pass: ceil-split the drain
+                # across the pool, capped at max_kernel_batch per invocation
+                chunk_size = min(
+                    self.max_kernel_batch,
+                    -(-len(admitted) // self._max_workers),
+                )
+                chunks = [
+                    admitted[start : start + chunk_size]
+                    for start in range(0, len(admitted), chunk_size)
+                ]
+                if tracing:
+                    def run_chunk(chunk):
+                        with tracer.span(
+                            "serve.chunk", parent=parent, size=len(chunk)
+                        ):
+                            return self.query_engine.run_batch(chunk)
+                else:
+                    run_chunk = self.query_engine.run_batch
+                futures = [
+                    self._executor.submit(run_chunk, chunk) for chunk in chunks
+                ]
+                for chunk, future in zip(chunks, futures):
+                    for request, value in zip(chunk, future.result()):
+                        for index in slots[self._key(request)]:
+                            results[index] = value
         finally:
             with self._lock:
                 self._depth -= len(admitted)

@@ -52,6 +52,7 @@ from repro.core.query_kernel import QueryKernel
 from repro.core.scheduler import StalenessScheduler
 from repro.core.topk import TopKResult, walk_length_for_top_k
 from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, Tracer
 from repro.serve.cache import ResultCache
 from repro.serve.stats import ServeStats
 from repro.store.pagerank_store import FETCH_FULL
@@ -83,6 +84,8 @@ class QueryEngine:
         c: float = 5.0,
         use_kernel: bool = True,
         stats: Optional[ServeStats] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
         freshness: str = FRESHNESS_EAGER,
         staleness_budget: float = 0.05,
         scheduler: Optional[StalenessScheduler] = None,
@@ -114,6 +117,16 @@ class QueryEngine:
         share an externally-owned scheduler (e.g. one with a background
         worker); otherwise bounded mode creates and owns one, closed by
         :meth:`detach`.
+
+        ``registry`` is the observability plane's metric sink: serve
+        counters, kernel stage timings, and scheduler gauges all bill
+        into it (pass the *engine's* registry for a unified exposition;
+        default is a private one, so two QueryEngines over one
+        IncrementalPageRank keep independent serve counters).  Ignored
+        when an explicit ``stats`` object is supplied — the registry
+        behind ``stats`` wins.  ``tracer`` collects structured spans
+        (``serve.request`` → ``kernel.batch`` → ``store.fetch``); the
+        default :class:`~repro.obs.Tracer` is inert unless ``REPRO_OBS=2``.
         """
         if rng_seed < 0:
             raise ConfigurationError(f"rng_seed must be >= 0, got {rng_seed}")
@@ -139,7 +152,12 @@ class QueryEngine:
         self.fetch_cache = (
             FetchCache(capacity=fetch_cache_capacity) if share_fetches else None
         )
-        self.stats = stats if stats is not None else ServeStats()
+        self.stats = stats if stats is not None else ServeStats(registry=registry)
+        #: The metrics registry serve counters bill into (the one behind
+        #: :attr:`stats`); scrape with ``registry.render_prometheus()``.
+        self.registry = self.stats.registry
+        #: Span collector threaded through the kernel and scheduler.
+        self.tracer = tracer if tracer is not None else Tracer()
         if scheduler is not None:
             self.freshness = FRESHNESS_BOUNDED
             self.scheduler: Optional[StalenessScheduler] = scheduler
@@ -151,6 +169,7 @@ class QueryEngine:
                 staleness_budget=staleness_budget,
                 stats=self.stats,
                 clock=clock,
+                tracer=self.tracer,
             )
             self._owns_scheduler = True
         else:
@@ -163,7 +182,10 @@ class QueryEngine:
         #: The multi-seed batch kernel (None => scalar reference walker).
         self.kernel: Optional[QueryKernel] = (
             QueryKernel(
-                self.store, reset_probability=engine.reset_probability
+                self.store,
+                reset_probability=engine.reset_probability,
+                registry=self.registry,
+                tracer=self.tracer,
             )
             if use_kernel and self.store.fetch_mode == FETCH_FULL
             else None

@@ -6,65 +6,120 @@ production dashboard for a read-heavy store shows.  :class:`ServeStats` is
 the one object all serving components bill into; it is thread-safe because
 the :class:`~repro.serve.batcher.RequestBatcher` worker pool shares it.
 
+Since the observability plane landed (DESIGN.md §12), ``ServeStats`` is a
+thin view over a :class:`~repro.obs.MetricsRegistry`: every record lands
+in registry metrics (``repro_serve_*`` and ``repro_scheduler_*``), and the
+legacy attributes (``.queries``, ``.hit_rate``, …) read them back.  Pass a
+shared registry to get the serve tier into a unified Prometheus
+exposition; omit it and the stats own a private one.
+
 Latencies land in geometric buckets (factor 2 from 1 µs), so percentiles
-are bucket-resolution estimates: good enough to see a cache turning 10 ms
-walks into 10 µs lookups, with O(1) memory forever.
+are bucket-resolution estimates — interpolated within the containing
+bucket and clamped to the observed max, good enough to see a cache turning
+10 ms walks into 10 µs lookups, with O(1) memory forever.
 """
 
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    STEP_BUCKETS,
+)
 
 __all__ = ["ServeStats"]
 
-#: Bucket upper bounds in seconds: 1 µs · 2^i, i = 0 … 39 (~18 minutes).
-_BUCKET_BOUNDS = [1e-6 * (2.0**i) for i in range(40)]
-
-#: Kernel-batch-size bucket upper bounds: 1, 2, 4, … 4096 queries.
-_BATCH_BUCKET_BOUNDS = [2**i for i in range(13)]
-
-#: Steps(visits)-per-query bucket upper bounds: 1, 2, 4, … ~8M steps.
-_STEP_BUCKET_BOUNDS = [2**i for i in range(24)]
+#: Legacy aliases — the bucket schemes now live in :mod:`repro.obs.metrics`.
+_BUCKET_BOUNDS = list(LATENCY_BUCKETS)
+_BATCH_BUCKET_BOUNDS = [int(b) for b in BATCH_SIZE_BUCKETS]
+_STEP_BUCKET_BOUNDS = [int(b) for b in STEP_BUCKETS]
 
 
 class ServeStats:
-    """Counters + latency histogram for the query-serving layer."""
+    """Counters + latency histogram for the query-serving layer.
 
-    def __init__(self) -> None:
+    All counts are billed into (and read back from) ``self.registry``; the
+    public attribute/property surface is unchanged from the pre-registry
+    implementation.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
-        self.queries = 0
-        self.hits = 0
-        self.misses = 0
-        self.shed = 0
-        self.coalesced = 0
-        self.invalidated_results = 0
-        self.flushes = 0
-        self._latency_buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
-        self._latency_count = 0
-        self._latency_total = 0.0
-        self._latency_max = 0.0
-        #: Multi-seed query-kernel invocations and the queries they carried.
-        self.kernel_batches = 0
-        self.kernel_queries = 0
-        self._batch_size_buckets = [0] * (len(_BATCH_BUCKET_BOUNDS) + 1)
-        self._step_buckets = [0] * (len(_STEP_BUCKET_BOUNDS) + 1)
-        self._steps_total = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._queries = reg.counter(
+            "repro_serve_queries_total",
+            "Answered queries by result-cache outcome",
+            labels=("result",),
+        )
+        self._shed = reg.counter(
+            "repro_serve_shed_total", "Requests refused by admission control"
+        )
+        self._coalesced = reg.counter(
+            "repro_serve_coalesced_total",
+            "Duplicate in-flight requests folded into one computation",
+        )
+        self._invalidated = reg.counter(
+            "repro_serve_invalidated_results_total",
+            "Cached results dropped by mutation footprints",
+        )
+        self._flushes = reg.counter(
+            "repro_serve_cache_flushes_total", "Full result-cache flushes"
+        )
+        self._latency = reg.histogram(
+            "repro_serve_latency_seconds",
+            "Per-query serve latency",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._kernel_batches = reg.counter(
+            "repro_serve_kernel_batches_total",
+            "Multi-seed query-kernel invocations",
+        )
+        self._kernel_queries = reg.counter(
+            "repro_serve_kernel_queries_total",
+            "Cache-miss queries carried by kernel batches",
+        )
+        self._batch_size = reg.histogram(
+            "repro_serve_kernel_batch_size",
+            "Queries per kernel invocation",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._steps = reg.histogram(
+            "repro_serve_kernel_steps_per_query",
+            "Realized walk length (visits) per kernel-served query",
+            buckets=STEP_BUCKETS,
+        )
         #: Bounded-staleness scheduler accounting (PR 6).
-        self.deferred_events = 0
-        self.stale_depth = 0
-        self.max_stale_depth = 0
-        self.repairs = 0
-        self.repaired_events = 0
-        self.budget_repairs = 0
-        self.read_repairs = 0
-        self._repair_latency_buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
-        self._repair_latency_count = 0
-        self._repair_latency_total = 0.0
-        self._repair_latency_max = 0.0
+        self._deferred = reg.counter(
+            "repro_scheduler_deferred_events_total",
+            "Mutations queued by the staleness scheduler",
+        )
+        self._stale_depth = reg.gauge(
+            "repro_scheduler_stale_depth", "Current stale-queue depth"
+        )
+        self._stale_depth_max = reg.gauge(
+            "repro_scheduler_stale_depth_max",
+            "High-water mark of the stale-queue depth",
+        )
+        self._repairs = reg.counter(
+            "repro_scheduler_repairs_total",
+            "Scheduler flushes by trigger reason",
+            labels=("reason",),
+        )
+        self._repaired_events = reg.counter(
+            "repro_scheduler_repaired_events_total",
+            "Deferred arrivals drained by scheduler flushes",
+        )
+        self._repair_latency = reg.histogram(
+            "repro_scheduler_repair_latency_seconds",
+            "Per-flush repair latency",
+            buckets=LATENCY_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     # Recording
@@ -73,12 +128,8 @@ class ServeStats:
     def record_query(self, *, hit: bool, latency: float) -> None:
         """Bill one answered query (a shed request is *not* a query)."""
         with self._lock:
-            self.queries += 1
-            if hit:
-                self.hits += 1
-            else:
-                self.misses += 1
-            self._record_latency(latency)
+            self._queries.inc(result="hit" if hit else "miss")
+            self._latency.observe(latency)
 
     def reset(self) -> None:
         """Zero every counter and the latency histogram.
@@ -87,36 +138,30 @@ class ServeStats:
         engine's long-lived stats object; without a reset the second
         session's rates are polluted by the first session's counts (the
         regression ``tests/test_serve.py`` pins down).  Atomic with
-        respect to concurrent recording.
+        respect to concurrent recording.  Only the serve/scheduler metrics
+        this object owns are zeroed — other metrics in a shared registry
+        (store operations, kernel stages) are untouched.
         """
         with self._lock:
-            self.queries = 0
-            self.hits = 0
-            self.misses = 0
-            self.shed = 0
-            self.coalesced = 0
-            self.invalidated_results = 0
-            self.flushes = 0
-            self._latency_buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
-            self._latency_count = 0
-            self._latency_total = 0.0
-            self._latency_max = 0.0
-            self.kernel_batches = 0
-            self.kernel_queries = 0
-            self._batch_size_buckets = [0] * (len(_BATCH_BUCKET_BOUNDS) + 1)
-            self._step_buckets = [0] * (len(_STEP_BUCKET_BOUNDS) + 1)
-            self._steps_total = 0
-            self.deferred_events = 0
-            self.stale_depth = 0
-            self.max_stale_depth = 0
-            self.repairs = 0
-            self.repaired_events = 0
-            self.budget_repairs = 0
-            self.read_repairs = 0
-            self._repair_latency_buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
-            self._repair_latency_count = 0
-            self._repair_latency_total = 0.0
-            self._repair_latency_max = 0.0
+            for metric in (
+                self._queries,
+                self._shed,
+                self._coalesced,
+                self._invalidated,
+                self._flushes,
+                self._latency,
+                self._kernel_batches,
+                self._kernel_queries,
+                self._batch_size,
+                self._steps,
+                self._deferred,
+                self._stale_depth,
+                self._stale_depth_max,
+                self._repairs,
+                self._repaired_events,
+                self._repair_latency,
+            ):
+                metric.reset()
 
     def record_kernel_batch(self, batch_size: int, steps_per_query) -> None:
         """Bill one multi-seed kernel invocation.
@@ -131,28 +176,25 @@ class ServeStats:
                 f"batch_size must be positive, got {batch_size}"
             )
         with self._lock:
-            self.kernel_batches += 1
-            self.kernel_queries += batch_size
-            self._batch_size_buckets[
-                bisect_left(_BATCH_BUCKET_BOUNDS, batch_size)
-            ] += 1
+            self._kernel_batches.inc()
+            self._kernel_queries.inc(batch_size)
+            self._batch_size.observe(batch_size)
             for steps in steps_per_query:
-                self._step_buckets[bisect_left(_STEP_BUCKET_BOUNDS, steps)] += 1
-                self._steps_total += steps
+                self._steps.observe(steps)
 
     def record_shed(self) -> None:
         with self._lock:
-            self.shed += 1
+            self._shed.inc()
 
     def record_coalesced(self) -> None:
         with self._lock:
-            self.coalesced += 1
+            self._coalesced.inc()
 
     def record_invalidation(self, entries: int, *, flush: bool = False) -> None:
         with self._lock:
-            self.invalidated_results += entries
+            self._invalidated.inc(entries)
             if flush:
-                self.flushes += 1
+                self._flushes.inc()
 
     def record_deferred(self, events: int, depth: int) -> None:
         """Bill mutations queued by the staleness scheduler.
@@ -164,9 +206,9 @@ class ServeStats:
         if events <= 0:
             raise ConfigurationError(f"events must be positive, got {events}")
         with self._lock:
-            self.deferred_events += events
-            self.stale_depth = depth
-            self.max_stale_depth = max(self.max_stale_depth, depth)
+            self._deferred.inc(events)
+            self._stale_depth.set(depth)
+            self._stale_depth_max.set_max(depth)
 
     def record_repair(
         self, events: int, latency: float, *, reason: str = "manual", depth: int = 0
@@ -179,25 +221,78 @@ class ServeStats:
         depth left behind (normally 0).
         """
         with self._lock:
-            self.repairs += 1
-            self.repaired_events += events
-            if reason == "budget":
-                self.budget_repairs += 1
-            elif reason == "read":
-                self.read_repairs += 1
-            self.stale_depth = depth
-            self._repair_latency_buckets[
-                bisect_left(_BUCKET_BOUNDS, latency)
-            ] += 1
-            self._repair_latency_count += 1
-            self._repair_latency_total += latency
-            self._repair_latency_max = max(self._repair_latency_max, latency)
+            self._repairs.inc(reason=reason)
+            self._repaired_events.inc(events)
+            self._stale_depth.set(depth)
+            self._repair_latency.observe(latency)
 
-    def _record_latency(self, latency: float) -> None:
-        self._latency_buckets[bisect_left(_BUCKET_BOUNDS, latency)] += 1
-        self._latency_count += 1
-        self._latency_total += latency
-        self._latency_max = max(self._latency_max, latency)
+    # ------------------------------------------------------------------
+    # Legacy counter views
+    # ------------------------------------------------------------------
+
+    @property
+    def queries(self) -> int:
+        return int(self._queries.total())
+
+    @property
+    def hits(self) -> int:
+        return int(self._queries.value(result="hit"))
+
+    @property
+    def misses(self) -> int:
+        return int(self._queries.value(result="miss"))
+
+    @property
+    def shed(self) -> int:
+        return int(self._shed.total())
+
+    @property
+    def coalesced(self) -> int:
+        return int(self._coalesced.total())
+
+    @property
+    def invalidated_results(self) -> int:
+        return int(self._invalidated.total())
+
+    @property
+    def flushes(self) -> int:
+        return int(self._flushes.total())
+
+    @property
+    def kernel_batches(self) -> int:
+        return int(self._kernel_batches.total())
+
+    @property
+    def kernel_queries(self) -> int:
+        return int(self._kernel_queries.total())
+
+    @property
+    def deferred_events(self) -> int:
+        return int(self._deferred.total())
+
+    @property
+    def stale_depth(self) -> int:
+        return int(self._stale_depth.value())
+
+    @property
+    def max_stale_depth(self) -> int:
+        return int(self._stale_depth_max.value())
+
+    @property
+    def repairs(self) -> int:
+        return int(self._repairs.total())
+
+    @property
+    def repaired_events(self) -> int:
+        return int(self._repaired_events.total())
+
+    @property
+    def budget_repairs(self) -> int:
+        return int(self._repairs.value(reason="budget"))
+
+    @property
+    def read_repairs(self) -> int:
+        return int(self._repairs.value(reason="read"))
 
     # ------------------------------------------------------------------
     # Rates
@@ -205,111 +300,65 @@ class ServeStats:
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.queries if self.queries else 0.0
+        queries = self.queries
+        return self.hits / queries if queries else 0.0
 
     @property
     def shed_rate(self) -> float:
         """Fraction of *offered* load (queries + sheds) that was shed."""
-        offered = self.queries + self.shed
-        return self.shed / offered if offered else 0.0
+        shed = self.shed
+        offered = self.queries + shed
+        return shed / offered if offered else 0.0
 
     @property
     def mean_latency(self) -> float:
-        return (
-            self._latency_total / self._latency_count
-            if self._latency_count
-            else 0.0
-        )
+        return self._latency.mean()
 
     @property
     def max_latency(self) -> float:
-        return self._latency_max
+        return self._latency.max_value()
 
     @property
     def mean_kernel_batch(self) -> float:
         """Mean cache-miss queries per kernel invocation."""
-        return (
-            self.kernel_queries / self.kernel_batches
-            if self.kernel_batches
-            else 0.0
-        )
+        batches = self.kernel_batches
+        return self.kernel_queries / batches if batches else 0.0
 
     @property
     def mean_steps_per_query(self) -> float:
         """Mean realized walk length (visits) per kernel-served query."""
-        return (
-            self._steps_total / self.kernel_queries
-            if self.kernel_queries
-            else 0.0
-        )
+        kernel_queries = self.kernel_queries
+        return self._steps.sum_value() / kernel_queries if kernel_queries else 0.0
 
     @property
     def mean_repair_latency(self) -> float:
-        return (
-            self._repair_latency_total / self._repair_latency_count
-            if self._repair_latency_count
-            else 0.0
-        )
+        return self._repair_latency.mean()
 
     @property
     def max_repair_latency(self) -> float:
-        return self._repair_latency_max
+        return self._repair_latency.max_value()
 
     def repair_latency_percentile(self, p: float) -> float:
-        """Repair-latency percentile ``p`` in [0, 1] (bucket estimate)."""
-        if not 0.0 <= p <= 1.0:
-            raise ConfigurationError(f"percentile must be in [0, 1], got {p}")
-        with self._lock:
-            if not self._repair_latency_count:
-                return 0.0
-            rank = p * self._repair_latency_count
-            seen = 0
-            for index, count in enumerate(self._repair_latency_buckets):
-                seen += count
-                if seen >= rank:
-                    if index < len(_BUCKET_BOUNDS):
-                        return _BUCKET_BOUNDS[index]
-                    return self._repair_latency_max
-            return self._repair_latency_max
+        """Repair-latency percentile ``p`` in [0, 1] (interpolated)."""
+        return self._repair_latency.percentile(p)
 
     def kernel_batch_size_histogram(self) -> Dict[int, int]:
         """Nonzero batch-size buckets as ``{upper_bound: count}``."""
-        with self._lock:
-            return {
-                _BATCH_BUCKET_BOUNDS[index]: count
-                for index, count in enumerate(
-                    self._batch_size_buckets[: len(_BATCH_BUCKET_BOUNDS)]
-                )
-                if count
-            }
+        return {
+            int(bound): count
+            for bound, count in self._batch_size.bucket_counts().items()
+        }
 
     def steps_per_query_histogram(self) -> Dict[int, int]:
         """Nonzero steps-per-query buckets as ``{upper_bound: count}``."""
-        with self._lock:
-            return {
-                _STEP_BUCKET_BOUNDS[index]: count
-                for index, count in enumerate(
-                    self._step_buckets[: len(_STEP_BUCKET_BOUNDS)]
-                )
-                if count
-            }
+        return {
+            int(bound): count
+            for bound, count in self._steps.bucket_counts().items()
+        }
 
     def percentile(self, p: float) -> float:
-        """Latency percentile ``p`` in [0, 1] (bucket upper-bound estimate)."""
-        if not 0.0 <= p <= 1.0:
-            raise ConfigurationError(f"percentile must be in [0, 1], got {p}")
-        with self._lock:
-            if not self._latency_count:
-                return 0.0
-            rank = p * self._latency_count
-            seen = 0
-            for index, count in enumerate(self._latency_buckets):
-                seen += count
-                if seen >= rank:
-                    if index < len(_BUCKET_BOUNDS):
-                        return _BUCKET_BOUNDS[index]
-                    return self._latency_max
-            return self._latency_max
+        """Latency percentile ``p`` in [0, 1] (interpolated bucket estimate)."""
+        return self._latency.percentile(p)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -318,36 +367,33 @@ class ServeStats:
     def snapshot(self) -> Dict[str, float]:
         """All counters and headline rates, frozen (safe to keep around)."""
         with self._lock:
+            queries = self.queries
+            hits = self.hits
+            shed = self.shed
+            kernel_batches = self.kernel_batches
+            kernel_queries = self.kernel_queries
             return {
-                "queries": self.queries,
-                "hits": self.hits,
+                "queries": queries,
+                "hits": hits,
                 "misses": self.misses,
-                "shed": self.shed,
+                "shed": shed,
                 "coalesced": self.coalesced,
                 "invalidated_results": self.invalidated_results,
                 "flushes": self.flushes,
-                "hit_rate": self.hits / self.queries if self.queries else 0.0,
+                "hit_rate": hits / queries if queries else 0.0,
                 "shed_rate": (
-                    self.shed / (self.queries + self.shed)
-                    if (self.queries + self.shed)
-                    else 0.0
+                    shed / (queries + shed) if (queries + shed) else 0.0
                 ),
-                "mean_latency": (
-                    self._latency_total / self._latency_count
-                    if self._latency_count
-                    else 0.0
-                ),
-                "max_latency": self._latency_max,
-                "kernel_batches": self.kernel_batches,
-                "kernel_queries": self.kernel_queries,
+                "mean_latency": self._latency.mean(),
+                "max_latency": self._latency.max_value(),
+                "kernel_batches": kernel_batches,
+                "kernel_queries": kernel_queries,
                 "mean_kernel_batch": (
-                    self.kernel_queries / self.kernel_batches
-                    if self.kernel_batches
-                    else 0.0
+                    kernel_queries / kernel_batches if kernel_batches else 0.0
                 ),
                 "mean_steps_per_query": (
-                    self._steps_total / self.kernel_queries
-                    if self.kernel_queries
+                    self._steps.sum_value() / kernel_queries
+                    if kernel_queries
                     else 0.0
                 ),
                 "deferred_events": self.deferred_events,
@@ -357,12 +403,8 @@ class ServeStats:
                 "repaired_events": self.repaired_events,
                 "budget_repairs": self.budget_repairs,
                 "read_repairs": self.read_repairs,
-                "mean_repair_latency": (
-                    self._repair_latency_total / self._repair_latency_count
-                    if self._repair_latency_count
-                    else 0.0
-                ),
-                "max_repair_latency": self._repair_latency_max,
+                "mean_repair_latency": self._repair_latency.mean(),
+                "max_repair_latency": self._repair_latency.max_value(),
             }
 
     def render(self) -> str:

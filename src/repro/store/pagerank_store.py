@@ -71,6 +71,7 @@ class PageRankStore:
         fetch_mode: str = FETCH_FULL,
         include_in_neighbors: bool = False,
         stats: Optional[CallStats] = None,
+        registry=None,
     ) -> None:
         if fetch_mode not in (FETCH_FULL, FETCH_SAMPLED_EDGE):
             raise ConfigurationError(
@@ -86,7 +87,14 @@ class PageRankStore:
         )
         self.fetch_mode = fetch_mode
         self.include_in_neighbors = include_in_neighbors
-        self.stats = stats if stats is not None else CallStats()
+        #: ``registry`` mirrors the fetch/repair counters into a shared
+        #: :class:`~repro.obs.MetricsRegistry` under ``store="pagerank"``
+        #: (ignored when an explicit ``stats`` object is supplied).
+        self.stats = (
+            stats
+            if stats is not None
+            else CallStats(registry=registry, store="pagerank")
+        )
 
     # ------------------------------------------------------------------
     # Counters (the paper's W(v) and d(v))

@@ -29,13 +29,21 @@ class SocialStore:
         *,
         graph: Optional[DynamicDiGraph] = None,
         stats: Optional[CallStats] = None,
+        registry=None,
     ) -> None:
         if backend is not None and graph is not None:
             raise ValueError("pass either backend or graph, not both")
         if backend is None:
             backend = InMemoryGraphBackend(graph)
         self.backend = backend
-        self.stats = stats if stats is not None else CallStats()
+        #: ``registry`` mirrors the op counters into a shared
+        #: :class:`~repro.obs.MetricsRegistry` under ``store="social"``
+        #: (ignored when an explicit ``stats`` object is supplied).
+        self.stats = (
+            stats
+            if stats is not None
+            else CallStats(registry=registry, store="social")
+        )
         self._closed = False
 
     @classmethod

@@ -7,6 +7,13 @@ so experiments can read those units off directly.  :class:`LatencyModel`
 optionally converts operation counts into simulated wall-clock time, which
 lets the benchmarks report "what this would cost against a remote store"
 without any actual network.
+
+When constructed with a :class:`~repro.obs.MetricsRegistry`, every record
+is mirrored into the registry counter
+``repro_store_operations_total{store=<name>, operation=<op>}`` so the
+storage layer shows up in the unified Prometheus exposition.  The mirror
+is lifetime-cumulative (Prometheus counters are monotone); a local
+:meth:`CallStats.reset` starts a new *epoch* without rewinding it.
 """
 
 from __future__ import annotations
@@ -14,9 +21,31 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional
 
-__all__ = ["CallStats", "LatencyModel"]
+from repro.errors import StaleSnapshotError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CallStats", "CallSnapshot", "LatencyModel"]
+
+_STORE_OPS_METRIC = "repro_store_operations_total"
+
+
+class CallSnapshot(Dict[str, int]):
+    """A frozen counter copy stamped with the epoch it was taken in.
+
+    Behaves exactly like the plain dict :meth:`CallStats.snapshot` used to
+    return, plus an :attr:`epoch` used by :meth:`CallStats.delta_since` to
+    reject snapshots that predate a :meth:`CallStats.reset`.
+    """
+
+    __slots__ = ("epoch",)
+
+    def __init__(self, counts: Mapping[str, int], epoch: int) -> None:
+        super().__init__(counts)
+        self.epoch = epoch
 
 
 class CallStats:
@@ -28,11 +57,35 @@ class CallStats:
     ``snapshot`` is atomic with respect to in-flight records.  (The lock
     covers the *counters* only — store mutations must still not run
     concurrently with in-flight walks; see :mod:`repro.serve`.)
+
+    ``reset`` is epoch-stamped: a delta against a snapshot taken before
+    the reset raises :class:`~repro.errors.StaleSnapshotError` instead of
+    silently returning negative counts.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        registry: Optional["MetricsRegistry"] = None,
+        store: str = "store",
+    ) -> None:
         self._counts: Counter[str] = Counter()
         self._lock = threading.Lock()
+        self._epoch = 0
+        self.registry = registry
+        self.store = store
+        if registry is not None:
+            self._mirror = registry.counter(
+                _STORE_OPS_METRIC,
+                "Storage-layer operations by store and operation",
+                labels=("store", "operation"),
+            )
+        else:
+            self._mirror = None
+
+    @property
+    def epoch(self) -> int:
+        """The current counting epoch (bumped by every :meth:`reset`)."""
+        return self._epoch
 
     def record(self, operation: str, count: int = 1) -> None:
         """Count ``count`` occurrences of ``operation``."""
@@ -40,6 +93,8 @@ class CallStats:
             raise ValueError(f"count must be non-negative, got {count}")
         with self._lock:
             self._counts[operation] += count
+        if self._mirror is not None:
+            self._mirror.inc(count, store=self.store, operation=operation)
 
     def count(self, operation: str) -> int:
         return self._counts.get(operation, 0)
@@ -48,14 +103,23 @@ class CallStats:
         with self._lock:
             return sum(self._counts.values())
 
-    def snapshot(self) -> Dict[str, int]:
-        """A frozen copy of all counters (safe to keep around)."""
+    def snapshot(self) -> CallSnapshot:
+        """A frozen, epoch-stamped copy of all counters."""
         with self._lock:
-            return dict(self._counts)
+            return CallSnapshot(self._counts, self._epoch)
 
     def delta_since(self, snapshot: Mapping[str, int]) -> Dict[str, int]:
-        """Per-operation growth since a prior :meth:`snapshot`."""
-        current = self.snapshot()
+        """Per-operation growth since a prior :meth:`snapshot`.
+
+        Raises :class:`~repro.errors.StaleSnapshotError` if the snapshot
+        was taken before an intervening :meth:`reset` (plain mappings,
+        which carry no epoch, skip the check for backward compatibility).
+        """
+        with self._lock:
+            epoch = getattr(snapshot, "epoch", None)
+            if epoch is not None and epoch != self._epoch:
+                raise StaleSnapshotError(epoch, self._epoch)
+            current = dict(self._counts)
         return {
             op: current.get(op, 0) - snapshot.get(op, 0)
             for op in set(current) | set(snapshot)
@@ -63,14 +127,23 @@ class CallStats:
         }
 
     def reset(self) -> None:
+        """Zero the counters and start a new epoch.
+
+        The registry mirror (if any) is *not* rewound: Prometheus counters
+        are lifetime-monotone, and scrapers handle resets via ``rate()``.
+        """
         with self._lock:
             self._counts.clear()
+            self._epoch += 1
 
     def merge(self, other: "CallStats") -> None:
         """Fold another stats object into this one (fleet aggregation)."""
         theirs = other.snapshot()
         with self._lock:
             self._counts.update(theirs)
+        if self._mirror is not None:
+            for operation, count in theirs.items():
+                self._mirror.inc(count, store=self.store, operation=operation)
 
     def __iter__(self) -> Iterator[tuple[str, int]]:
         return iter(sorted(self.snapshot().items()))

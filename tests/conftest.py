@@ -6,6 +6,8 @@ statistical tolerances were calibrated once against those seeds.
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 import pytest
 
@@ -47,3 +49,92 @@ def random_graph() -> DynamicDiGraph:
 @pytest.fixture
 def pa_graph() -> DynamicDiGraph:
     return directed_preferential_attachment(300, edges_per_node=4, rng=11)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format (0.0.4) checker
+# ----------------------------------------------------------------------
+
+_PROM_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""  # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"  # more labels
+    r" (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN)$"
+)
+
+
+def assert_prometheus_text(exposition: str) -> None:
+    """Structural checker for the Prometheus text exposition format.
+
+    Every metric family must carry # HELP and # TYPE headers before its
+    samples; every sample line must parse; histogram families must end
+    each series with an ``le="+Inf"`` bucket whose value equals the
+    series' ``_count``, with non-decreasing (cumulative) buckets first.
+    """
+    assert exposition.endswith("\n"), "exposition must end with a newline"
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    current_family = None
+    # histogram bookkeeping, keyed "family|labels-without-le"
+    buckets: dict[str, list[float]] = {}
+    inf_buckets: dict[str, float] = {}
+    counts: dict[str, float] = {}
+
+    def series_key(family: str, line: str, drop_le: bool) -> str:
+        sample = line.rsplit(" ", 1)[0]
+        labels = ""
+        if "{" in sample:
+            labels = sample[sample.index("{") + 1 : sample.rindex("}")]
+        parts = [p for p in labels.split(",") if p]
+        if drop_le:
+            parts = [p for p in parts if not p.startswith("le=")]
+        return family + "|" + ",".join(sorted(parts))
+
+    for line in exposition.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            helped.add(line.split(" ", 3)[2])
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram", "untyped")
+            typed[name] = kind
+            current_family = name
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        assert _PROM_SAMPLE_RE.match(line), f"unparseable sample: {line!r}"
+        sample_name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        value = float(line.rsplit(" ", 1)[1])
+        family = current_family
+        assert family is not None and sample_name.startswith(family), (
+            f"sample {sample_name!r} outside its # TYPE family"
+        )
+        assert family in helped, f"family {family!r} missing # HELP"
+        if typed[family] == "histogram":
+            suffix = sample_name[len(family) :]
+            assert suffix in ("_bucket", "_sum", "_count"), (
+                f"unexpected histogram sample {sample_name!r}"
+            )
+            if suffix == "_bucket":
+                key = series_key(family, line, drop_le=True)
+                buckets.setdefault(key, []).append(value)
+                if 'le="+Inf"' in line:
+                    inf_buckets[key] = value
+            elif suffix == "_count":
+                counts[series_key(family, line, drop_le=False)] = value
+        elif typed[family] == "counter":
+            assert value >= 0, f"negative counter sample: {line!r}"
+
+    for key, values in buckets.items():
+        assert values == sorted(values), f"non-cumulative buckets: {key}"
+        assert key in inf_buckets, f"missing le=+Inf bucket: {key}"
+        assert key in counts, f"missing _count for histogram series: {key}"
+        assert counts[key] == inf_buckets[key], (
+            f"_count != +Inf bucket for {key}"
+        )
+
+
+@pytest.fixture
+def prometheus_checker():
+    return assert_prometheus_text

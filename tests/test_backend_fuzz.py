@@ -39,6 +39,9 @@ from repro.core.sharded_walks import ShardedWalkIndex
 from repro.core.topk import top_k_personalized
 from repro.core.walks import WalkStore
 from repro.graph.arrival import ArrivalEvent
+from repro.obs import MetricsRegistry
+from repro.serve import QueryEngine, QueryRequest, RequestBatcher
+from repro.serve.traffic import zipf_seed_sequence
 from repro.store.persistence import load_engine, save_engine
 from repro.workloads.twitter_like import twitter_like_graph
 
@@ -537,6 +540,110 @@ def test_fuzz_salsa_backends_long(seed, tmp_path):
 @pytest.mark.parametrize("seed", range(32, 36))
 def test_fuzz_scheduler_all_backends_long(seed, tmp_path):
     assert_backends_agree(seed, 110, tmp_path, BACKENDS, scheduler=True)
+
+
+def _run_serve_workload(seed: int) -> tuple:
+    """Drive a randomized Zipf serve workload with interleaved deferred
+    mutations; return (registry, service, scheduler, offered-request count).
+
+    Sized so every billing path fires: a small admission window forces
+    sheds, Zipf duplicates force coalescing, repeated drains force cache
+    hits, and scheduler mutations force both deferrals and repairs.
+    """
+    driver = np.random.default_rng(seed)
+    graph = twitter_like_graph(NUM_NODES, NUM_EDGES, rng=seed)
+    registry = MetricsRegistry()
+    engine = IncrementalPageRank.from_graph(
+        graph, walks_per_node=3, rng=seed + 1, registry=registry
+    )
+    service = QueryEngine(
+        engine,
+        rng_seed=7,
+        registry=registry,
+        freshness="bounded",
+        staleness_budget=0.05,
+    )
+    sched = service.scheduler
+    offered = 0
+    try:
+        with RequestBatcher(
+            service, max_workers=2, max_queue_depth=8
+        ) as batcher:
+            for _ in range(5):
+                requests = [
+                    QueryRequest(seed=s, k=5, length=250)
+                    for s in zipf_seed_sequence(
+                        20, NUM_NODES, rng=int(driver.integers(2**31))
+                    )
+                ]
+                offered += len(requests)
+                batcher.run(requests)
+                if driver.random() < 0.5:
+                    requests = requests[: int(driver.integers(1, 10))]
+                    offered += len(requests)
+                    batcher.run(requests)  # replay slice: cache hits
+                events = _toggle_events(
+                    [
+                        (
+                            int(driver.integers(NUM_NODES)),
+                            int(driver.integers(NUM_NODES)),
+                        )
+                        for _ in range(int(driver.integers(1, 6)))
+                    ],
+                    engine,
+                    sched,
+                )
+                if events:
+                    sched.apply_batch(events)
+    finally:
+        service.detach()  # terminal flush drains whatever is still queued
+    return registry, service, sched, offered
+
+
+@pytest.mark.parametrize("seed", [50, 51])
+def test_fuzz_metrics_consistency(seed):
+    """Registry series, legacy stats views, and the scheduler's own ledger
+    agree after a randomized serve workload (ISSUE-7's consistency check):
+    every offered request is billed exactly once, and no repair or store
+    operation escapes the unified exposition.
+    """
+    registry, service, sched, offered = _run_serve_workload(seed)
+    stats = service.stats
+
+    # serve accounting: answered splits into hit/miss; every offered
+    # request is exactly one of answered / shed / coalesced
+    assert stats.hits + stats.misses == stats.queries
+    assert stats.queries + stats.shed + stats.coalesced == offered
+    assert stats.hits > 0 and stats.misses > 0, "workload never exercised both outcomes"
+    queries = registry.counter("repro_serve_queries_total", labels=("result",))
+    assert queries.value(result="hit") == stats.hits
+    assert queries.value(result="miss") == stats.misses
+    assert queries.total() == stats.queries
+    latency = registry.histogram("repro_serve_latency_seconds")
+    assert latency.count() == stats.queries
+
+    # scheduler: the stats counters mirror the scheduler's own ledger
+    assert stats.deferred_events == sched.deferred_events
+    assert stats.repairs == sched.flushes
+    assert stats.repaired_events == sched.flushed_events
+    assert sched.deferred_events > 0 and sched.flushes > 0
+    assert sched.pending_events == 0  # detach drained the queue
+    repaired = registry.counter("repro_scheduler_repaired_events_total")
+    assert repaired.total() == sched.flushed_events
+    repairs = registry.counter(
+        "repro_scheduler_repairs_total", labels=("reason",)
+    )
+    assert repairs.total() == sched.flushes
+
+    # store: the CallStats ledger and its registry mirror are one series
+    store_stats = service.store.stats
+    mirror = registry.counter(
+        "repro_store_operations_total", labels=("store", "operation")
+    )
+    counts = dict(store_stats)
+    assert counts, "workload never touched the store"
+    for operation, count in counts.items():
+        assert mirror.value(store="pagerank", operation=operation) == count
 
 
 def test_sharded_store_class_is_used(tmp_path):

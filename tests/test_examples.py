@@ -74,6 +74,28 @@ def test_realtime_maintenance():
 
 
 @pytest.mark.slow
+def test_observability(tmp_path):
+    trace_out = tmp_path / "spans.jsonl"
+    result = _run(
+        "observability.py",
+        "--nodes", "300",
+        "--edges", "3600",
+        "--queries", "60",
+        "--rounds", "3",
+        "--trace-out", str(trace_out),
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Prometheus exposition (one registry, every layer)" in result.stdout
+    assert "metric families" in result.stdout
+    assert "exported" in result.stdout and "spans" in result.stdout
+    assert "one drain reconstructed from spans" in result.stdout
+    assert "serve.drain" in result.stdout
+    assert "kernel.batch" in result.stdout
+    assert "store.fetch" in result.stdout
+    assert trace_out.exists() and trace_out.stat().st_size > 0
+
+
+@pytest.mark.slow
 def test_capacity_planning():
     result = _run(
         "capacity_planning.py", "--nodes", "600", "--edges", "7200"

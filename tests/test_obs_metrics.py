@@ -1,0 +1,348 @@
+"""The metrics registry: primitives, exposition, and stack-wide coverage.
+
+Covers the ISSUE-7 observability plane at the metrics layer: counter /
+gauge / histogram semantics (labels, thread safety, snapshot deltas),
+interpolated percentiles on known distributions, both exposition formats
+(the Prometheus text checker lives in conftest), and the integration
+claim — one registry threaded through an engine + QueryEngine exposes
+serve, store, scheduler, and kernel series together.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.incremental import IncrementalPageRank
+from repro.errors import ConfigurationError
+from repro.graph.generators import directed_preferential_attachment
+from repro.obs import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.serve import QueryEngine, QueryRequest, RequestBatcher
+from repro.serve.stats import ServeStats
+
+
+# ----------------------------------------------------------------------
+# Primitives
+# ----------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("repro_serve_test_total", "t", labels=("result",))
+        hits.inc(result="hit")
+        hits.inc(2, result="miss")
+        assert hits.value(result="hit") == 1
+        assert hits.value(result="miss") == 2
+        assert hits.total() == 3
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_core_x_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_unknown_labels_rejected(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_core_y_total", labels=("kind",))
+        with pytest.raises(ConfigurationError):
+            counter.inc(wrong="x")
+        with pytest.raises(ConfigurationError):
+            counter.inc()  # missing the declared label
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("0bad")
+        with pytest.raises(ConfigurationError):
+            registry.counter("repro_ok_total", labels=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec_set_max(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("repro_scheduler_depth")
+        depth.set(5)
+        depth.inc(3)
+        depth.dec()
+        assert depth.value() == 7
+        high = registry.gauge("repro_scheduler_depth_max")
+        high.set_max(4)
+        high.set_max(2)
+        assert high.value() == 4
+
+
+class TestHistogram:
+    def test_observe_and_moments(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("repro_serve_lat_seconds")
+        for value in (0.001, 0.002, 0.004):
+            latency.observe(value)
+        assert latency.count() == 3
+        assert latency.sum_value() == pytest.approx(0.007)
+        assert latency.max_value() == pytest.approx(0.004)
+        assert latency.mean() == pytest.approx(0.007 / 3)
+
+    def test_overflow_bucket(self):
+        registry = MetricsRegistry()
+        sizes = registry.histogram("repro_serve_sizes", buckets=(1.0, 2.0, 4.0))
+        sizes.observe(100.0)
+        assert sizes.overflow_count() == 1
+        assert sizes.bucket_counts() == {}
+
+    def test_bad_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("repro_x_seconds", buckets=())
+        with pytest.raises(ConfigurationError):
+            registry.histogram("repro_y_seconds", buckets=(2.0, 1.0))
+
+    def test_percentile_empty_is_zero(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("repro_serve_lat_seconds")
+        assert latency.percentile(0.5) == 0.0
+        assert latency.percentile(0.99) == 0.0
+
+    def test_percentile_out_of_range_rejected(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("repro_serve_lat_seconds")
+        with pytest.raises(ConfigurationError):
+            latency.percentile(1.5)
+        with pytest.raises(ConfigurationError):
+            latency.percentile(-0.1)
+
+    def test_percentile_interpolates_within_bucket(self):
+        """A uniform grid lands near the true percentile, not the bucket top."""
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "repro_serve_lat_seconds", buckets=LATENCY_BUCKETS
+        )
+        # 1..1000 ms uniformly: true p50 = 0.5005 s
+        for i in range(1, 1001):
+            latency.observe(i / 1000.0)
+        p50 = latency.percentile(0.5)
+        assert abs(p50 - 0.5005) < 0.05  # within the bucket, not at 0.524
+        # p99 is clamped to the observed max
+        assert latency.percentile(1.0) == pytest.approx(1.0)
+        assert latency.percentile(0.99) <= 1.0
+
+    def test_percentile_single_observation(self):
+        registry = MetricsRegistry()
+        latency = registry.histogram("repro_serve_lat_seconds")
+        latency.observe(0.004)
+        # interpolation never exceeds the observed max, and p=1.0 is exact
+        assert 0.0 < latency.percentile(0.5) <= 0.004
+        assert latency.percentile(1.0) == pytest.approx(0.004)
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_serve_q_total", "queries", labels=("result",))
+        b = registry.counter("repro_serve_q_total", labels=("result",))
+        assert a is b
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_serve_q_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro_serve_q_total")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_serve_q_total", labels=("result",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("repro_serve_q_total", labels=("outcome",))
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_serve_b", buckets=BATCH_SIZE_BUCKETS)
+        with pytest.raises(ConfigurationError):
+            registry.histogram("repro_serve_b", buckets=LATENCY_BUCKETS)
+
+    def test_snapshot_and_delta(self):
+        registry = MetricsRegistry()
+        queries = registry.counter("repro_serve_q_total", labels=("result",))
+        latency = registry.histogram("repro_serve_lat_seconds")
+        queries.inc(result="hit")
+        latency.observe(0.001)
+        before = registry.snapshot()
+        assert before['repro_serve_q_total{result="hit"}'] == 1
+        assert before["repro_serve_lat_seconds_count"] == 1
+        queries.inc(result="hit")
+        queries.inc(result="miss")
+        latency.observe(0.002)
+        delta = registry.delta_since(before)
+        assert delta['repro_serve_q_total{result="hit"}'] == 1
+        assert delta['repro_serve_q_total{result="miss"}'] == 1
+        assert delta["repro_serve_lat_seconds_count"] == 1
+        assert delta["repro_serve_lat_seconds_sum"] == pytest.approx(0.002)
+
+    def test_reset_zeroes_but_keeps_registration(self):
+        registry = MetricsRegistry()
+        queries = registry.counter("repro_serve_q_total", labels=("result",))
+        queries.inc(result="hit")
+        registry.reset()
+        assert queries.value(result="hit") == 0
+        assert registry.get("repro_serve_q_total") is queries
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_core_ops_total")
+        latency = registry.histogram("repro_core_lat_seconds")
+
+        def hammer():
+            for _ in range(5000):
+                counter.inc()
+                latency.observe(0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 20_000
+        assert latency.count() == 20_000
+
+
+# ----------------------------------------------------------------------
+# Exposition
+# ----------------------------------------------------------------------
+
+
+class TestExposition:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        queries = registry.counter(
+            "repro_serve_queries_total", "Answered queries", labels=("result",)
+        )
+        queries.inc(result="hit")
+        queries.inc(3, result="miss")
+        depth = registry.gauge("repro_scheduler_stale_depth", "Queue depth")
+        depth.set(17)
+        latency = registry.histogram(
+            "repro_serve_latency_seconds", "Serve latency"
+        )
+        latency.observe(0.0005)
+        latency.observe(0.003)
+        latency.observe(1e7)  # above the last latency bound: overflow
+        return registry
+
+    def test_prometheus_format_is_valid(self, prometheus_checker):
+        prometheus_checker(self._populated().render_prometheus())
+
+    def test_prometheus_content(self):
+        text = self._populated().render_prometheus()
+        assert "# HELP repro_serve_queries_total Answered queries" in text
+        assert "# TYPE repro_serve_queries_total counter" in text
+        assert 'repro_serve_queries_total{result="miss"} 3' in text
+        assert "repro_scheduler_stale_depth 17" in text
+        assert 'le="+Inf"} 3' in text
+        assert "repro_serve_latency_seconds_count 3" in text
+
+    def test_label_escaping(self, prometheus_checker):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_serve_odd_total", labels=("tag",))
+        counter.inc(tag='quote " backslash \\ newline \n done')
+        text = registry.render_prometheus()
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        prometheus_checker(text)
+
+    def test_to_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(self._populated().to_dict()))
+        queries = payload["repro_serve_queries_total"]
+        assert queries["type"] == "counter"
+        assert {"labels": {"result": "miss"}, "value": 3.0} in queries["series"]
+        latency = payload["repro_serve_latency_seconds"]
+        assert latency["series"][0]["count"] == 3
+        assert latency["series"][0]["overflow"] == 1
+
+
+# ----------------------------------------------------------------------
+# Integration: one registry across the whole stack
+# ----------------------------------------------------------------------
+
+
+class TestStackExposition:
+    def test_unified_registry_covers_every_layer(self, prometheus_checker):
+        graph = directed_preferential_attachment(120, edges_per_node=3, rng=3)
+        registry = MetricsRegistry()
+        engine = IncrementalPageRank.from_graph(
+            graph, walks_per_node=4, rng=1, registry=registry
+        )
+        service = QueryEngine(
+            engine, rng_seed=7, registry=registry, freshness="bounded"
+        )
+        try:
+            with RequestBatcher(service, max_workers=2) as batcher:
+                batcher.run(
+                    [
+                        QueryRequest(seed=s % 40, k=5, length=300)
+                        for s in range(30)
+                    ]
+                )
+                service.scheduler.add_edge(0, 119)
+                service.scheduler.flush()
+                batcher.run([QueryRequest(seed=0, k=5, length=300)])
+        finally:
+            service.detach()
+
+        text = registry.render_prometheus()
+        prometheus_checker(text)
+        # the acceptance: serve + store + scheduler + kernel series in
+        # ONE exposition
+        for needle in (
+            'repro_serve_queries_total{result="miss"}',
+            'repro_store_operations_total{store="pagerank",operation="fetch"}',
+            "repro_scheduler_repairs_total",
+            "repro_kernel_batches_total",
+            "repro_core_mutations_total",
+        ):
+            assert needle in text, f"exposition missing {needle}"
+        # snapshot agrees with the objects the layers already expose
+        snapshot = registry.snapshot()
+        assert (
+            snapshot['repro_serve_queries_total{result="miss"}']
+            + snapshot.get('repro_serve_queries_total{result="hit"}', 0.0)
+            == service.stats.queries
+        )
+        assert (
+            snapshot[
+                'repro_store_operations_total{store="pagerank",operation="fetch"}'
+            ]
+            == engine.pagerank_store.stats.count("fetch")
+        )
+
+    def test_default_serve_stats_registries_are_private(self):
+        """Two QueryEngines without an explicit registry stay independent."""
+        graph = directed_preferential_attachment(60, edges_per_node=3, rng=3)
+        engine = IncrementalPageRank.from_graph(graph, walks_per_node=4, rng=1)
+        a = QueryEngine(engine, rng_seed=1)
+        b = QueryEngine(engine, rng_seed=2)
+        try:
+            a.ppr(3, 200)
+            assert a.stats.queries == 1
+            assert b.stats.queries == 0
+            assert a.registry is not b.registry
+        finally:
+            a.detach()
+            b.detach()
+
+    def test_serve_stats_shared_registry_merges_exposition(self):
+        registry = MetricsRegistry()
+        stats = ServeStats(registry=registry)
+        stats.record_query(hit=False, latency=0.001)
+        assert (
+            registry.snapshot()['repro_serve_queries_total{result="miss"}'] == 1
+        )

@@ -630,7 +630,10 @@ class TestRequestBatcher:
         assert stats.repairs == 1 and stats.budget_repairs == 1
         assert stats.read_repairs == 0
         assert stats.mean_repair_latency == pytest.approx(0.004)
-        assert stats.repair_latency_percentile(0.5) >= 0.004
+        # Interpolated-within-bucket estimate: inside the containing
+        # geometric bucket and never above the observed max.
+        assert 0.002048 < stats.repair_latency_percentile(0.5) <= 0.004
+        assert stats.repair_latency_percentile(1.0) == pytest.approx(0.004)
         with pytest.raises(ConfigurationError):
             stats.record_deferred(0, depth=0)
         with pytest.raises(ConfigurationError):
@@ -865,3 +868,29 @@ class TestTraffic:
         assert "hit rate" in stats.render()
         with pytest.raises(ConfigurationError):
             stats.percentile(1.5)
+
+    def test_serve_stats_percentiles_interpolate_within_buckets(self):
+        """ISSUE-7 regression: p50/p99 interpolate, not bucket-top snap.
+
+        1..1000 ms uniform: the factor-2 bucket containing p50 spans
+        (256 ms, 512 ms], so the old bucket-upper-bound estimate was
+        locked to 0.512; interpolation must land near the true 0.5005.
+        """
+        stats = ServeStats()
+        for i in range(1, 1001):
+            stats.record_query(hit=False, latency=i / 1000.0)
+        assert abs(stats.percentile(0.5) - 0.5005) < 0.05
+        # p99 true value 0.99005 sits in the (0.512, 1.024] bucket; the
+        # estimate interpolates within it and never exceeds the max
+        assert 0.512 < stats.percentile(0.99) <= 1.0
+        assert stats.percentile(1.0) == pytest.approx(1.0)
+
+    def test_serve_stats_percentiles_empty_and_single(self):
+        stats = ServeStats()
+        assert stats.percentile(0.5) == 0.0  # empty histogram: 0.0
+        assert stats.repair_latency_percentile(0.99) == 0.0
+        stats.record_query(hit=False, latency=0.003)
+        # one observation: every percentile is clamped to it exactly at
+        # p=1.0 and never exceeds it below
+        assert 0.0 < stats.percentile(0.5) <= 0.003
+        assert stats.percentile(1.0) == pytest.approx(0.003)

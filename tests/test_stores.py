@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core.monte_carlo import build_walk_store
 from repro.core.walks import END_RESET, WalkSegment
-from repro.errors import ConfigurationError, StoreClosedError
+from repro.errors import ConfigurationError, StaleSnapshotError, StoreClosedError
 from repro.graph.digraph import DynamicDiGraph
 from repro.store.backend import GraphBackend, InMemoryGraphBackend
 from repro.store.pagerank_store import FETCH_SAMPLED_EDGE, PageRankStore
@@ -62,6 +64,103 @@ class TestCallStats:
         model = LatencyModel(per_operation={"fetch": 0.002}, default_latency=0.0001)
         assert model.simulated_seconds(stats) == pytest.approx(0.02 + 0.01)
         assert model.simulated_seconds_for("fetch", 5) == pytest.approx(0.01)
+
+    def test_reset_bumps_epoch_and_stale_snapshot_raises(self):
+        """ISSUE-7: a delta spanning a reset fails loudly, not negatively."""
+        stats = CallStats()
+        stats.record("fetch", 3)
+        snap = stats.snapshot()
+        assert snap.epoch == 0
+        stats.reset()
+        assert stats.epoch == 1
+        with pytest.raises(StaleSnapshotError) as excinfo:
+            stats.delta_since(snap)
+        assert excinfo.value.snapshot_epoch == 0
+        assert excinfo.value.current_epoch == 1
+        # a fresh snapshot works again
+        stats.record("fetch", 2)
+        assert stats.delta_since(stats.snapshot()) == {}
+
+    def test_plain_dict_snapshot_skips_epoch_check(self):
+        stats = CallStats()
+        stats.record("fetch", 2)
+        before = dict(stats.snapshot())  # legacy shape: no epoch attribute
+        stats.reset()
+        assert stats.delta_since(before) == {"fetch": -2}
+
+    def test_concurrent_records_and_resets_never_corrupt(self):
+        """Epoch stamping under a racing reset: deltas either succeed with
+        non-negative counts or raise StaleSnapshotError — never silently
+        return garbage."""
+        stats = CallStats()
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            while not stop.is_set():
+                stats.record("fetch")
+
+        def resetter():
+            for _ in range(200):
+                stats.reset()
+
+        def differ():
+            for _ in range(500):
+                snap = stats.snapshot()
+                stats.record("fetch")
+                try:
+                    delta = stats.delta_since(snap)
+                except StaleSnapshotError:
+                    continue  # the legal racing outcome
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                else:
+                    if any(count < 0 for count in delta.values()):
+                        errors.append(
+                            AssertionError(f"negative delta: {delta}")
+                        )
+
+        threads = [
+            threading.Thread(target=writer),
+            threading.Thread(target=resetter),
+            threading.Thread(target=differ),
+            threading.Thread(target=differ),
+        ]
+        for thread in threads[1:]:
+            thread.start()
+        threads[0].start()
+        for thread in threads[1:]:
+            thread.join()
+        stop.set()
+        threads[0].join()
+        assert not errors, errors[0]
+
+    def test_registry_mirror_is_lifetime_monotone(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = CallStats(registry=registry, store="social")
+        stats.record("fetch", 3)
+        stats.reset()  # local counters rewind, the mirror must not
+        stats.record("fetch", 2)
+        assert stats.count("fetch") == 2
+        mirror = registry.counter(
+            "repro_store_operations_total", labels=("store", "operation")
+        )
+        assert mirror.value(store="social", operation="fetch") == 5
+
+    def test_merge_updates_mirror(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = CallStats(registry=registry, store="pagerank")
+        other = CallStats()
+        other.record("fetch", 4)
+        stats.merge(other)
+        mirror = registry.counter(
+            "repro_store_operations_total", labels=("store", "operation")
+        )
+        assert mirror.value(store="pagerank", operation="fetch") == 4
 
 
 class TestSocialStore:
