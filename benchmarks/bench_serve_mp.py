@@ -1,0 +1,97 @@
+"""E-SERVE-MP: multi-process serve tier — correctness gate + worker scaling.
+
+Two tests over :func:`repro.experiments.exp_serve_mp.run_serve_mp`:
+
+* the ungated **differential** test proves multi-process answers are
+  bit-identical to single-process serving over an interleaved
+  query/update/epoch-bump schedule (this must hold on any machine);
+* the **scaling** test asserts ≥2.5× sustained qps at 4 workers vs 1 —
+  gated on ``os.cpu_count() >= 4``, since worker processes can only beat
+  one process when they have cores to land on.
+
+Set ``REPRO_BENCH_FAST=1`` for smoke-test scale (CI).  When
+``REPRO_BENCH_JSON`` names a path, the machine-readable qps/latency
+extras are written there for ``benchmarks/run_bench.py`` to fold into
+its ``BENCH_serve_mp.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.exp_serve_mp import run_serve_mp
+
+FAST_MODE = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+PARAMS = (
+    {
+        "num_nodes": 300,
+        "num_edges": 3_600,
+        "num_queries": 80,
+        "sustained_queries": 200,
+        "seed_pool_size": 40,
+        "walk_length": 200,
+        "wave_size": 50,
+        "rng": 42,
+    }
+    if FAST_MODE
+    else {
+        "num_nodes": 1200,
+        "num_edges": 14_400,
+        "num_queries": 300,
+        "sustained_queries": 600,
+        "seed_pool_size": 60,
+        "walk_length": 400,
+        "wave_size": 100,
+        "rng": 42,
+    }
+)
+
+
+def _emit_json(result) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "experiment": result.experiment_id,
+                "rows": result.rows,
+                "notes": result.notes,
+                **result.extras,
+            },
+            fh,
+            indent=2,
+        )
+
+
+def test_mp_differential(benchmark, once):
+    """mp answers == single-process answers, across epoch bumps."""
+    result = once(benchmark, run_serve_mp, worker_counts=(1, 2), **PARAMS)
+    tally = result.extras["differential"]
+    assert tally["total"] > 0
+    assert tally["matched"] == tally["total"], result.notes
+    _emit_json(result)
+    print()
+    print(result.render())
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="worker scaling needs >= 4 cores to be meaningful",
+)
+def test_mp_scaling(benchmark, once):
+    """>= 2.5x sustained qps at 4 workers vs 1 (the ISSUE acceptance)."""
+    result = once(benchmark, run_serve_mp, worker_counts=(1, 4), **PARAMS)
+    tally = result.extras["differential"]
+    assert tally["matched"] == tally["total"], result.notes
+    qps = result.extras["qps_by_workers"]
+    assert qps["4"] >= 2.5 * qps["1"], (
+        f"4-worker qps {qps['4']:.1f} < 2.5x 1-worker qps {qps['1']:.1f}"
+    )
+    _emit_json(result)
+    print()
+    print(result.render())

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Run benchmark modules and persist ``BENCH_<name>.json`` artifacts.
+
+Each ``benchmarks/bench_<name>.py`` is executed as its own pytest
+subprocess, and one JSON artifact per bench records what a tracking
+dashboard needs:
+
+* ``duration_seconds`` — wall time of the whole bench module;
+* ``max_rss_kb`` — peak resident set of the bench subprocess tree
+  (:func:`resource.getrusage` with ``RUSAGE_CHILDREN``, so worker
+  processes spawned by the multi-process benches are counted);
+* ``metrics`` — whatever the bench itself emitted through the
+  ``REPRO_BENCH_JSON`` contract (``bench_serve_mp`` writes its qps /
+  latency / differential extras; benches without an emitter leave this
+  null);
+* pass/fail (``returncode``) and the trailing pytest output lines.
+
+Usage::
+
+    python benchmarks/run_bench.py serve_mp            # one bench
+    python benchmarks/run_bench.py serve_mp serve      # several
+    python benchmarks/run_bench.py --all --fast        # everything, CI scale
+    python benchmarks/run_bench.py serve_mp --out-dir /tmp/artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def discover() -> list[str]:
+    return sorted(
+        path.stem[len("bench_") :]
+        for path in BENCH_DIR.glob("bench_*.py")
+    )
+
+
+def run_bench(
+    name: str, out_dir: Path, *, fast: bool, extra_args: list[str]
+) -> dict:
+    """Run one bench module; write and return its artifact dict."""
+    bench_file = BENCH_DIR / f"bench_{name}.py"
+    if not bench_file.is_file():
+        raise SystemExit(
+            f"no such bench {name!r}; known: {', '.join(discover())}"
+        )
+    env = dict(os.environ)
+    if fast:
+        env["REPRO_BENCH_FAST"] = "1"
+    with tempfile.NamedTemporaryFile(
+        mode="r", suffix=".json", prefix=f"bench-{name}-", delete=False
+    ) as metrics_file:
+        metrics_path = Path(metrics_file.name)
+    env["REPRO_BENCH_JSON"] = str(metrics_path)
+
+    before = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    started = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", str(bench_file), "-q", *extra_args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(BENCH_DIR.parent),
+    )
+    duration = time.perf_counter() - started
+    # ru_maxrss is a high-water mark over all reaped children; the delta
+    # only moves when this bench out-peaked every earlier one, so the
+    # first (or largest) bench of a session reports exactly, later
+    # smaller ones report the session peak as an upper bound
+    max_rss = max(
+        before, resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    )
+
+    metrics = None
+    try:
+        text = metrics_path.read_text(encoding="utf-8")
+        if text.strip():
+            metrics = json.loads(text)
+    except (OSError, ValueError):
+        metrics = None
+    finally:
+        try:
+            metrics_path.unlink()
+        except OSError:
+            pass
+
+    artifact = {
+        "bench": name,
+        "returncode": completed.returncode,
+        "passed": completed.returncode == 0,
+        "fast_mode": fast,
+        "duration_seconds": round(duration, 3),
+        "max_rss_kb": max_rss,
+        "metrics": metrics,
+        "tail": completed.stdout.splitlines()[-12:],
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{name}.json"
+    out_path.write_text(json.dumps(artifact, indent=2), encoding="utf-8")
+    status = "ok" if artifact["passed"] else f"FAIL (rc={completed.returncode})"
+    print(f"bench_{name}: {status} in {duration:.1f}s -> {out_path}")
+    if not artifact["passed"]:
+        sys.stdout.write(completed.stdout[-2000:])
+        sys.stderr.write(completed.stderr[-2000:])
+    return artifact
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "benches",
+        nargs="*",
+        help="bench names without the bench_ prefix (e.g. serve_mp)",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every bench_*.py module"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="set REPRO_BENCH_FAST=1 (smoke-test scale)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=BENCH_DIR / "artifacts",
+        help="artifact directory (default benchmarks/artifacts)",
+    )
+    parser.add_argument(
+        "--pytest-arg",
+        action="append",
+        default=[],
+        help="extra argument forwarded to pytest (repeatable)",
+    )
+    args = parser.parse_args()
+    names = discover() if args.all else args.benches
+    if not names:
+        parser.error("name at least one bench or pass --all")
+    artifacts = [
+        run_bench(name, args.out_dir, fast=args.fast, extra_args=args.pytest_arg)
+        for name in names
+    ]
+    return 0 if all(a["passed"] for a in artifacts) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

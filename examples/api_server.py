@@ -1,0 +1,341 @@
+#!/usr/bin/env python
+"""HTTP façade over the multi-process serve tier.
+
+A minimal asyncio HTTP/1.1 server (stdlib only) in front of a
+:class:`~repro.serve.frontend.MultiProcessFrontend`: queries fan out to
+read-only worker processes attached to mmap'd walk-arena snapshots, edge
+ingest mutates the coordinator's private engine and publishes a new arena
+generation (the epoch-bump protocol — workers swap between drains, every
+answer comes from one consistent epoch).
+
+Endpoints::
+
+    GET  /healthz                     liveness + generation + workers
+    GET  /topk?seed=S&k=K[&length=L]  top-K personalized ranking for S
+    GET  /ppr?seed=S&length=L         full PPR walk (top visit counts)
+    POST /edges   {"edges": [[u,v],…]}  ingest + epoch bump
+    GET  /metrics                     Prometheus exposition (repro_serve_mp_*)
+
+Run:  python examples/api_server.py [--nodes 600] [--workers 2] [--port 8080]
+      python examples/api_server.py --self-test   # start, probe, stop
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from urllib.parse import parse_qs, urlsplit
+
+from repro.core.incremental import IncrementalPageRank
+from repro.errors import LoadShedError, ReproError
+from repro.graph.arrival import ArrivalEvent
+from repro.serve import MultiProcessFrontend, QueryRequest
+from repro.workloads.twitter_like import twitter_like_stream
+
+MAX_BODY = 1 << 20
+
+
+def build_frontend(args: argparse.Namespace) -> MultiProcessFrontend:
+    stream = twitter_like_stream(args.nodes, args.edges, rng=args.seed)
+    engine = IncrementalPageRank.from_graph(
+        stream.snapshot_at(int(len(stream) * 0.9)),
+        walks_per_node=args.walks,
+        rng=args.seed,
+    )
+    return MultiProcessFrontend(
+        engine,
+        num_workers=args.workers,
+        max_in_flight=args.max_in_flight,
+    )
+
+
+def _http_response(
+    status: str, body: bytes, content_type: str = "application/json"
+) -> bytes:
+    head = (
+        f"HTTP/1.1 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _json_response(status: str, payload: dict) -> bytes:
+    return _http_response(status, json.dumps(payload).encode("utf-8"))
+
+
+def _error(status: str, message: str) -> bytes:
+    return _json_response(status, {"error": message})
+
+
+def _int_param(params: dict, name: str, default=None) -> int:
+    values = params.get(name)
+    if not values:
+        if default is None:
+            raise ValueError(f"missing required parameter {name!r}")
+        return default
+    return int(values[0])
+
+
+class ApiServer:
+    """Routes HTTP requests onto the frontend's asyncio façade."""
+
+    def __init__(self, frontend: MultiProcessFrontend) -> None:
+        self.frontend = frontend
+        self.engine = frontend.engine
+
+    async def handle(self, reader, writer) -> None:
+        try:
+            response = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 - surface as 500, keep serving
+            response = _error("500 Internal Server Error", str(exc))
+        try:
+            writer.write(response)
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _respond(self, reader) -> bytes:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return _error("400 Bad Request", "malformed request line")
+        method, target, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > MAX_BODY:
+            return _error("413 Payload Too Large", "body too large")
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        url = urlsplit(target)
+        params = parse_qs(url.query)
+
+        if method == "GET" and url.path == "/healthz":
+            return _json_response(
+                "200 OK",
+                {
+                    "status": "ok",
+                    "generation": self.frontend.generation,
+                    "workers": self.frontend.num_workers,
+                    "in_flight": self.frontend.in_flight,
+                },
+            )
+        if method == "GET" and url.path == "/metrics":
+            return _http_response(
+                "200 OK",
+                self.frontend.registry.render_prometheus().encode("utf-8"),
+                content_type="text/plain; version=0.0.4",
+            )
+        if method == "GET" and url.path == "/topk":
+            return await self._topk(params)
+        if method == "GET" and url.path == "/ppr":
+            return await self._ppr(params)
+        if method == "POST" and url.path == "/edges":
+            return await self._ingest(body)
+        return _error("404 Not Found", f"no route for {method} {url.path}")
+
+    async def _topk(self, params: dict) -> bytes:
+        try:
+            seed = _int_param(params, "seed")
+            k = _int_param(params, "k", 10)
+            length = params.get("length")
+            request = QueryRequest(
+                kind="topk",
+                seed=seed,
+                k=k,
+                length=int(length[0]) if length else None,
+            )
+        except (ValueError, ReproError) as exc:
+            return _error("400 Bad Request", str(exc))
+        try:
+            result = await self.frontend.asubmit(request)
+        except LoadShedError as exc:
+            return _error("503 Service Unavailable", str(exc))
+        if result is None:  # worker-side shed
+            return _error("503 Service Unavailable", "request shed by worker")
+        return _json_response(
+            "200 OK",
+            {
+                "seed": result.seed,
+                "k": result.k,
+                "walk_length": result.walk_length,
+                "ranking": result.ranking,
+                "generation": self.frontend.generation,
+            },
+        )
+
+    async def _ppr(self, params: dict) -> bytes:
+        try:
+            request = QueryRequest(
+                kind="ppr",
+                seed=_int_param(params, "seed"),
+                length=_int_param(params, "length"),
+            )
+        except (ValueError, ReproError) as exc:
+            return _error("400 Bad Request", str(exc))
+        try:
+            result = await self.frontend.asubmit(request)
+        except LoadShedError as exc:
+            return _error("503 Service Unavailable", str(exc))
+        if result is None:
+            return _error("503 Service Unavailable", "request shed by worker")
+        top = sorted(
+            result.visit_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:50]
+        return _json_response(
+            "200 OK",
+            {
+                "seed": result.seed,
+                "length": result.length,
+                "visits": [[int(n), int(c)] for n, c in top],
+                "generation": self.frontend.generation,
+            },
+        )
+
+    async def _ingest(self, body: bytes) -> bytes:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            edges = [(int(u), int(v)) for u, v in payload["edges"]]
+        except (ValueError, KeyError, TypeError) as exc:
+            return _error("400 Bad Request", f"bad edge payload: {exc}")
+        graph = self.engine.graph
+        events, skipped = [], 0
+        fresh = set()
+        for u, v in edges:
+            if (
+                u == v
+                or not (0 <= u < graph.num_nodes)
+                or not (0 <= v < graph.num_nodes)
+                or graph.has_edge(u, v)
+                or (u, v) in fresh
+            ):
+                skipped += 1
+                continue
+            fresh.add((u, v))
+            events.append(ArrivalEvent("add", u, v))
+        if events:
+            self.engine.apply_batch(events)
+            # publish_epoch blocks on worker acks — keep the loop free
+            generation = await asyncio.get_running_loop().run_in_executor(
+                None, self.frontend.publish_epoch
+            )
+        else:
+            generation = self.frontend.generation
+        return _json_response(
+            "200 OK",
+            {"applied": len(events), "skipped": skipped, "generation": generation},
+        )
+
+
+async def serve(args: argparse.Namespace) -> None:
+    frontend = build_frontend(args)
+    api = ApiServer(frontend)
+    server = await asyncio.start_server(api.handle, args.host, args.port)
+    address = server.sockets[0].getsockname()
+    print(f"serving on http://{address[0]}:{address[1]} "
+          f"({frontend.num_workers} workers, generation {frontend.generation})")
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        frontend.close()
+
+
+async def _fetch(host: str, port: int, request: str, body: bytes = b"") -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    head = request
+    if body:
+        head += f"Content-Length: {len(body)}\r\n"
+    writer.write(head.encode("ascii") + b"\r\n" + body)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status = raw.split(b"\r\n", 1)[0].decode("latin-1")
+    payload = raw.split(b"\r\n\r\n", 1)[1]
+    return {"status": status, "body": payload}
+
+
+async def self_test(args: argparse.Namespace) -> None:
+    """Start the server on an ephemeral port, probe every route, stop."""
+    frontend = build_frontend(args)
+    api = ApiServer(frontend)
+    server = await asyncio.start_server(api.handle, "127.0.0.1", 0)
+    host, port = server.sockets[0].getsockname()[:2]
+    try:
+        health = await _fetch(port=port, host=host, request="GET /healthz HTTP/1.1\r\n")
+        assert "200" in health["status"], health
+        assert json.loads(health["body"])["status"] == "ok"
+
+        topk = await _fetch(host, port, "GET /topk?seed=3&k=5 HTTP/1.1\r\n")
+        assert "200" in topk["status"], topk
+        ranking = json.loads(topk["body"])["ranking"]
+        assert len(ranking) <= 5 and ranking
+
+        ppr = await _fetch(host, port, "GET /ppr?seed=3&length=200 HTTP/1.1\r\n")
+        assert "200" in ppr["status"], ppr
+        assert json.loads(ppr["body"])["visits"]
+
+        bad = await _fetch(host, port, "GET /topk HTTP/1.1\r\n")
+        assert "400" in bad["status"], bad
+
+        before = json.loads(topk["body"])["generation"]
+        edges = json.dumps(
+            {"edges": [[1, 17], [2, 19], [1, 17], [5, 5]]}
+        ).encode()
+        ingest = await _fetch(
+            host, port, "POST /edges HTTP/1.1\r\n", body=edges
+        )
+        assert "200" in ingest["status"], ingest
+        outcome = json.loads(ingest["body"])
+        assert outcome["generation"] == before + 1 or outcome["applied"] == 0
+
+        again = await _fetch(host, port, "GET /topk?seed=3&k=5 HTTP/1.1\r\n")
+        assert "200" in again["status"], again
+
+        metrics = await _fetch(host, port, "GET /metrics HTTP/1.1\r\n")
+        assert b"repro_serve_mp_requests_total" in metrics["body"]
+        print(
+            f"self-test OK: generation {outcome['generation']}, "
+            f"applied {outcome['applied']} edges, "
+            f"{frontend.num_workers} workers"
+        )
+    finally:
+        server.close()
+        await server.wait_closed()
+        frontend.close()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=600)
+    parser.add_argument("--edges", type=int, default=7200)
+    parser.add_argument("--walks", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--max-in-flight", type=int, default=512)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="start on an ephemeral port, probe every route, exit",
+    )
+    args = parser.parse_args()
+    try:
+        asyncio.run(self_test(args) if args.self_test else serve(args))
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -112,6 +112,9 @@ class ColumnarWalkStore:
     def __init__(self, num_nodes: int = 0, *, track_sides: bool = False) -> None:
         self.track_sides = track_sides
         self.total_visits = 0
+        #: True for stores attached over a shared (mmap'd) arena — every
+        #: mutator raises WalkStateError; see :meth:`from_shared`.
+        self._readonly = False
         # -- node arena (segment payloads) -----------------------------
         self._arena = np.empty(1024, dtype=np.int64)
         self._arena_used = 0
@@ -141,6 +144,18 @@ class ColumnarWalkStore:
     # ------------------------------------------------------------------
     # Capacity
     # ------------------------------------------------------------------
+
+    @property
+    def readonly(self) -> bool:
+        """True when this store is a read-only attach over a shared arena."""
+        return self._readonly
+
+    def _check_writable(self) -> None:
+        if self._readonly:
+            raise WalkStateError(
+                "store is attached read-only over a shared arena; mutations "
+                "must go through the owning coordinator process"
+            )
 
     @property
     def num_nodes(self) -> int:
@@ -332,6 +347,7 @@ class ColumnarWalkStore:
 
     def add_segment(self, segment: WalkSegment) -> int:
         """Register a fresh segment; returns its id."""
+        self._check_writable()
         nodes = np.asarray(segment.nodes, dtype=np.int64)
         self.ensure_node(int(nodes.max()))
         segment_id = self._alloc_segment(
@@ -355,6 +371,7 @@ class ColumnarWalkStore:
         vectorized passes; on a non-empty store this falls back to
         :meth:`add_segment` per segment.
         """
+        self._check_writable()
         count = len(segments)
         if count == 0:
             return
@@ -376,8 +393,16 @@ class ColumnarWalkStore:
         lengths: np.ndarray,
         reasons: np.ndarray,
         parities: np.ndarray,
+        *,
+        adopt: bool = False,
     ) -> None:
-        """Vectorized install of a whole segment block into an empty store."""
+        """Vectorized install of a whole segment block into an empty store.
+
+        With ``adopt=True`` the ``flat`` array itself *becomes* the arena
+        (zero-copy — this is how :meth:`from_shared` maps an mmap'd
+        snapshot straight in); otherwise its contents are copied to the
+        store-owned arena tail.
+        """
         if self._num_segments or self.total_visits:
             raise WalkStateError("bulk install requires an empty store")
         count = int(lengths.size)
@@ -395,8 +420,13 @@ class ColumnarWalkStore:
         self.ensure_node(int(flat.max()))
         offsets = np.cumsum(lengths) - lengths
         # -- arena + segment columns -----------------------------------
-        base = self._reserve_arena(total)
-        self._arena[base : base + total] = flat
+        if adopt:
+            self._arena = flat
+            self._arena_used = total
+            base = 0
+        else:
+            base = self._reserve_arena(total)
+            self._arena[base : base + total] = flat
         if count > self._seg_off.size:
             for name in ("_seg_off", "_seg_len", "_seg_cap"):
                 setattr(self, name, _grown(getattr(self, name), count))
@@ -525,6 +555,48 @@ class ColumnarWalkStore:
         )
         return store
 
+    @classmethod
+    def from_shared(
+        cls,
+        flat: np.ndarray,
+        lengths: np.ndarray,
+        end_reasons: np.ndarray,
+        parity_offsets: np.ndarray,
+        *,
+        num_nodes: int = 0,
+        track_sides: bool = False,
+    ) -> "ColumnarWalkStore":
+        """Attach a *read-only* store over an already-materialized arena.
+
+        Unlike :meth:`from_arrays`, the flat node arena is adopted without
+        a copy — pass an ``np.load(..., mmap_mode="r")`` view of a shared
+        snapshot and N worker processes share one set of physical pages
+        through the OS page cache.  Only the derived structures (CSR visit
+        index, per-segment columns, ``segments_of``) are built privately,
+        which is a small fraction of the arena's footprint.
+
+        The attached store is write-protected: every mutator raises
+        :class:`WalkStateError`.  Updates happen in the owning coordinator,
+        which publishes a new snapshot generation for workers to re-attach
+        (see :mod:`repro.serve.epochs`).
+        """
+        arena = np.asarray(flat)
+        if arena.dtype != np.int64 or arena.ndim != 1:
+            raise WalkStateError(
+                "shared arena must be a one-dimensional int64 vector, got "
+                f"dtype={arena.dtype}, ndim={arena.ndim}"
+            )
+        store = cls(num_nodes, track_sides=track_sides)
+        store._append_block(
+            arena,
+            np.ascontiguousarray(lengths, dtype=np.int64),
+            np.ascontiguousarray(end_reasons, dtype=np.int8),
+            np.ascontiguousarray(parity_offsets, dtype=np.int8),
+            adopt=True,
+        )
+        store._readonly = True
+        return store
+
     def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Compacted ``(flat, lengths, end_reasons, parities)`` columns.
 
@@ -557,6 +629,7 @@ class ColumnarWalkStore:
 
     def compact(self) -> None:
         """Squeeze relocation holes out of both arenas (ids preserved)."""
+        self._check_writable()
         rebuilt = ColumnarWalkStore.from_arrays(
             *self.to_arrays(),
             num_nodes=self._num_nodes,
@@ -588,6 +661,7 @@ class ColumnarWalkStore:
         is touched).  If the rewritten segment outgrows its arena slot it
         is relocated to the tail with 25% slack.
         """
+        self._check_writable()
         self._check_id(segment_id)
         if end_reason not in _REASONS:
             raise WalkStateError(f"unknown end_reason {end_reason!r}")
@@ -628,6 +702,7 @@ class ColumnarWalkStore:
         self, segment_id: int, nodes: list[int], end_reason: int
     ) -> None:
         """Replace a segment wholesale (resimulate-from-source policy)."""
+        self._check_writable()
         self._check_id(segment_id)
         source = self.source_of(segment_id)
         if nodes[0] != source:
@@ -663,6 +738,7 @@ class ColumnarWalkStore:
         :meth:`rebuild_segment`; callers must follow up with
         :meth:`_rebuild_index`.
         """
+        self._check_writable()
         self._check_id(segment_id)
         if end_reason not in _REASONS:
             raise WalkStateError(f"unknown end_reason {end_reason!r}")
@@ -712,6 +788,7 @@ class ColumnarWalkStore:
         sequential loop).  Callers must follow up with
         :meth:`_rebuild_index`.
         """
+        self._check_writable()
         count = len(updates)
         ids = np.fromiter((u[0] for u in updates), dtype=np.int64, count=count)
         if np.unique(ids).size != count:
@@ -803,6 +880,7 @@ class ColumnarWalkStore:
         per-row edits — this is what keeps ``apply_batch`` a few numpy
         passes on the columnar backend.
         """
+        self._check_writable()
         if not updates:
             return
         if len(updates) >= 64 and 8 * len(updates) >= self._num_segments:

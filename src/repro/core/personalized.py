@@ -89,6 +89,15 @@ class FetchCache:
     Thread-safe: the serving layer's worker pool shares one instance.
     ``capacity=None`` means unbounded; otherwise least-recently-used
     entries are evicted.
+
+    **Per-process invariant (multi-process serving):** a fetch cache is
+    derived state of *one process's* store and must never be shared or
+    shipped across process boundaries — each serve worker owns its own
+    instance, keyed to its currently attached arena generation.  On an
+    epoch swap (:meth:`repro.serve.engine.QueryEngine.swap_engine`) the
+    worker clears its fetch cache wholesale: cached node states alias the
+    old arena's memory, and cross-generation reuse would silently serve
+    pre-update adjacency.
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:

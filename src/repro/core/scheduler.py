@@ -249,6 +249,12 @@ class StalenessScheduler:
                 target=self._worker, name="repro-repair", daemon=False
             )
             self._thread.start()
+            # exit-time safety net: an abandoned scheduler's non-daemon
+            # worker is stopped before interpreter teardown would block
+            # joining it (see repro.lifecycle)
+            from repro.lifecycle import register_for_shutdown
+
+            register_for_shutdown(self)
 
     # ------------------------------------------------------------------
     # Logical graph view (pending mutations included)

@@ -189,6 +189,8 @@ class ShardedWalkIndex:
         self._executor: Optional[Executor] = None
         #: Optional StageProfiler billing per-shard repair time (obs plane).
         self._profiler = None
+        #: True when the shards are read-only attaches over shared arenas.
+        self._readonly = False
 
     def bind_profiler(self, profiler) -> None:
         """Attach a :class:`~repro.obs.StageProfiler` for repair fan-out.
@@ -197,6 +199,18 @@ class ShardedWalkIndex:
         ``apply_segment_updates`` bills one ``shard_repair`` observation,
         so the fan-out's balance is visible as a histogram."""
         self._profiler = profiler
+
+    @property
+    def readonly(self) -> bool:
+        """True when this index is a read-only attach over shared arenas."""
+        return self._readonly
+
+    def _check_writable(self) -> None:
+        if self._readonly:
+            raise WalkStateError(
+                "store is attached read-only over a shared arena; mutations "
+                "must go through the owning coordinator process"
+            )
 
     # ------------------------------------------------------------------
     # Routing
@@ -307,6 +321,7 @@ class ShardedWalkIndex:
 
     def add_segment(self, segment: WalkSegment) -> int:
         """Register a fresh segment on its source's shard; returns its id."""
+        self._check_writable()
         self.ensure_node(max(segment.nodes))
         shard_index = self.shard_of(segment.source)
         local_id = self.shards[shard_index].add_segment(segment)
@@ -324,6 +339,7 @@ class ShardedWalkIndex:
         vectorized install, fanned out across the worker pool (threads, or
         subprocesses via shared memory when ``cold_build="process"``).
         """
+        self._check_writable()
         count = len(segments)
         if count == 0:
             return
@@ -518,6 +534,7 @@ class ShardedWalkIndex:
         mutable state, and the tails were simulated by the caller before
         this call, so parallel scheduling cannot change any result.
         """
+        self._check_writable()
         if not updates:
             return
         grouped: list[list[tuple[int, int, list[int], int]]] = [
@@ -776,6 +793,7 @@ class ShardedWalkIndex:
         num_nodes: int = 0,
         track_sides: bool = False,
         max_workers: Optional[int] = None,
+        copy: bool = True,
     ) -> "ShardedWalkIndex":
         """Adopt per-shard arenas saved by :meth:`shard_arrays` (v3 load).
 
@@ -783,6 +801,12 @@ class ShardedWalkIndex:
         global ids must partition ``0 … n−1`` with a monotone table per
         shard, and every segment must hash-route to the shard holding it —
         raising :class:`WalkStateError` instead of corrupting lookups.
+
+        ``copy=False`` builds each shard via
+        :meth:`ColumnarWalkStore.from_shared`: the per-shard node arenas
+        (typically mmap views of a shared snapshot) are adopted without a
+        copy and the resulting index is **read-only** — worker processes
+        attach this way so one snapshot's pages back every worker.
         """
         num_shards = len(shard_arrays)
         if num_shards == 0:
@@ -835,12 +859,25 @@ class ShardedWalkIndex:
                         f"corrupt snapshot: segment placed on shard "
                         f"{shard_index} but hashes elsewhere"
                     )
-            store.shards[shard_index]._append_block(
-                flat,
-                lengths,
-                np.ascontiguousarray(block["segment_end_reasons"], dtype=np.int8),
-                np.ascontiguousarray(block["segment_parities"], dtype=np.int8),
+            reasons = np.ascontiguousarray(
+                block["segment_end_reasons"], dtype=np.int8
             )
+            shard_parities = np.ascontiguousarray(
+                block["segment_parities"], dtype=np.int8
+            )
+            if copy:
+                store.shards[shard_index]._append_block(
+                    flat, lengths, reasons, shard_parities
+                )
+            else:
+                store.shards[shard_index] = ColumnarWalkStore.from_shared(
+                    flat,
+                    lengths,
+                    reasons,
+                    shard_parities,
+                    num_nodes=num_nodes,
+                    track_sides=track_sides,
+                )
             table = all_globals[shard_index]
             capacity = max(int(table.size), 16)
             store._globals[shard_index] = _grown(table.copy(), capacity)
@@ -855,10 +892,13 @@ class ShardedWalkIndex:
         highest = max((shard.num_nodes for shard in store.shards), default=0)
         if highest:
             store.ensure_node(highest - 1)
+        if not copy:
+            store._readonly = True
         return store
 
     def compact(self) -> None:
         """Squeeze relocation holes out of every shard (ids preserved)."""
+        self._check_writable()
         for shard in self.shards:
             shard.compact()
 

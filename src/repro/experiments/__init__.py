@@ -18,6 +18,7 @@ from repro.experiments import (  # noqa: E402,F401  (registration side effects)
     exp_powerlaw,
     exp_precision,
     exp_serve,
+    exp_serve_mp,
     exp_update_cost,
 )
 

@@ -25,6 +25,9 @@ class ExperimentResult:
     rows: List[Dict[str, Any]] = field(default_factory=list)
     figures: Dict[str, str] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: Machine-readable extras (qps maps, tallies) for artifact writers
+    #: like ``benchmarks/run_bench.py``; never rendered in the report.
+    extras: Dict[str, Any] = field(default_factory=dict)
 
     def table(self) -> str:
         """Render ``rows`` as a GitHub-style markdown table."""

@@ -1,0 +1,222 @@
+"""E-SERVE-MP: the multi-process serve tier vs in-process serving.
+
+The paper's serving story ends at one process; this experiment measures
+what the shared-arena tier buys beyond it.  The same interleaved
+query/update workload as E-SERVE is driven through a
+:class:`~repro.serve.frontend.MultiProcessFrontend`: queries fan out
+seed-affine to worker processes attached read-only to mmap'd arena
+snapshots, updates land on the coordinator's private engine and become
+visible through epoch bumps (:mod:`repro.serve.epochs`).
+
+Two claims, reported separately:
+
+* **correctness** — for every interleaving of query waves, update slices,
+  and epoch bumps, multi-process answers are bit-identical to a
+  single-process :class:`~repro.serve.engine.QueryEngine` with the same
+  ``rng_seed`` over the same published state (rankings compared
+  element-wise; cost counters legitimately differ with cache warmth);
+* **scaling** — sustained query-only throughput grows with worker count,
+  because workers share the arena pages read-only (no copies, no locks)
+  and each drains its queue with the one-kernel-per-drain batcher.  The
+  benchmark gate asserts ≥2.5× at 4 workers on ≥4-core machines.
+
+Rows: one per serving configuration (in-process baseline + each worker
+count) with sustained qps and mean batch latency.  Notes carry the
+differential tally and the scaling factors.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.incremental import IncrementalPageRank
+from repro.experiments.common import ExperimentResult, register
+from repro.serve.engine import QueryEngine
+from repro.serve.frontend import MultiProcessFrontend
+from repro.serve.traffic import interleaved_traffic
+from repro.serve.worker import WorkerConfig
+from repro.workloads.twitter_like import twitter_like_stream
+
+__all__ = ["run_serve_mp"]
+
+ENGINE_SEED = 12345  # identical walk stores across configurations
+QUERY_SEED = 7  # rng_seed shared by every serving stack under test
+
+
+def _fresh_engine(stream, cut, walks_per_node):
+    return IncrementalPageRank.from_graph(
+        stream.snapshot_at(cut),
+        walks_per_node=walks_per_node,
+        rng=np.random.default_rng(ENGINE_SEED),
+    )
+
+
+def _differential(stream, cut, walks_per_node, phases):
+    """Drive the interleaved schedule through mp + single-process stacks.
+
+    Returns ``(matched, total)`` over every query in every wave.  The mp
+    side answers from 2 workers; the oracle is an in-process QueryEngine
+    over the same coordinator engine, consulted *after* the same updates.
+    """
+    engine = _fresh_engine(stream, cut, walks_per_node)
+    oracle = QueryEngine(engine, rng_seed=QUERY_SEED)
+    matched = total = 0
+    with MultiProcessFrontend(
+        engine,
+        num_workers=2,
+        max_in_flight=4096,
+        config=WorkerConfig(rng_seed=QUERY_SEED),
+    ) as frontend:
+        for phase in phases:
+            if phase.kind == "events":
+                engine.apply_batch(phase.events)
+                frontend.publish_epoch()
+                continue
+            served = frontend.run(phase.queries)
+            for request, answer in zip(phase.queries, served):
+                expected = oracle.top_k(
+                    request.seed,
+                    request.k,
+                    length=request.length,
+                    exclude_friends=request.exclude_friends,
+                )
+                total += 1
+                if answer is not None and answer.ranking == expected.ranking:
+                    matched += 1
+    oracle.detach()
+    return matched, total
+
+
+def _sustained_mp(engine, requests, num_workers, wave_size):
+    """Query-only burst through ``num_workers`` workers; (seconds, qps, lat)."""
+    with MultiProcessFrontend(
+        engine,
+        num_workers=num_workers,
+        max_in_flight=max(4 * wave_size, 256),
+        config=WorkerConfig(rng_seed=QUERY_SEED),
+    ) as frontend:
+        # one warm wave primes worker caches (parity with the in-process
+        # baseline, whose engine has served the differential phase)
+        frontend.run(requests[:wave_size])
+        started = time.perf_counter()
+        for start in range(0, len(requests), wave_size):
+            frontend.run(requests[start : start + wave_size])
+        elapsed = time.perf_counter() - started
+        snapshot = frontend.registry.snapshot()
+    count = snapshot.get("repro_serve_mp_batch_latency_seconds_count", 0.0)
+    total = snapshot.get("repro_serve_mp_batch_latency_seconds_sum", 0.0)
+    latency = total / count if count else 0.0
+    return elapsed, len(requests) / elapsed, latency
+
+
+def _sustained_inprocess(engine, requests, wave_size):
+    query_engine = QueryEngine(engine, rng_seed=QUERY_SEED)
+    query_engine.run_batch(requests[:wave_size])
+    started = time.perf_counter()
+    for start in range(0, len(requests), wave_size):
+        query_engine.run_batch(requests[start : start + wave_size])
+    elapsed = time.perf_counter() - started
+    query_engine.detach()
+    return elapsed, len(requests) / elapsed
+
+
+@register("E-SERVE-MP")
+def run_serve_mp(
+    num_nodes: int = 1200,
+    num_edges: int = 14_400,
+    num_queries: int = 300,
+    sustained_queries: int = 600,
+    seed_pool_size: int = 60,
+    walk_length: int = 400,
+    walks_per_node: int = 4,
+    worker_counts: Sequence[int] = (1, 2),
+    wave_size: int = 100,
+    rng: int = 42,
+) -> ExperimentResult:
+    stream = twitter_like_stream(num_nodes, num_edges, rng=rng)
+    cut = int(len(stream) * 0.7)
+    generator = np.random.default_rng(rng)
+    seed_pool = [int(s) for s in generator.choice(num_nodes, size=seed_pool_size)]
+    phases = interleaved_traffic(
+        stream.suffix(cut),
+        seed_pool,
+        num_queries=num_queries,
+        k=10,
+        length=walk_length,
+        event_batch_size=max(200, num_edges // 12),
+        query_burst=max(50, num_queries // 4),
+        rng=generator,
+    )
+    matched, total = _differential(stream, cut, walks_per_node, phases)
+
+    # throughput engine: all updates applied, shared by every row
+    engine = _fresh_engine(stream, len(stream), walks_per_node)
+    burst = [
+        request
+        for phase in interleaved_traffic(
+            [],
+            seed_pool,
+            num_queries=sustained_queries,
+            k=10,
+            length=walk_length,
+            rng=np.random.default_rng(rng + 1),
+        )
+        for request in phase.queries
+    ]
+    rows = []
+    base_seconds, base_qps = _sustained_inprocess(engine, burst, wave_size)
+    rows.append(
+        {
+            "mode": "in-process",
+            "workers": 0,
+            "sustained qps": round(base_qps, 1),
+            "mean batch latency (ms)": round(
+                1000.0 * base_seconds / max(1, -(-len(burst) // wave_size)), 2
+            ),
+        }
+    )
+    qps_by_workers = {}
+    for workers in worker_counts:
+        _, qps, latency = _sustained_mp(engine, burst, workers, wave_size)
+        qps_by_workers[workers] = qps
+        rows.append(
+            {
+                "mode": f"mp x{workers}",
+                "workers": workers,
+                "sustained qps": round(qps, 1),
+                "mean batch latency (ms)": round(1000.0 * latency, 2),
+            }
+        )
+
+    result = ExperimentResult(
+        experiment_id="E-SERVE-MP",
+        title="Multi-process serve tier over shared walk arenas",
+        params={
+            "nodes": num_nodes,
+            "edges": num_edges,
+            "queries": num_queries,
+            "sustained": sustained_queries,
+            "walk_length": walk_length,
+            "workers": list(worker_counts),
+        },
+        rows=rows,
+    )
+    result.notes.append(
+        f"differential check (mp vs single-process, interleaved "
+        f"query/update/epoch schedule): {matched}/{total} rankings identical"
+    )
+    floor = min(qps_by_workers)
+    for workers, qps in sorted(qps_by_workers.items()):
+        result.notes.append(
+            f"scaling: {workers} workers -> "
+            f"{qps / qps_by_workers[floor]:.2f}x the {floor}-worker qps"
+        )
+    result.extras = {  # machine-readable for benchmarks/run_bench.py
+        "qps_by_workers": {str(k): v for k, v in qps_by_workers.items()},
+        "in_process_qps": base_qps,
+        "differential": {"matched": matched, "total": total},
+    }
+    return result

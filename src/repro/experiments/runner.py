@@ -54,6 +54,15 @@ QUICK_OVERRIDES = {
         "sustained_queries": 300,
         "walk_length": 600,
     },
+    "E-SERVE-MP": {
+        "num_nodes": 400,
+        "num_edges": 4800,
+        "num_queries": 80,
+        "sustained_queries": 150,
+        "seed_pool_size": 40,
+        "walk_length": 200,
+        "wave_size": 50,
+    },
 }
 
 

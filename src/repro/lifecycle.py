@@ -1,0 +1,103 @@
+"""Deterministic shutdown for background-threaded components.
+
+Several components own non-daemon background threads or worker pools — the
+:class:`~repro.serve.batcher.RequestBatcher` thread pool, the
+:class:`~repro.core.scheduler.StalenessScheduler` repair worker, the
+:class:`~repro.serve.frontend.MultiProcessFrontend` worker processes.  All
+of them already close deterministically via ``close()`` / context-manager
+use, and well-behaved drivers do exactly that.  This module is the safety
+net for the ones that don't: components register here on construction, and
+a single process-exit hook closes whatever is still open, so worker
+processes exit cleanly instead of hanging on a forgotten non-daemon thread
+or spraying teardown noise into test output.
+
+The hook ordering matters: plain :func:`atexit.register` callbacks run
+*after* ``threading._shutdown`` has already blocked joining non-daemon
+threads, which is too late to rescue an abandoned worker.  CPython ≥3.9
+exposes ``threading._register_atexit`` — the mechanism
+:mod:`concurrent.futures` itself uses — whose callbacks run *before* that
+join.  We use it when present and fall back to :mod:`atexit` otherwise.
+
+Registration holds only a weak reference: a collected component needs no
+cleanup (its own finalizers handle the pool), and the registry must not
+keep closed components alive.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import weakref
+from typing import Callable
+
+__all__ = ["register_for_shutdown", "shutdown_all"]
+
+class _Registration(weakref.ref):
+    """A weak component reference carrying its close-method name."""
+
+    __slots__ = ("close_name",)
+
+
+# reentrant: a weakref death callback can fire via GC inside our own
+# critical sections, in the same thread
+_lock = threading.RLock()
+#: Live registrations: id -> weakref (with close-method name) to component.
+_registered: dict[int, _Registration] = {}
+_hook_installed = False
+
+
+def _install_hook() -> None:
+    global _hook_installed
+    if _hook_installed:
+        return
+    _hook_installed = True
+    register = getattr(threading, "_register_atexit", None)
+    if register is not None:
+        register(shutdown_all)
+    else:  # pragma: no cover - CPython < 3.9 fallback
+        atexit.register(shutdown_all)
+
+
+def register_for_shutdown(component: object, close: str = "close") -> None:
+    """Close ``component`` at process exit if it is still alive and open.
+
+    ``close`` names the zero-argument shutdown method (it must be
+    idempotent — every registrant here already is).  Holding only a weak
+    reference, registration neither delays collection nor requires
+    explicit deregistration: closing a component yourself (the normal
+    path) simply makes the exit-time call a no-op.
+    """
+    key = id(component)
+
+    def _expired(ref: _Registration) -> None:
+        # collected components need no exit-time close; drop the entry so
+        # the registry stays bounded by *live* components
+        with _lock:
+            if _registered.get(key) is ref:
+                del _registered[key]
+
+    with _lock:
+        _install_hook()
+        ref = _Registration(component, _expired)
+        ref.close_name = close
+        _registered[key] = ref
+
+
+def shutdown_all() -> None:
+    """Close every still-alive registrant (exit hook; safe to call early)."""
+    with _lock:
+        refs = list(_registered.values())
+        _registered.clear()
+    for ref in refs:
+        component = ref()
+        if component is None:
+            continue
+        closer: Callable[[], None] | None = getattr(
+            component, getattr(ref, "close_name", "close"), None
+        )
+        if closer is None:
+            continue
+        try:
+            closer()
+        except Exception:  # noqa: BLE001 - exit path must not raise
+            pass

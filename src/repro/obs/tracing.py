@@ -239,6 +239,54 @@ class Tracer:
         span.duration = time.perf_counter() - span.start
         self.sink.emit(span)
 
+    def graft(
+        self,
+        span_dicts: List[Dict[str, object]],
+        parent: Optional[Span] = None,
+        origin: Optional[str] = None,
+    ) -> int:
+        """Re-emit spans exported by *another process* under ``parent``.
+
+        The multi-process serve tier ships finished worker spans home as
+        :meth:`Span.to_json` dicts (picklable, no live objects).  Grafting
+        assigns them fresh local ids — worker id counters would collide
+        with this process's — while preserving their internal parent/child
+        structure, and roots any span whose parent is not in the shipped
+        set under ``parent`` (or a fresh trace).  ``origin`` (e.g.
+        ``"worker-3"``) is stamped on each grafted span's attributes so
+        reconstructed request paths show which process ran what.  Span
+        ``start`` values are the *source* process's ``perf_counter`` clock
+        — durations are comparable across the boundary, absolute starts
+        are not.  Returns the number of spans emitted (0 when disabled).
+        """
+        if not self.enabled or not span_dicts:
+            return 0
+        if parent is not None:
+            trace_id = parent.trace_id
+            root_parent = parent.span_id
+        else:
+            trace_id = next(_ids)
+            root_parent = None
+        remapped = {raw["span_id"]: next(_ids) for raw in span_dicts}
+        for raw in span_dicts:
+            attributes = dict(raw.get("attributes") or {})
+            if origin is not None:
+                attributes["origin"] = origin
+            span = Span(
+                str(raw["name"]),
+                trace_id,
+                remapped[raw["span_id"]],
+                remapped.get(raw.get("parent_id"), root_parent),
+                attributes,
+            )
+            span.start = float(raw.get("start", 0.0))
+            span.duration = float(raw.get("duration", 0.0))
+            thread = raw.get("thread")
+            if thread is not None:
+                span.thread = str(thread)
+            self.sink.emit(span)
+        return len(span_dicts)
+
     # ------------------------------------------------------------------
     # Export / inspection
     # ------------------------------------------------------------------

@@ -36,6 +36,22 @@ Module map (the query path, top to bottom)::
     traffic.py   Zipf seed generator + interleaved query/update phases
                  (the E-SERVE workload)
 
+Multi-process tier (scales the read path across cores)::
+
+    frontend.py  MultiProcessFrontend — seed-affine fan-out of requests
+        │        over N worker processes with a shared in-flight window
+        │        (admission control + LoadShedError shedding) and an
+        │        asyncio façade (asubmit/arun)
+        ▼
+    epochs.py    ArenaPublisher — mmap-able snapshot generations + the
+        │        CURRENT pointer; the epoch-bump protocol that makes
+        │        coordinator updates visible as a consistent barrier
+        ▼
+    worker.py    worker_main — spawned read-only worker: attaches the
+                 published arena (repro.store.persistence.attach_engine)
+                 and answers batches through its own RequestBatcher;
+                 answers are bit-identical to single-process serving
+
 Correctness is differential, not best-effort: for any interleaving of
 queries and updates, a served answer — cache hit or miss — equals a
 cache-free run of the same query with the same derived RNG on the current
@@ -60,12 +76,15 @@ but is never cached); they do not make torn reads safe.
 from repro.serve.batcher import QueryRequest, RequestBatcher
 from repro.serve.cache import CacheEntry, ResultCache
 from repro.serve.engine import QueryEngine
+from repro.serve.epochs import ArenaPublisher, read_current
+from repro.serve.frontend import MultiProcessFrontend
 from repro.serve.stats import ServeStats
 from repro.serve.traffic import (
     TrafficPhase,
     interleaved_traffic,
     zipf_seed_sequence,
 )
+from repro.serve.worker import WorkerConfig
 
 __all__ = [
     "QueryEngine",
@@ -77,4 +96,8 @@ __all__ = [
     "TrafficPhase",
     "interleaved_traffic",
     "zipf_seed_sequence",
+    "MultiProcessFrontend",
+    "ArenaPublisher",
+    "WorkerConfig",
+    "read_current",
 ]

@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, LoadShedError
+from repro.lifecycle import register_for_shutdown
 from repro.serve.engine import QueryEngine
 
 __all__ = ["QueryRequest", "RequestBatcher"]
@@ -126,6 +127,10 @@ class RequestBatcher:
         self._lock = threading.Lock()
         self._in_flight: dict[Hashable, Future] = {}
         self._depth = 0
+        self._closed = False
+        # exit-time safety net: an abandoned batcher's pool threads are
+        # joined before interpreter teardown (see repro.lifecycle)
+        register_for_shutdown(self)
 
     # ------------------------------------------------------------------
 
@@ -319,13 +324,23 @@ class RequestBatcher:
         self.query_engine.store.stats.reset()
 
     def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool.  Idempotent; :meth:`close` is the alias
+        the lifecycle registry (and worker processes) call at exit."""
+        self._closed = True
         self._executor.shutdown(wait=wait)
+
+    def close(self) -> None:
+        self.shutdown(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "RequestBatcher":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.shutdown()
+        self.close()
 
     def __repr__(self) -> str:
         return (

@@ -22,6 +22,16 @@ full flush (one big batch invalidates almost everything anyway, and the
 flush is O(1) amortized).  TTL is a freshness *policy* on top of the
 correctness machinery — a deployment may prefer re-sampled rankings every
 few minutes even for untouched seeds; ``ttl=None`` disables it.
+
+**Per-process invariant (multi-process serving):** a ``ResultCache`` — like
+the :class:`~repro.core.personalized.FetchCache` — caches *derived* state of
+one process's store and is never shared or shipped across process
+boundaries; each serve worker owns its own.  Entry keys carry the **arena
+generation** (:attr:`ResultCache.generation`): when a worker swaps to a new
+snapshot generation (:meth:`bump_generation`) every existing entry becomes
+unreachable by construction — the cache self-invalidates on arena swap
+rather than relying only on dirty-set plumbing, and a put computed against
+the old arena can never be served from the new one.
 """
 
 from __future__ import annotations
@@ -83,6 +93,11 @@ class ResultCache:
         #: that drops nothing: an in-flight result's footprint may overlap
         #: a dirty set no *current* entry does).  ``put`` guards on it.
         self.version = 0
+        #: Arena generation this cache currently serves.  Part of every
+        #: entry's internal key, so a swap (:meth:`bump_generation`) makes
+        #: all prior entries unreachable.
+        self.generation = 0
+        self.generation_bumps = 0
         self.insertions = 0
         self.evictions = 0
         self.expirations = 0
@@ -100,14 +115,15 @@ class ResultCache:
     def get(self, key: Hashable) -> Tuple[bool, Any]:
         """``(hit, value)``; a TTL-expired entry is dropped and misses."""
         with self._lock:
-            entry = self._entries.get(key)
+            slot = (self.generation, key)
+            entry = self._entries.get(slot)
             if entry is None:
                 return False, None
             if entry.expires_at is not None and self.clock() >= entry.expires_at:
-                self._drop(key)
+                self._drop(slot)
                 self.expirations += 1
                 return False, None
-            self._entries.move_to_end(key)
+            self._entries.move_to_end(slot)
             return True, entry.value
 
     def put(
@@ -118,6 +134,7 @@ class ResultCache:
         epoch: int,
         *,
         guard_version: Optional[int] = None,
+        generation: Optional[int] = None,
     ) -> Optional[CacheEntry]:
         """Insert (or overwrite) an entry; evicts LRU entries past capacity.
 
@@ -126,25 +143,34 @@ class ResultCache:
         is rejected (returns None) if any invalidation ran in between —
         otherwise a result computed against the pre-update store could be
         inserted after the update's invalidation and never be dropped.
+
+        ``generation`` closes the compute/arena-swap race the same way:
+        pass the :attr:`generation` observed before computing, and a value
+        produced against a previous arena generation is rejected instead
+        of keyed into the current one.
         """
         footprint = frozenset(footprint)
         expires_at = self.clock() + self.ttl if self.ttl is not None else None
-        entry = CacheEntry(
-            key=key,
-            value=value,
-            footprint=footprint,
-            epoch=epoch,
-            expires_at=expires_at,
-        )
         with self._lock:
+            if generation is not None and generation != self.generation:
+                self.stale_rejections += 1
+                return None
             if guard_version is not None and guard_version != self.version:
                 self.stale_rejections += 1
                 return None
-            if key in self._entries:
-                self._drop(key)
-            self._entries[key] = entry
+            slot = (self.generation, key)
+            entry = CacheEntry(
+                key=slot,
+                value=value,
+                footprint=footprint,
+                epoch=epoch,
+                expires_at=expires_at,
+            )
+            if slot in self._entries:
+                self._drop(slot)
+            self._entries[slot] = entry
             for node in footprint:
-                self._by_node.setdefault(node, set()).add(key)
+                self._by_node.setdefault(node, set()).add(slot)
             self.insertions += 1
             while len(self._entries) > self.capacity:
                 oldest, _ = next(iter(self._entries.items()))
@@ -203,11 +229,32 @@ class ResultCache:
             self.flushes += 1
             return dropped
 
+    def bump_generation(self) -> int:
+        """Swap to the next arena generation; returns the new generation.
+
+        Every existing entry was produced against the previous generation's
+        arena, so the whole cache is dropped *and* the generation field in
+        the keyspace advances — a racing put for the old generation (passed
+        via ``put(..., generation=)``) is rejected rather than resurrected.
+        The version counter bumps too, so ``guard_version`` puts from
+        before the swap are equally dead.
+        """
+        with self._lock:
+            self.generation += 1
+            self.generation_bumps += 1
+            self.version += 1
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._by_node.clear()
+            self.invalidations += dropped
+            return self.generation
+
     # ------------------------------------------------------------------
 
     def keys(self) -> list:
+        """User-visible keys of live entries (generation prefix stripped)."""
         with self._lock:
-            return list(self._entries)
+            return [key for _, key in self._entries]
 
     def __repr__(self) -> str:
         return (

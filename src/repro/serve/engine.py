@@ -298,8 +298,10 @@ class QueryEngine:
                 return value, True
         # guard_version rejects the insert if an invalidation ran while we
         # computed — otherwise a result walked on the pre-update store
-        # could land after the update's invalidation and never be dropped
+        # could land after the update's invalidation and never be dropped;
+        # guard_generation does the same for arena swaps (swap_engine)
         guard_version = self.results.version
+        guard_generation = self.results.generation
         value, footprint = compute()
         if self.cache_results:
             self.results.put(
@@ -308,6 +310,7 @@ class QueryEngine:
                 footprint,
                 self.engine.epoch,
                 guard_version=guard_version,
+                generation=guard_generation,
             )
         self.stats.record_query(hit=False, latency=self.clock() - started)
         return value, False
@@ -462,6 +465,7 @@ class QueryEngine:
 
         if misses:
             guard_version = self.results.version
+            guard_generation = self.results.generation
             rngs = [
                 self.query_rng(seed, walk_length)
                 for _, _, seed, walk_length, _, _ in misses
@@ -504,6 +508,7 @@ class QueryEngine:
                         footprint,
                         self.engine.epoch,
                         guard_version=guard_version,
+                        generation=guard_generation,
                     )
                 resolved[key] = value
             latency = self.clock() - started
@@ -533,6 +538,56 @@ class QueryEngine:
         if self.fetch_cache is None:
             return 0
         return self.fetch_cache.prewarm(self.store, nodes, rng)
+
+    def swap_engine(self, engine: IncrementalPageRank) -> int:
+        """Rebind this front-end to a new engine (epoch/arena swap).
+
+        The multi-process serve tier's worker-side half of the epoch-bump
+        protocol (:mod:`repro.serve.epochs`): a worker that just attached
+        a freshly published snapshot generation swaps its query engine
+        onto it *between* request drains.  The swap
+
+        * unsubscribes from the old engine's update feed and subscribes to
+          the new one;
+        * rebinds the store, reference walker, and query kernel;
+        * advances the result cache's arena generation
+          (:meth:`ResultCache.bump_generation`) so every cached answer —
+          and any in-flight put computed against the old arena — is dead;
+        * clears the fetch cache (its node states alias the old arena).
+
+        ``rng_seed`` and walk-sizing parameters are preserved, so answers
+        after the swap are bit-identical to a fresh single-process engine
+        over the same store state.  Returns the new cache generation.
+
+        Bounded-freshness engines cannot swap: their scheduler fronts the
+        old engine's mutation path (workers attach read-only snapshots and
+        serve in eager mode).
+        """
+        if self.scheduler is not None:
+            raise ConfigurationError(
+                "cannot swap a bounded-freshness QueryEngine: its scheduler "
+                "fronts the old engine; swap is for read-only serve workers"
+            )
+        self.engine.remove_update_listener(self._listener)
+        self.engine = engine
+        self.store = engine.pagerank_store
+        self._walker = PersonalizedPageRank(
+            self.store, reset_probability=engine.reset_probability
+        )
+        if self.kernel is not None and self.store.fetch_mode == FETCH_FULL:
+            self.kernel = QueryKernel(
+                self.store,
+                reset_probability=engine.reset_probability,
+                registry=self.registry,
+                tracer=self.tracer,
+            )
+        else:
+            self.kernel = None
+        generation = self.results.bump_generation()
+        if self.fetch_cache is not None:
+            self.fetch_cache.clear()
+        engine.add_update_listener(self._listener)
+        return generation
 
     def detach(self) -> None:
         """Unsubscribe from the engine's update feed (lifecycle hygiene).

@@ -1,0 +1,171 @@
+"""Epoch-bump protocol: publishing walk-arena generations to worker processes.
+
+The multi-process serve tier splits the paper's two roles across process
+boundaries: one **coordinator** owns the write path (``apply`` /
+``apply_batch`` on the live engine) and N **workers** own the read path,
+each serving queries from a read-only mmap of a published arena snapshot
+(:func:`repro.store.persistence.attach_engine`).  The handoff between
+them is the *epoch-bump protocol*:
+
+1. The coordinator mutates its private engine (walk arenas are process-
+   private; workers never see torn intermediate states).
+2. When it wants those updates visible, it **publishes**: the current
+   engine state is written to a fresh generation directory
+   (``gen-000007/``) via :func:`~repro.store.persistence.save_shared_snapshot`,
+   and only once every array file is durable is the ``CURRENT`` pointer
+   file flipped to name it (tmp + :func:`os.replace`, atomic on POSIX).
+   A reader can therefore trust whatever ``CURRENT`` names: the pointed-to
+   manifest lands last inside its directory, and the pointer lands last
+   overall.
+3. The frontend enqueues an ``epoch`` message on every worker's request
+   queue.  Queues are FIFO, so the message is a **barrier**: every batch
+   enqueued before it is answered from the old generation, every batch
+   after it from the new one — each answer comes from exactly one
+   consistent epoch, never a blend.
+4. Each worker attaches the new generation, swaps its query engine onto
+   it between drains (:meth:`~repro.serve.engine.QueryEngine.swap_engine`,
+   which bumps the result-cache generation and drops the fetch cache),
+   and acks.  When all workers have acked, the coordinator may prune
+   generations older than ``retain`` — on POSIX, unlinking a mapped file
+   is safe (pages live until the last mapping goes away), so pruning
+   never races a worker that is still mid-swap.
+
+Determinism: a worker's answers are a pure function of (generation,
+query, rng_seed) — same derived RNG, same arena bits — so multi-process
+serving is bit-identical to a single-process
+:class:`~repro.serve.engine.QueryEngine` over the same published state
+(``tests/test_serve_mp.py`` proves this differentially over interleaved
+query/update/swap schedules).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError, WalkStateError
+from repro.store.persistence import save_shared_snapshot
+
+__all__ = ["ArenaPublisher", "read_current", "CURRENT_NAME"]
+
+#: Pointer file naming the live generation inside a publish root.
+CURRENT_NAME = "CURRENT"
+
+
+def read_current(root) -> Tuple[int, Path]:
+    """Resolve the live ``(generation, snapshot directory)`` under ``root``.
+
+    Raises :class:`ConfigurationError` when ``root`` has no ``CURRENT``
+    pointer (nothing published yet) and :class:`WalkStateError` when the
+    pointer is unreadable or names a missing generation directory.
+    """
+    root = Path(root)
+    pointer = root / CURRENT_NAME
+    if not pointer.is_file():
+        raise ConfigurationError(
+            f"no published generation under {root} (missing {CURRENT_NAME})"
+        )
+    try:
+        data = json.loads(pointer.read_text(encoding="utf-8"))
+        generation = int(data["generation"])
+        directory = root / str(data["directory"])
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        raise WalkStateError(
+            f"unreadable generation pointer {pointer}: {exc}"
+        ) from exc
+    if not directory.is_dir():
+        raise WalkStateError(
+            f"generation pointer names missing snapshot {directory}"
+        )
+    return generation, directory
+
+
+class ArenaPublisher:
+    """Writes arena generations under a root and flips the live pointer.
+
+    One publisher instance belongs to the coordinator process.  Each
+    :meth:`publish` call writes a complete, self-contained snapshot
+    directory (never mutated afterwards — readers mmap it), then
+    atomically repoints ``CURRENT``.  Old generations beyond ``retain``
+    are pruned; callers that hand generation paths directly to workers
+    (the frontend does, for the ack barrier) should prune only after the
+    swap acks arrive — :meth:`publish` therefore exposes ``prune=False``
+    and a separate :meth:`prune` for that pattern.
+    """
+
+    def __init__(self, root, *, retain: int = 2) -> None:
+        if retain < 1:
+            raise ConfigurationError(f"retain must be >= 1, got {retain}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.retain = retain
+        self._generation = 0
+        # resume numbering past an existing root so stale worker mmaps of
+        # a previous run's generations can never alias a fresh directory
+        try:
+            current, _ = read_current(self.root)
+            self._generation = current
+        except (ConfigurationError, WalkStateError):
+            pass
+
+    @property
+    def generation(self) -> int:
+        """The most recently published generation (0 = none yet)."""
+        return self._generation
+
+    def generation_dir(self, generation: int) -> Path:
+        return self.root / f"gen-{generation:06d}"
+
+    def publish(self, target, *, prune: bool = True) -> Tuple[int, Path]:
+        """Snapshot ``target`` as the next generation and flip ``CURRENT``.
+
+        ``target`` is an engine or bare walk index (whatever
+        :func:`save_shared_snapshot` accepts).  Returns ``(generation,
+        directory)``.  ``prune=False`` defers retention cleanup to an
+        explicit :meth:`prune` call (after worker acks).
+        """
+        generation = self._generation + 1
+        directory = self.generation_dir(generation)
+        if directory.exists():
+            # a half-written leftover from a crashed publish; CURRENT
+            # never pointed at it, so it is safe to discard
+            shutil.rmtree(directory)
+        save_shared_snapshot(target, directory)
+        pointer = self.root / CURRENT_NAME
+        tmp = self.root / (CURRENT_NAME + ".tmp")
+        tmp.write_text(
+            json.dumps({"generation": generation, "directory": directory.name}),
+            encoding="utf-8",
+        )
+        os.replace(tmp, pointer)
+        self._generation = generation
+        if prune:
+            self.prune()
+        return generation, directory
+
+    def prune(self, *, keep: Optional[int] = None) -> int:
+        """Delete generations older than the newest ``keep`` (default
+        ``retain``).  The live generation is never pruned.  Returns the
+        number of directories removed."""
+        keep = self.retain if keep is None else max(1, keep)
+        removed = 0
+        for path in sorted(self.root.glob("gen-*")):
+            if not path.is_dir():
+                continue
+            try:
+                generation = int(path.name.split("-", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if generation <= self._generation - keep:
+                shutil.rmtree(path, ignore_errors=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"ArenaPublisher(root={str(self.root)!r}, "
+            f"generation={self._generation}, retain={self.retain})"
+        )

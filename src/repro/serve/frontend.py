@@ -1,0 +1,594 @@
+"""Multi-process serve frontend: asyncio-friendly fan-out over workers.
+
+:class:`MultiProcessFrontend` is the coordinator-side half of the
+multi-process serve tier.  It owns
+
+* the **write path** — the live :class:`~repro.core.incremental.
+  IncrementalPageRank` engine stays in this process; workers never mutate;
+* the **publish path** — an :class:`~repro.serve.epochs.ArenaPublisher`
+  snapshots the engine into mmap-able generation directories and
+  :meth:`publish_epoch` pushes the bump through every worker queue (a
+  FIFO barrier: see :mod:`repro.serve.epochs` for the protocol proof);
+* the **read fan-out** — N spawned worker processes
+  (:func:`~repro.serve.worker.worker_main`), each attached read-only to
+  the current generation, each fronted by its own in-process
+  :class:`~repro.serve.batcher.RequestBatcher`.
+
+Requests route to workers **seed-affine** (the same Fibonacci multiplier
+hash the sharded store uses), so a hot seed always lands on the worker
+whose result/fetch caches already hold it.  Admission control is a
+bounded in-flight window shared across workers: past ``max_in_flight``
+outstanding requests, new work is shed with
+:class:`~repro.errors.LoadShedError` — backpressure at the front door
+instead of unbounded queue growth.
+
+The blocking API is :meth:`submit` (one request → ``Future``) and
+:meth:`run` (a wave of requests → ordered results); the asyncio façade is
+:meth:`asubmit` / :meth:`arun`, which wrap the same futures for an event
+loop (``examples/api_server.py`` serves HTTP straight off them).  A
+``Future`` resolves in the reader thread that drains the shared response
+queue, so event loops and blocking callers coexist on one frontend.
+
+Observability: every outcome bills ``repro_serve_mp_*`` metrics into
+:attr:`registry`, and when tracing is on, worker-side spans ship home
+with each batch and are grafted under the coordinator's dispatch span
+(:meth:`~repro.obs.tracing.Tracer.graft`), so one trace shows the full
+cross-process request path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import queue as queue_module
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import ConfigurationError, LoadShedError, ServeError
+from repro.lifecycle import register_for_shutdown
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.metrics import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS
+from repro.serve.batcher import QueryRequest
+from repro.serve.epochs import ArenaPublisher
+from repro.serve.worker import (
+    BATCH,
+    EPOCH,
+    EPOCH_OK,
+    ERROR,
+    INIT_ERROR,
+    READY,
+    RESULT,
+    STOP,
+    STOPPED,
+    WorkerConfig,
+    spawn_worker,
+)
+
+__all__ = ["MultiProcessFrontend"]
+
+#: Fibonacci multiplier (golden-ratio hash) — the same seed scrambler the
+#: sharded store routes with, so routing is uniform even for dense ids.
+_HASH_MULTIPLIER = 0x9E3779B9
+
+_READER_STOP = ("__reader_stop__",)
+
+
+class _PendingBatch:
+    """Coordinator-side record of one dispatched batch."""
+
+    __slots__ = ("future", "count", "span", "worker_id", "started")
+
+    def __init__(self, future, count, span, worker_id, started):
+        self.future = future
+        self.count = count
+        self.span = span
+        self.worker_id = worker_id
+        self.started = started
+
+
+class _EpochWait:
+    """Barrier state for one in-flight epoch bump."""
+
+    __slots__ = ("pending", "event", "errors")
+
+    def __init__(self, pending: Set[int]):
+        self.pending = pending
+        self.event = threading.Event()
+        self.errors: List[str] = []
+
+
+class MultiProcessFrontend:
+    """Admission-controlled fan-out of queries over worker processes."""
+
+    def __init__(
+        self,
+        engine,
+        *,
+        num_workers: int = 2,
+        root=None,
+        max_in_flight: int = 256,
+        config: Optional[WorkerConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        retain: int = 2,
+        start_timeout: float = 120.0,
+    ) -> None:
+        """Publish ``engine``'s state and stand up ``num_workers`` workers.
+
+        ``engine`` stays this process's mutable write path — apply updates
+        to it directly (between query waves), then :meth:`publish_epoch`
+        to make them visible to workers.  ``root`` is the publish
+        directory (a private temp dir by default, removed on close).
+        ``config`` pins the workers' serving stack; by default it inherits
+        ``trace`` from the coordinator ``tracer`` so spans ship exactly
+        when someone is looking.
+        """
+        if num_workers <= 0:
+            raise ConfigurationError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        if max_in_flight <= 0:
+            raise ConfigurationError(
+                f"max_in_flight must be positive, got {max_in_flight}"
+            )
+        self.engine = engine
+        self.num_workers = num_workers
+        self.max_in_flight = max_in_flight
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.config = (
+            config
+            if config is not None
+            else WorkerConfig(trace=self.tracer.enabled)
+        )
+        self._owns_root = root is None
+        if root is None:
+            root = tempfile.mkdtemp(prefix="repro-serve-mp-")
+        self.publisher = ArenaPublisher(root, retain=retain)
+
+        reg = self.registry
+        self._m_requests = reg.counter(
+            "repro_serve_mp_requests_total",
+            "Requests admitted to the multi-process serve tier",
+            labels=("kind",),
+        )
+        self._m_shed = reg.counter(
+            "repro_serve_mp_shed_total",
+            "Requests refused by the frontend in-flight window",
+        )
+        self._m_batches = reg.counter(
+            "repro_serve_mp_batches_total",
+            "Batches dispatched to workers",
+            labels=("worker",),
+        )
+        self._m_errors = reg.counter(
+            "repro_serve_mp_errors_total",
+            "Worker-reported batch/epoch failures",
+            labels=("worker",),
+        )
+        self._m_in_flight = reg.gauge(
+            "repro_serve_mp_in_flight",
+            "Requests dispatched and not yet resolved",
+        )
+        self._m_workers = reg.gauge(
+            "repro_serve_mp_workers", "Live worker processes"
+        )
+        self._m_generation = reg.gauge(
+            "repro_serve_mp_generation", "Published arena generation"
+        )
+        self._m_epochs = reg.counter(
+            "repro_serve_mp_epoch_swaps_total",
+            "Completed epoch bumps (all workers swapped)",
+        )
+        self._m_latency = reg.histogram(
+            "repro_serve_mp_batch_latency_seconds",
+            "Dispatch-to-resolution latency per batch",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._m_batch_size = reg.histogram(
+            "repro_serve_mp_batch_size",
+            "Requests per dispatched batch",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self._m_grafted = reg.counter(
+            "repro_serve_mp_spans_grafted_total",
+            "Worker spans grafted into the coordinator trace",
+        )
+
+        self._lock = threading.Lock()
+        self._closed = False
+        self._in_flight = 0
+        self._next_batch_id = 0
+        self._next_epoch_id = 0
+        self._batches: Dict[int, _PendingBatch] = {}
+        self._epochs: Dict[int, _EpochWait] = {}
+
+        generation, snapshot = self.publisher.publish(engine)
+        self.generation = generation
+        self._m_generation.set(float(generation))
+
+        # spawn, not fork: the coordinator owns thread pools and live
+        # locks a fork would duplicate mid-state; spawn also proves the
+        # snapshot attach path carries every bit of worker state
+        self._context = multiprocessing.get_context("spawn")
+        self._queues = [self._context.Queue() for _ in range(num_workers)]
+        self._responses = self._context.Queue()
+        self._processes = [
+            spawn_worker(
+                self._context,
+                worker_id,
+                snapshot,
+                generation,
+                self.config,
+                self._queues[worker_id],
+                self._responses,
+            )
+            for worker_id in range(num_workers)
+        ]
+        try:
+            self._await_ready(start_timeout)
+        except BaseException:
+            self._teardown_processes()
+            if self._owns_root:
+                shutil.rmtree(self.publisher.root, ignore_errors=True)
+            raise
+        self._m_workers.set(float(num_workers))
+        self._reader = threading.Thread(
+            target=self._read_responses,
+            name="repro-serve-mp-reader",
+            daemon=True,
+        )
+        self._reader.start()
+        # exit-time safety net (see repro.lifecycle): abandoned frontends
+        # still stop their workers and reader before interpreter teardown
+        register_for_shutdown(self)
+
+    # ------------------------------------------------------------------
+    # Startup / teardown
+    # ------------------------------------------------------------------
+
+    def _await_ready(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        ready: Set[int] = set()
+        while len(ready) < self.num_workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(
+                    f"workers not ready within {timeout:.0f}s "
+                    f"({len(ready)}/{self.num_workers})"
+                )
+            try:
+                message = self._responses.get(timeout=remaining)
+            except queue_module.Empty:
+                continue
+            tag = message[0]
+            if tag == READY:
+                ready.add(message[1])
+            elif tag == INIT_ERROR:
+                _, worker_id, (type_name, text) = message
+                raise ServeError(
+                    f"worker {worker_id} failed to attach: {type_name}: {text}"
+                )
+
+    def _teardown_processes(self, timeout: float = 10.0) -> None:
+        for q in self._queues:
+            try:
+                q.put((STOP,))
+            except (ValueError, OSError):  # pragma: no cover - closed queue
+                pass
+        for process in self._processes:
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop workers, join the reader, fail outstanding futures.
+
+        Idempotent; also the lifecycle registry's exit hook.  Outstanding
+        futures resolve with :class:`ServeError` rather than hanging their
+        waiters forever.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._teardown_processes()
+        self._responses.put(_READER_STOP)
+        self._reader.join(timeout=10.0)
+        with self._lock:
+            pending = list(self._batches.values())
+            self._batches.clear()
+            self._in_flight = 0
+            epochs = list(self._epochs.values())
+            self._epochs.clear()
+        for batch in pending:
+            if not batch.future.done():
+                batch.future.set_exception(
+                    ServeError("frontend closed with the batch in flight")
+                )
+        for wait in epochs:
+            wait.errors.append("frontend closed mid-epoch")
+            wait.event.set()
+        for q in [*self._queues, self._responses]:
+            q.close()
+        self._m_workers.set(0.0)
+        self._m_in_flight.set(0.0)
+        if self._owns_root:
+            shutil.rmtree(self.publisher.root, ignore_errors=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "MultiProcessFrontend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def route(self, seed: int) -> int:
+        """Seed-affine worker routing (Fibonacci hash, cache-friendly)."""
+        return ((seed * _HASH_MULTIPLIER) & 0xFFFFFFFF) % self.num_workers
+
+    def _dispatch(
+        self, worker_id: int, requests: Sequence[QueryRequest]
+    ) -> Future:
+        """Enqueue one batch on ``worker_id``; future resolves to the
+        worker's result list (or fails — shedding, worker error)."""
+        future: Future = Future()
+        count = len(requests)
+        with self._lock:
+            if self._closed:
+                future.set_exception(ServeError("frontend is closed"))
+                return future
+            if self._in_flight + count > self.max_in_flight:
+                self._m_shed.inc(count)
+                future.set_exception(
+                    LoadShedError(self._in_flight, self.max_in_flight)
+                )
+                return future
+            self._in_flight += count
+            self._m_in_flight.set(float(self._in_flight))
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            span = (
+                self.tracer.start_leaf(
+                    "serve.mp.batch", worker=worker_id, size=count
+                )
+                if self.tracer.enabled
+                else None
+            )
+            self._batches[batch_id] = _PendingBatch(
+                future, count, span, worker_id, time.perf_counter()
+            )
+        for request in requests:
+            self._m_requests.inc(kind=request.kind)
+        self._m_batches.inc(worker=str(worker_id))
+        self._m_batch_size.observe(float(count))
+        self._queues[worker_id].put((BATCH, batch_id, tuple(requests)))
+        return future
+
+    def submit(self, request: QueryRequest) -> Future:
+        """Admit one request; the future resolves to its result.
+
+        Sheds with :class:`LoadShedError` past ``max_in_flight``.  The
+        worker-side batcher may *also* shed under its own window; that
+        surfaces as a ``None`` result (the batcher's drain contract).
+        """
+        batch_future = self._dispatch(self.route(request.seed), [request])
+        outer: Future = Future()
+
+        def _unwrap(done: Future) -> None:
+            exc = done.exception()
+            if exc is not None:
+                outer.set_exception(exc)
+            else:
+                outer.set_result(done.result()[0])
+
+        batch_future.add_done_callback(_unwrap)
+        return outer
+
+    def run(
+        self, requests: Sequence[QueryRequest]
+    ) -> List[Optional[object]]:
+        """Answer a wave of requests; results in request order.
+
+        Requests are grouped seed-affine into one batch per worker —
+        inside each worker the whole group is answered by the batcher's
+        one-kernel-per-drain path.  Shed groups (frontend window) and
+        shed requests (worker window) yield ``None``; worker failures
+        propagate as :class:`ServeError`.
+        """
+        groups: Dict[int, List[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(self.route(request.seed), []).append(index)
+        futures = {
+            worker_id: self._dispatch(
+                worker_id, [requests[i] for i in indices]
+            )
+            for worker_id, indices in groups.items()
+        }
+        results: List[Optional[object]] = [None] * len(requests)
+        for worker_id, indices in groups.items():
+            try:
+                values = futures[worker_id].result()
+            except LoadShedError:
+                continue
+            for index, value in zip(indices, values):
+                results[index] = value
+        return results
+
+    # ------------------------------------------------------------------
+    # asyncio façade
+    # ------------------------------------------------------------------
+
+    async def asubmit(self, request: QueryRequest):
+        """``await``-able :meth:`submit` (for event-loop servers)."""
+        return await asyncio.wrap_future(self.submit(request))
+
+    async def arun(self, requests: Sequence[QueryRequest]):
+        """``await``-able :meth:`run`: same grouping, loop stays free."""
+        groups: Dict[int, List[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(self.route(request.seed), []).append(index)
+        results: List[Optional[object]] = [None] * len(requests)
+
+        async def _gather(worker_id: int, indices: List[int]) -> None:
+            future = self._dispatch(
+                worker_id, [requests[i] for i in indices]
+            )
+            try:
+                values = await asyncio.wrap_future(future)
+            except LoadShedError:
+                return
+            for index, value in zip(indices, values):
+                results[index] = value
+
+        await asyncio.gather(
+            *(_gather(w, idx) for w, idx in groups.items())
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    # Epoch bump
+    # ------------------------------------------------------------------
+
+    def publish_epoch(self, timeout: float = 120.0) -> int:
+        """Publish the engine's current state and swap every worker to it.
+
+        Blocks until all workers ack the swap (the FIFO queue guarantees
+        batches enqueued before the bump were answered from the old
+        generation).  Old generations beyond ``retain`` are pruned only
+        after the acks, so no worker is still attaching to a pruned
+        directory.  Returns the new generation.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServeError("frontend is closed")
+            epoch_id = self._next_epoch_id = self._next_epoch_id + 1
+            wait = _EpochWait(set(range(self.num_workers)))
+            self._epochs[epoch_id] = wait
+        generation, snapshot = self.publisher.publish(self.engine, prune=False)
+        for q in self._queues:
+            q.put((EPOCH, epoch_id, generation, str(snapshot)))
+        if not wait.event.wait(timeout):
+            with self._lock:
+                self._epochs.pop(epoch_id, None)
+            raise ServeError(
+                f"epoch {generation} not acked within {timeout:.0f}s "
+                f"(workers pending: {sorted(wait.pending)})"
+            )
+        with self._lock:
+            self._epochs.pop(epoch_id, None)
+        if wait.errors:
+            raise ServeError(
+                f"epoch {generation} failed on some workers: "
+                + "; ".join(wait.errors)
+            )
+        self.generation = generation
+        self._m_generation.set(float(generation))
+        self._m_epochs.inc()
+        self.publisher.prune()
+        return generation
+
+    # ------------------------------------------------------------------
+    # Response reader
+    # ------------------------------------------------------------------
+
+    def _read_responses(self) -> None:
+        while True:
+            try:
+                message = self._responses.get()
+            except (EOFError, OSError):  # pragma: no cover - queue closed
+                return
+            tag = message[0]
+            if message == _READER_STOP:
+                return
+            if tag == RESULT:
+                self._on_result(message)
+            elif tag == ERROR:
+                self._on_error(message)
+            elif tag == EPOCH_OK:
+                self._on_epoch_ok(message)
+            elif tag == STOPPED:
+                self._m_workers.dec()
+            # READY after startup (or unknown tags) are ignored
+
+    def _pop_batch(self, batch_id: int) -> Optional[_PendingBatch]:
+        with self._lock:
+            batch = self._batches.pop(batch_id, None)
+            if batch is not None:
+                self._in_flight -= batch.count
+                self._m_in_flight.set(float(self._in_flight))
+        return batch
+
+    def _on_result(self, message) -> None:
+        _, worker_id, batch_id, results, spans = message
+        batch = self._pop_batch(batch_id)
+        if batch is None:  # pragma: no cover - late reply after close
+            return
+        self._m_latency.observe(time.perf_counter() - batch.started)
+        if spans:
+            grafted = self.tracer.graft(
+                spans, parent=batch.span, origin=f"worker-{worker_id}"
+            )
+            self._m_grafted.inc(grafted)
+        self.tracer.finish_leaf(batch.span)
+        batch.future.set_result(results)
+
+    def _on_error(self, message) -> None:
+        _, worker_id, batch_id, (type_name, text) = message
+        self._m_errors.inc(worker=str(worker_id))
+        if batch_id < 0:
+            # an epoch swap failed on this worker (it keeps serving the
+            # old generation); unblock the barrier with the error recorded
+            with self._lock:
+                wait = self._epochs.get(-batch_id)
+                if wait is not None:
+                    wait.errors.append(
+                        f"worker {worker_id}: {type_name}: {text}"
+                    )
+                    wait.pending.discard(worker_id)
+                    if not wait.pending:
+                        wait.event.set()
+            return
+        batch = self._pop_batch(batch_id)
+        if batch is None:  # pragma: no cover - late reply after close
+            return
+        self.tracer.finish_leaf(batch.span)
+        batch.future.set_exception(
+            ServeError(f"worker {worker_id} failed: {type_name}: {text}")
+        )
+
+    def _on_epoch_ok(self, message) -> None:
+        _, worker_id, epoch_id, _generation = message
+        with self._lock:
+            wait = self._epochs.get(epoch_id)
+            if wait is None:  # pragma: no cover - timed-out epoch
+                return
+            wait.pending.discard(worker_id)
+            if not wait.pending:
+                wait.event.set()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiProcessFrontend(workers={self.num_workers}, "
+            f"generation={self.generation}, in_flight={self.in_flight}, "
+            f"closed={self._closed})"
+        )

@@ -1,0 +1,227 @@
+"""Serve-tier worker process: attach, answer batches, swap epochs.
+
+``worker_main`` is the entry point the frontend spawns (start method
+``spawn`` — the coordinator owns thread pools, which ``fork`` would
+duplicate into undefined states, and spawn also proves the attach path
+carries *all* worker state).  Each worker:
+
+1. attaches read-only to the published snapshot generation
+   (:func:`~repro.store.persistence.attach_engine` — walk arenas stay
+   memory-mapped, shared across workers via the page cache);
+2. builds a :class:`~repro.serve.engine.QueryEngine` fronted by a
+   :class:`~repro.serve.batcher.RequestBatcher`, so every batch message is
+   answered with the same coalescing + one-kernel-per-drain machinery as
+   in-process serving — which is exactly why worker answers are
+   bit-identical to single-process answers (same derived per-query RNG,
+   same arena bits, same kernel);
+3. loops on its private request queue: ``batch`` messages produce
+   ``result`` responses, ``epoch`` messages re-attach + swap the engine
+   between drains (the FIFO queue makes the swap a consistent barrier —
+   see :mod:`repro.serve.epochs`), ``stop`` drains out.
+
+Cross-process payloads are plain picklable data: request batches are
+tuples of frozen :class:`~repro.serve.batcher.QueryRequest`, results are
+the engine's result dataclasses, errors travel as ``(type_name, message)``
+string pairs (exception *instances* with custom ``__init__`` signatures —
+:class:`~repro.errors.LoadShedError` — do not survive unpickling), and
+spans travel as :meth:`~repro.obs.tracing.Span.to_json` dicts for the
+coordinator to graft (:meth:`~repro.obs.tracing.Tracer.graft`).
+
+Both caches are strictly per-process here: the worker's
+:class:`~repro.serve.cache.ResultCache` and
+:class:`~repro.core.personalized.FetchCache` live in worker memory, keyed
+by (and invalidated on) the worker's own arena generation — nothing cache-
+shaped ever crosses the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.batcher import RequestBatcher
+from repro.serve.engine import QueryEngine
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+# Response-message tags (worker -> coordinator, one shared queue).
+READY = "ready"
+INIT_ERROR = "init_error"
+RESULT = "result"
+ERROR = "error"
+EPOCH_OK = "epoch_ok"
+STOPPED = "stopped"
+
+# Request-message tags (coordinator -> per-worker queue).
+BATCH = "batch"
+EPOCH = "epoch"
+STOP = "stop"
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Picklable recipe for a worker's serving stack.
+
+    Mirrors the :class:`~repro.serve.engine.QueryEngine` /
+    :class:`~repro.serve.batcher.RequestBatcher` knobs that matter for a
+    read-only worker.  ``rng_seed`` and ``use_kernel`` must match the
+    single-process engine you compare against — the RNG contract derives
+    every walk from ``(rng_seed, seed, length)``, and kernel vs scalar
+    walker are different (equally valid) draws.  ``trace=True`` runs the
+    worker with a force-enabled tracer and ships finished spans home with
+    each batch result.
+    """
+
+    rng_seed: int = 0
+    result_capacity: int = 4096
+    cache_results: bool = True
+    share_fetches: bool = True
+    use_kernel: bool = True
+    alpha: float = 0.77
+    c: float = 5.0
+    worker_threads: int = 1
+    max_queue_depth: int = 1024
+    max_kernel_batch: int = 64
+    trace: bool = False
+
+
+def _build(snapshot_path, config: WorkerConfig):
+    """Attach a snapshot and stand up the engine + batcher stack."""
+    from repro.obs import Tracer
+    from repro.store.persistence import attach_engine
+
+    engine = attach_engine(snapshot_path, validate=False)
+    tracer = Tracer(enabled=True) if config.trace else None
+    query_engine = QueryEngine(
+        engine,
+        rng_seed=config.rng_seed,
+        result_capacity=config.result_capacity,
+        cache_results=config.cache_results,
+        share_fetches=config.share_fetches,
+        use_kernel=config.use_kernel,
+        alpha=config.alpha,
+        c=config.c,
+        tracer=tracer,
+    )
+    batcher = RequestBatcher(
+        query_engine,
+        max_workers=config.worker_threads,
+        max_queue_depth=config.max_queue_depth,
+        max_kernel_batch=config.max_kernel_batch,
+    )
+    return query_engine, batcher
+
+
+def _drain_spans(query_engine: QueryEngine, config: WorkerConfig) -> list:
+    if not config.trace:
+        return []
+    spans = [span.to_json() for span in query_engine.tracer.spans()]
+    query_engine.tracer.clear()
+    return spans
+
+
+def _error_tuple(exc: BaseException) -> tuple:
+    return (type(exc).__name__, str(exc))
+
+
+def worker_main(
+    worker_id: int,
+    snapshot_path: str,
+    generation: int,
+    config: WorkerConfig,
+    request_queue,
+    response_queue,
+) -> None:
+    """Worker-process message loop (run via ``multiprocessing.Process``).
+
+    Protocol (all messages are tuples tagged by their first element):
+
+    * in  ``(BATCH, batch_id, requests)`` →
+      out ``(RESULT, worker_id, batch_id, results, spans)`` or
+      ``(ERROR, worker_id, batch_id, (type_name, message))``.
+      Shed requests surface as ``None`` results (the batcher's contract).
+    * in  ``(EPOCH, epoch_id, generation, snapshot_path)`` →
+      out ``(EPOCH_OK, worker_id, epoch_id, generation)`` after the swap,
+      or ``(ERROR, worker_id, -epoch_id, ...)`` if the attach failed (the
+      worker keeps serving the old generation).
+    * in  ``(STOP,)`` → out ``(STOPPED, worker_id)`` and return.
+
+    Startup emits ``(READY, worker_id, generation)`` once attached, or
+    ``(INIT_ERROR, worker_id, (type_name, message))`` and returns.
+    """
+    try:
+        query_engine, batcher = _build(snapshot_path, config)
+    except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
+        response_queue.put((INIT_ERROR, worker_id, _error_tuple(exc)))
+        return
+    response_queue.put((READY, worker_id, generation))
+    current_generation = generation
+    try:
+        while True:
+            message = request_queue.get()
+            tag = message[0]
+            if tag == STOP:
+                break
+            if tag == BATCH:
+                _, batch_id, requests = message
+                try:
+                    results = batcher.run(requests)
+                    spans = _drain_spans(query_engine, config)
+                    response_queue.put(
+                        (RESULT, worker_id, batch_id, results, spans)
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    response_queue.put(
+                        (ERROR, worker_id, batch_id, _error_tuple(exc))
+                    )
+            elif tag == EPOCH:
+                _, epoch_id, new_generation, new_path = message
+                try:
+                    from repro.store.persistence import attach_engine
+
+                    fresh = attach_engine(new_path, validate=False)
+                    query_engine.swap_engine(fresh)
+                    current_generation = new_generation
+                    response_queue.put(
+                        (EPOCH_OK, worker_id, epoch_id, new_generation)
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    # keep serving the old (still-mapped) generation
+                    response_queue.put(
+                        (ERROR, worker_id, -epoch_id, _error_tuple(exc))
+                    )
+            # unknown tags are dropped: a newer coordinator may speak a
+            # superset protocol, and a worker must never wedge on it
+    finally:
+        batcher.close()
+        query_engine.detach()
+        response_queue.put((STOPPED, worker_id))
+
+
+def spawn_worker(
+    context,
+    worker_id: int,
+    snapshot_path,
+    generation: int,
+    config: WorkerConfig,
+    request_queue,
+    response_queue,
+    *,
+    name: Optional[str] = None,
+):
+    """Start (and return) a worker process on ``context`` (spawn)."""
+    process = context.Process(
+        target=worker_main,
+        args=(
+            worker_id,
+            str(snapshot_path),
+            generation,
+            config,
+            request_queue,
+            response_queue,
+        ),
+        name=name or f"repro-serve-worker-{worker_id}",
+        daemon=True,
+    )
+    process.start()
+    return process

@@ -35,6 +35,17 @@ Every loader validates before it trusts: a corrupted or truncated file
 :class:`~repro.errors.ConfigurationError` /
 :class:`~repro.errors.WalkStateError` with a readable message instead of
 leaking a numpy/zipfile exception.
+
+**Shared snapshots** (the multi-process serve tier) are a directory —
+``manifest.json`` plus one raw uncompressed ``.npy`` per array — written
+by :func:`save_shared_snapshot`.  Unlike the ``.npz`` formats they are
+mmap-able: :func:`attach_walk_store` / :func:`attach_engine` open every
+arena with ``np.load(..., mmap_mode="r")`` and adopt it zero-copy via
+:meth:`ColumnarWalkStore.from_shared`, so N worker processes attached to
+one generation share a single set of physical pages through the OS page
+cache.  Attached stores are read-only — every mutator raises
+:class:`WalkStateError` — and updates flow through the coordinator, which
+publishes a fresh generation (:mod:`repro.serve.epochs`).
 """
 
 from __future__ import annotations
@@ -67,6 +78,9 @@ __all__ = [
     "load_walk_store",
     "save_engine",
     "load_engine",
+    "save_shared_snapshot",
+    "attach_walk_store",
+    "attach_engine",
 ]
 
 FORMAT_VERSION = 2
@@ -336,20 +350,10 @@ def save_engine(
     sharded store, v2 otherwise); pass ``version=`` to downgrade-save.
     """
     version = _resolve_version(engine.walks, version)
-    graph = engine.graph
-    edges = graph.edge_list()
+    edges = engine.graph.edge_list()
     sources = np.asarray([u for u, _ in edges], dtype=np.int64)
     targets = np.asarray([v for _, v in edges], dtype=np.int64)
-    meta = {
-        "format_version": version,
-        "kind": "incremental_pagerank",
-        "num_nodes": graph.num_nodes,
-        "track_sides": engine.walks.track_sides,
-        "reset_probability": engine.reset_probability,
-        "walks_per_node": engine.walks_per_node,
-        "reroute_policy": engine.reroute_policy,
-        "allow_self_loops": graph.allow_self_loops,
-    }
+    meta = _engine_meta(engine, version)
     extras, arrays = _snapshot_payload(engine.walks, version)
     meta.update(extras)
     np.savez_compressed(
@@ -457,3 +461,273 @@ def _validate_against_graph(engine: "IncrementalPageRank") -> None:
             raise WalkStateError(
                 f"snapshot mismatch: DANGLING end at non-dangling node {node}"
             )
+
+
+# ----------------------------------------------------------------------
+# Shared (mmap-able) snapshots — the multi-process serve attach path
+# ----------------------------------------------------------------------
+
+MANIFEST_NAME = "manifest.json"
+SHARED_FORMAT = 1
+
+
+def _engine_meta(engine: "IncrementalPageRank", version: int) -> dict:
+    """Engine snapshot metadata (shared by .npz and directory formats)."""
+    graph = engine.graph
+    return {
+        "format_version": version,
+        "kind": "incremental_pagerank",
+        "num_nodes": graph.num_nodes,
+        "track_sides": engine.walks.track_sides,
+        "reset_probability": engine.reset_probability,
+        "walks_per_node": engine.walks_per_node,
+        "reroute_policy": engine.reroute_policy,
+        "allow_self_loops": graph.allow_self_loops,
+    }
+
+
+def save_shared_snapshot(target, directory: PathLike) -> Path:
+    """Write a mmap-able snapshot *directory* for worker-process attach.
+
+    ``target`` is an :class:`IncrementalPageRank` engine or a bare
+    :class:`WalkIndex`.  Layout: ``manifest.json`` (the usual snapshot
+    metadata plus the array listing) and one raw uncompressed ``.npy``
+    file per array, so readers can memory-map the arenas instead of
+    decompressing private copies.  Returns the directory path.
+
+    The write is not atomic — publishers that swap generations under live
+    readers must write into a fresh directory and flip a pointer afterward
+    (:class:`repro.serve.epochs.ArenaPublisher` does exactly that).
+    """
+    from repro.core.incremental import IncrementalPageRank
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {}
+    if isinstance(target, IncrementalPageRank):
+        store = target.walks
+        version = _resolve_version(store, None)
+        meta = _engine_meta(target, version)
+        edges = target.graph.edge_list()
+        arrays["edge_sources"] = np.asarray(
+            [u for u, _ in edges], dtype=np.int64
+        )
+        arrays["edge_targets"] = np.asarray(
+            [v for _, v in edges], dtype=np.int64
+        )
+    else:
+        store = target
+        version = _resolve_version(store, None)
+        meta = {
+            "format_version": version,
+            "kind": "walk_store",
+            "num_nodes": store.num_nodes,
+            "track_sides": store.track_sides,
+        }
+    extras, payload = _snapshot_payload(store, version)
+    meta.update(extras)
+    arrays.update(payload)
+    meta["shared_format"] = SHARED_FORMAT
+    meta["arrays"] = sorted(arrays)
+    for name, array in arrays.items():
+        np.save(directory / f"{name}.npy", np.ascontiguousarray(array))
+    manifest = directory / MANIFEST_NAME
+    tmp = directory / (MANIFEST_NAME + ".tmp")
+    tmp.write_text(json.dumps(meta, indent=2), encoding="utf-8")
+    # the manifest lands last and atomically: a reader that can parse it
+    # is guaranteed every array file it lists is fully written
+    tmp.replace(manifest)
+    return directory
+
+
+def _read_shared_manifest(directory: PathLike, expected_kind: str) -> dict:
+    directory = Path(directory)
+    manifest = directory / MANIFEST_NAME
+    if not directory.is_dir() or not manifest.is_file():
+        raise ConfigurationError(
+            f"{directory} is not a shared snapshot directory "
+            f"(no {MANIFEST_NAME})"
+        )
+    try:
+        meta = json.loads(manifest.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as error:
+        raise WalkStateError(
+            f"corrupt shared snapshot: unreadable manifest: {error}"
+        ) from error
+    if not isinstance(meta, dict):
+        raise WalkStateError(
+            "corrupt shared snapshot: manifest is not a mapping"
+        )
+    if meta.get("shared_format") != SHARED_FORMAT:
+        raise WalkStateError(
+            f"unsupported shared snapshot format "
+            f"{meta.get('shared_format')!r}"
+        )
+    if meta.get("format_version") not in SUPPORTED_VERSIONS:
+        raise WalkStateError(
+            f"corrupt shared snapshot: unsupported store version "
+            f"{meta.get('format_version')!r}"
+        )
+    kinds = (expected_kind,) if expected_kind != "walk_store" else (
+        "walk_store",
+        "incremental_pagerank",  # an engine snapshot contains a store
+    )
+    if meta.get("kind") not in kinds:
+        raise WalkStateError(
+            f"shared snapshot holds a {meta.get('kind')!r}, "
+            f"expected {expected_kind!r}"
+        )
+    return meta
+
+
+class _SharedArrays:
+    """Array accessor over a snapshot directory (mmap'd, validated)."""
+
+    def __init__(self, directory: Path, meta: dict) -> None:
+        self._directory = directory
+        listed = meta.get("arrays")
+        if not isinstance(listed, list):
+            raise WalkStateError(
+                "corrupt shared snapshot: manifest lacks an array listing"
+            )
+        self._listed = set(listed)
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        if key not in self._listed:
+            raise WalkStateError(
+                f"corrupt shared snapshot: missing array {key!r} "
+                "(truncated manifest?)"
+            )
+        path = self._directory / f"{key}.npy"
+        try:
+            return np.load(path, mmap_mode="r", allow_pickle=False)
+        except FileNotFoundError:
+            raise WalkStateError(
+                f"corrupt shared snapshot: array file {path.name} is listed "
+                "in the manifest but absent"
+            ) from None
+        except (ValueError, OSError, EOFError) as error:
+            raise WalkStateError(
+                f"corrupt shared snapshot: array {key!r} unreadable: {error}"
+            ) from error
+
+
+def _attach_store_from(data: _SharedArrays, meta: dict) -> WalkIndex:
+    """Build the read-only store a shared snapshot describes."""
+    version = int(meta["format_version"])
+    if version < 2:
+        raise WalkStateError(
+            "corrupt shared snapshot: v1 snapshots cannot be attached "
+            "(no flat arena to share)"
+        )
+    try:
+        if version >= SHARDED_VERSION:
+            try:
+                num_shards = int(meta["num_shards"])
+            except (KeyError, TypeError, ValueError):
+                raise WalkStateError(
+                    "corrupt shared snapshot: sharded manifest lacks a "
+                    "shard count"
+                ) from None
+            if num_shards <= 0:
+                raise WalkStateError(
+                    f"corrupt shared snapshot: shard count must be "
+                    f"positive, got {num_shards}"
+                )
+            blocks = []
+            for shard_index in range(num_shards):
+                blocks.append(
+                    {
+                        name: data[f"shard{shard_index}_{name}"]
+                        for name in (
+                            "segment_nodes",
+                            "segment_lengths",
+                            "segment_end_reasons",
+                            "segment_parities",
+                            "global_ids",
+                        )
+                    }
+                )
+            return ShardedWalkIndex.from_shard_arrays(
+                blocks,
+                num_nodes=int(meta["num_nodes"]),
+                track_sides=bool(meta["track_sides"]),
+                copy=False,
+            )
+        lengths = data["segment_lengths"]
+        flat = data["segment_nodes"]
+        if int(lengths.sum()) != int(flat.size):
+            raise WalkStateError(
+                "corrupt shared snapshot: arena length mismatch"
+            )
+        return ColumnarWalkStore.from_shared(
+            flat,
+            lengths,
+            data["segment_end_reasons"],
+            data["segment_parities"],
+            num_nodes=int(meta["num_nodes"]),
+            track_sides=bool(meta["track_sides"]),
+        )
+    except WalkStateError:
+        raise
+    except (ValueError, IndexError, TypeError, KeyError) as error:
+        raise WalkStateError(
+            f"corrupt shared snapshot: {error}"
+        ) from error
+
+
+def attach_walk_store(directory: PathLike) -> WalkIndex:
+    """Attach read-only to the store inside a shared snapshot directory.
+
+    The node arenas stay memory-mapped (zero-copy, shared across every
+    attached process via the page cache); the visit index and per-segment
+    columns are rebuilt privately.  The result is bit-identical to an
+    owned :func:`load_walk_store` of the same state, but write-protected:
+    every mutator raises :class:`WalkStateError`.
+    """
+    directory = Path(directory)
+    meta = _read_shared_manifest(directory, "walk_store")
+    return _attach_store_from(_SharedArrays(directory, meta), meta)
+
+
+def attach_engine(
+    directory: PathLike, *, rng=None, validate: bool = True
+) -> "IncrementalPageRank":
+    """Attach read-only to the engine inside a shared snapshot directory.
+
+    The restored engine's walk store is the mmap-backed read-only attach
+    of :func:`attach_walk_store`: queries work exactly as on an owned
+    load (same RNG contract, bit-identical answers), while mutations
+    (``apply``/``apply_batch``) raise :class:`WalkStateError` — workers
+    serve, the coordinator owns the write path.  ``validate=False`` skips
+    the O(total visits) graph-consistency check for fast worker swaps onto
+    generations the coordinator just wrote.
+    """
+    from repro.core.incremental import IncrementalPageRank
+
+    directory = Path(directory)
+    meta = _read_shared_manifest(directory, "incremental_pagerank")
+    data = _SharedArrays(directory, meta)
+    graph = DynamicDiGraph(
+        int(meta["num_nodes"]), allow_self_loops=bool(meta["allow_self_loops"])
+    )
+    for source, target in zip(data["edge_sources"], data["edge_targets"]):
+        graph.add_edge(int(source), int(target))
+    store = _attach_store_from(data, meta)
+    backend = (
+        f"sharded:{store.num_shards}"
+        if isinstance(store, ShardedWalkIndex)
+        else "columnar"
+    )
+    engine = IncrementalPageRank(
+        SocialStore.of_graph(graph),
+        reset_probability=float(meta["reset_probability"]),
+        walks_per_node=int(meta["walks_per_node"]),
+        reroute_policy=str(meta["reroute_policy"]),
+        rng=rng,
+        store_backend=backend,
+    )
+    engine.pagerank_store.walks = store
+    if validate:
+        _validate_against_graph(engine)
+    return engine

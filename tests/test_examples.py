@@ -103,3 +103,18 @@ def test_capacity_planning():
     assert result.returncode == 0, result.stderr
     assert "closed-form budget" in result.stdout
     assert "shard load" in result.stdout
+
+
+@pytest.mark.slow
+def test_api_server_self_test():
+    """The HTTP façade probes every route against live worker processes."""
+    result = _run(
+        "api_server.py",
+        "--self-test",
+        "--nodes", "250",
+        "--edges", "2500",
+        "--walks", "3",
+        "--workers", "2",
+    )
+    assert result.returncode == 0, result.stderr
+    assert "self-test OK" in result.stdout

@@ -16,6 +16,7 @@ from repro.experiments.exp_linkpred import run_table1
 from repro.experiments.exp_powerlaw import run_fig2, run_fig3, run_fig4
 from repro.experiments.exp_precision import run_fig5
 from repro.experiments.exp_serve import run_serve
+from repro.experiments.exp_serve_mp import run_serve_mp
 from repro.experiments.exp_update_cost import (
     run_adversarial,
     run_batch_ingest,
@@ -48,6 +49,7 @@ class TestRegistry:
             "E-THM6",
             "E-BATCH",
             "E-SERVE",
+            "E-SERVE-MP",
         } <= ids
 
     def test_unknown_id(self):
@@ -211,3 +213,30 @@ class TestServeDriver:
         assert len(checks) == 3
         for note in checks:
             assert "5/5" in note, note
+
+
+@pytest.mark.slow
+class TestServeMpDriver:
+    def test_serve_mp(self):
+        result = run_serve_mp(
+            num_nodes=300,
+            num_edges=3600,
+            num_queries=60,
+            sustained_queries=100,
+            seed_pool_size=30,
+            walk_length=150,
+            walks_per_node=3,
+            worker_counts=(1,),
+            wave_size=50,
+            rng=9,
+        )
+        rows = {r["mode"]: r for r in result.rows}
+        assert set(rows) == {"in-process", "mp x1"}
+        for row in rows.values():
+            assert row["sustained qps"] > 0
+        tally = result.extras["differential"]
+        assert tally["total"] > 0
+        assert tally["matched"] == tally["total"], result.notes
+        assert result.extras["qps_by_workers"] == {
+            "1": pytest.approx(rows["mp x1"]["sustained qps"], rel=0.01)
+        }

@@ -12,12 +12,16 @@ from repro.core.incremental import IncrementalPageRank
 from repro.core.monte_carlo import build_walk_store
 from repro.core.salsa import IncrementalSALSA
 from repro.core.sharded_walks import ShardedWalkIndex
-from repro.core.walks import WalkStore
+from repro.core.walks import END_RESET, WalkSegment, WalkStore
 from repro.errors import ConfigurationError, WalkStateError
+from repro.graph.arrival import ArrivalEvent
 from repro.store.persistence import (
+    attach_engine,
+    attach_walk_store,
     load_engine,
     load_walk_store,
     save_engine,
+    save_shared_snapshot,
     save_walk_store,
 )
 
@@ -394,3 +398,129 @@ class TestShardedManifests:
         store = build_walk_store(random_graph, 2, 0.25, rng=41)
         with pytest.raises(ConfigurationError, match="sharded"):
             save_walk_store(store, tmp_path / "nope.npz", version=3)
+
+
+class TestSharedSnapshotAttach:
+    """Read-only attach over mmap-able shared snapshot directories."""
+
+    @staticmethod
+    def _segments(store):
+        return [
+            (seg.nodes, seg.end_reason)
+            for _, seg in store.iter_segments()
+        ]
+
+    def test_flat_attach_bit_identical_and_write_protected(
+        self, random_graph, tmp_path
+    ):
+        store = build_walk_store(random_graph, 3, 0.25, rng=21)
+        directory = save_shared_snapshot(store, tmp_path / "shared")
+        attached = attach_walk_store(directory)
+        assert isinstance(attached, ColumnarWalkStore)
+        assert attached.readonly
+        attached.check_invariants()
+        assert self._segments(attached) == self._segments(store)
+        assert attached.visit_count_array().tolist() == (
+            store.visit_count_array().tolist()
+        )
+        # bit-identical to an owned load of the same state
+        save_walk_store(store, tmp_path / "owned.npz")
+        owned = load_walk_store(tmp_path / "owned.npz")
+        assert self._segments(attached) == self._segments(owned)
+        with pytest.raises(WalkStateError, match="read-only"):
+            attached.add_segment(WalkSegment([0, 1], END_RESET))
+        with pytest.raises(WalkStateError, match="read-only"):
+            attached.compact()
+
+    def test_engine_attach_serves_identically(self, random_graph, tmp_path):
+        engine = IncrementalPageRank.from_graph(
+            random_graph, walks_per_node=2, rng=9
+        )
+        directory = save_shared_snapshot(engine, tmp_path / "engine")
+        attached = attach_engine(directory)
+        assert attached.walks.readonly
+        assert self._segments(attached.walks) == self._segments(engine.walks)
+        assert attached.graph.edge_list() == engine.graph.edge_list()
+        # removing an edge some walk traversed forces a reroute, which
+        # must hit the write guard on the attached store
+        edges = set(engine.graph.edge_list())
+        traversed = next(
+            (a, b)
+            for _, seg in engine.walks.iter_segments()
+            for a, b in zip(seg.nodes, seg.nodes[1:])
+            if (a, b) in edges
+        )
+        with pytest.raises(WalkStateError, match="read-only"):
+            attached.apply(ArrivalEvent("remove", *traversed))
+
+    def test_sharded_attach_round_trips_read_only(
+        self, random_graph, tmp_path
+    ):
+        engine = IncrementalPageRank.from_graph(
+            random_graph, walks_per_node=2, rng=10, store_backend="sharded:3"
+        )
+        directory = save_shared_snapshot(engine, tmp_path / "sharded")
+        attached = attach_engine(directory)
+        assert isinstance(attached.walks, ShardedWalkIndex)
+        assert attached.walks.readonly
+        assert self._segments(attached.walks) == self._segments(engine.walks)
+        with pytest.raises(WalkStateError, match="read-only"):
+            attached.walks.add_segment(WalkSegment([0, 1], END_RESET))
+
+    def test_missing_directory_and_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not a shared snapshot"):
+            attach_walk_store(tmp_path / "nowhere")
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ConfigurationError, match="not a shared snapshot"):
+            attach_walk_store(tmp_path / "empty")
+
+    def test_corrupt_manifest_rejected(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=22)
+        directory = save_shared_snapshot(store, tmp_path / "shared")
+        manifest = directory / "manifest.json"
+        manifest.write_text(manifest.read_text()[:40], encoding="utf-8")
+        with pytest.raises(WalkStateError, match="unreadable manifest"):
+            attach_walk_store(directory)
+
+    def test_truncated_manifest_listing_rejected(
+        self, random_graph, tmp_path
+    ):
+        store = build_walk_store(random_graph, 2, 0.25, rng=23)
+        directory = save_shared_snapshot(store, tmp_path / "shared")
+        manifest = directory / "manifest.json"
+        meta = json.loads(manifest.read_text(encoding="utf-8"))
+        meta["arrays"] = [a for a in meta["arrays"] if a != "segment_nodes"]
+        manifest.write_text(json.dumps(meta), encoding="utf-8")
+        with pytest.raises(WalkStateError, match="missing array"):
+            attach_walk_store(directory)
+
+    def test_missing_array_file_rejected(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=24)
+        directory = save_shared_snapshot(store, tmp_path / "shared")
+        (directory / "segment_lengths.npy").unlink()
+        with pytest.raises(WalkStateError, match="listed .* absent"):
+            attach_walk_store(directory)
+
+    def test_truncated_array_file_rejected(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=25)
+        directory = save_shared_snapshot(store, tmp_path / "shared")
+        arena = directory / "segment_nodes.npy"
+        arena.write_bytes(arena.read_bytes()[:16])
+        with pytest.raises(WalkStateError, match="corrupt shared snapshot"):
+            attach_walk_store(directory)
+
+    def test_arena_length_mismatch_rejected(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=26)
+        directory = save_shared_snapshot(store, tmp_path / "shared")
+        lengths = np.load(directory / "segment_lengths.npy")
+        if lengths.size:
+            lengths[0] += 1
+        np.save(directory / "segment_lengths.npy", lengths)
+        with pytest.raises(WalkStateError, match="length mismatch"):
+            attach_walk_store(directory)
+
+    def test_kind_mismatch_rejected(self, random_graph, tmp_path):
+        store = build_walk_store(random_graph, 2, 0.25, rng=27)
+        directory = save_shared_snapshot(store, tmp_path / "shared")
+        with pytest.raises(WalkStateError, match="expected"):
+            attach_engine(directory)

@@ -894,3 +894,147 @@ class TestTraffic:
         # p=1.0 and never exceeds it below
         assert 0.0 < stats.percentile(0.5) <= 0.003
         assert stats.percentile(1.0) == pytest.approx(0.003)
+
+
+# ----------------------------------------------------------------------
+# Arena generations (multi-process serving) + lifecycle shutdown
+# ----------------------------------------------------------------------
+
+
+class TestResultCacheGenerations:
+    def test_bump_generation_drops_everything_and_advances(self):
+        cache = ResultCache(capacity=8)
+        cache.put("a", 1, {1}, epoch=0)
+        cache.put("b", 2, {2}, epoch=0)
+        version = cache.version
+        generation = cache.bump_generation()
+        assert generation == cache.generation == 1
+        assert cache.generation_bumps == 1
+        assert cache.version > version  # version guard also invalidated
+        assert len(cache) == 0
+        assert cache.get("a") == (False, None)
+        assert cache.get("b") == (False, None)
+
+    def test_put_guarded_by_generation_rejects_stale_arena_results(self):
+        # the compute/swap race: a result computed against generation g
+        # must never land after the swap to g+1 — its walk read arena
+        # memory that no longer backs the store.
+        cache = ResultCache(capacity=8)
+        observed = cache.generation
+        cache.bump_generation()  # swap lands while the walk is in flight
+        assert (
+            cache.put("a", 1, {1}, epoch=0, generation=observed) is None
+        )
+        assert cache.get("a") == (False, None)
+        assert cache.stale_rejections == 1
+        # a result computed against the current generation still lands
+        assert cache.put("a", 2, {1}, epoch=0, generation=cache.generation)
+        assert cache.get("a") == (True, 2)
+
+    def test_same_user_key_is_distinct_across_generations(self):
+        cache = ResultCache(capacity=8)
+        cache.put("a", 1, {1}, epoch=0)
+        cache.bump_generation()
+        cache.put("a", 2, {1}, epoch=0)
+        assert cache.get("a") == (True, 2)
+        assert cache.keys() == ["a"]  # user-facing keys stay unprefixed
+
+    def test_swap_engine_bumps_generation_and_preserves_answers(self):
+        engine_a = _fresh_engine(31, nodes=24)
+        for u in range(24):
+            engine_a.add_edge(u, (u + 1) % 24)
+            engine_a.add_edge(u, (u + 5) % 24)
+        service = QueryEngine(engine_a, rng_seed=9)
+        before = service.top_k(3, 5, length=64)
+        assert service.results.generation == 0
+
+        # an identically-built engine stands in for a re-attached arena
+        engine_b = _fresh_engine(31, nodes=24)
+        for u in range(24):
+            engine_b.add_edge(u, (u + 1) % 24)
+            engine_b.add_edge(u, (u + 5) % 24)
+        generation = service.swap_engine(engine_b)
+        assert generation == 1
+        assert service.engine is engine_b
+        assert service.store is engine_b.pagerank_store
+        assert len(service.results) == 0
+        after = service.top_k(3, 5, length=64)
+        assert after.ranking == before.ranking  # same state, same RNG
+        # the new engine's update feed drives invalidation now
+        service.top_k(4, 5, length=64)
+        engine_b.add_edge(3, 9)
+        engine_a.add_edge(2, 8)  # old feed must be disconnected
+        assert service.results.generation == 1
+        service.detach()
+
+    def test_swap_engine_refused_in_bounded_mode(self):
+        engine = _fresh_engine(32, nodes=12)
+        for u in range(12):
+            engine.add_edge(u, (u + 1) % 12)
+        service = QueryEngine(engine, rng_seed=1, freshness="bounded")
+        with pytest.raises(ConfigurationError, match="bounded"):
+            service.swap_engine(engine)
+        service.detach()
+
+
+class TestDeterministicShutdown:
+    def test_batcher_close_is_idempotent_and_observable(self):
+        engine = _fresh_engine(33, nodes=12)
+        for u in range(12):
+            engine.add_edge(u, (u + 1) % 12)
+        service = QueryEngine(engine, rng_seed=2)
+        batcher = RequestBatcher(service, max_workers=2)
+        assert not batcher.closed
+        batcher.close()
+        assert batcher.closed
+        batcher.close()  # second close is a no-op, not an error
+        service.detach()
+
+    def test_batcher_context_manager_closes(self):
+        engine = _fresh_engine(34, nodes=12)
+        for u in range(12):
+            engine.add_edge(u, (u + 1) % 12)
+        service = QueryEngine(engine, rng_seed=2)
+        with RequestBatcher(service, max_workers=2) as batcher:
+            results = batcher.run(
+                [QueryRequest(kind="topk", seed=1, k=3)]
+            )
+            assert results[0] is not None
+        assert batcher.closed
+        service.detach()
+
+    def test_lifecycle_registry_closes_abandoned_components(self):
+        from repro import lifecycle
+
+        class Component:
+            def __init__(self):
+                self.closed = 0
+
+            def close(self):
+                self.closed += 1
+
+        component = Component()
+        lifecycle.register_for_shutdown(component)
+        lifecycle.shutdown_all()
+        assert component.closed == 1
+        # the registry drained: a second sweep must not double-close
+        lifecycle.shutdown_all()
+        assert component.closed == 1
+
+    def test_lifecycle_registry_holds_weak_references(self):
+        import gc
+        import weakref
+
+        from repro import lifecycle
+
+        class Component:
+            def close(self):  # pragma: no cover - must never run
+                raise AssertionError("collected component was closed")
+
+        component = Component()
+        finalized = weakref.ref(component)
+        lifecycle.register_for_shutdown(component)
+        del component
+        gc.collect()
+        assert finalized() is None  # registration didn't keep it alive
+        lifecycle.shutdown_all()  # and the dead entry is simply skipped
