@@ -26,13 +26,16 @@ paper-vs-measured record of every figure and table.
 
 from repro.core import (
     BatchUpdateReport,
+    BidirectionalKernel,
     ColumnarWalkStore,
     IncrementalPageRank,
     IncrementalSALSA,
     MonteCarloPageRank,
     PersonalizedPageRank,
     PersonalizedSALSA,
+    PprToTargetResult,
     QueryKernel,
+    ReversePushEngine,
     SalsaQueryKernel,
     ShardedWalkIndex,
     StalenessScheduler,
@@ -80,6 +83,9 @@ __all__ = [
     "PersonalizedSALSA",
     "QueryKernel",
     "SalsaQueryKernel",
+    "ReversePushEngine",
+    "BidirectionalKernel",
+    "PprToTargetResult",
     "UpdateReport",
     "BatchUpdateReport",
     "StalenessScheduler",

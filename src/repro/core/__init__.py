@@ -21,6 +21,12 @@ from repro.core.personalized import (
     StitchedWalkResult,
 )
 from repro.core.query_kernel import QueryKernel, SalsaQueryKernel
+from repro.core.reverse_push import (
+    BidirectionalKernel,
+    PprToTargetResult,
+    ReversePushEngine,
+    ReversePushResult,
+)
 from repro.core.salsa import (
     IncrementalSALSA,
     PersonalizedSALSA,
@@ -94,6 +100,10 @@ __all__ = [
     "FetchCache",
     "QueryKernel",
     "SalsaQueryKernel",
+    "ReversePushEngine",
+    "ReversePushResult",
+    "BidirectionalKernel",
+    "PprToTargetResult",
     "TopKResult",
     "top_k_dense",
     "top_k_personalized",

@@ -71,6 +71,12 @@ from repro.core.personalized import (
     StitchedWalkResult,
     _FetchedState,
 )
+from repro.core.reverse_push import (
+    BidirectionalKernel,
+    PprToTargetResult,
+    default_r_max,
+    default_walk_length,
+)
 from repro.core.salsa import SalsaWalkResult
 from repro.core.topk import TopKResult, walk_length_for_top_k
 from repro.core.walks import SIDE_HUB
@@ -280,10 +286,15 @@ class QueryKernel:
             self._walk_counter = registry.counter(
                 "repro_kernel_walks_total", "Walks executed by kernel batches"
             )
+            self._reverse_push_counter = registry.counter(
+                "repro_kernel_reverse_push_total",
+                "Reverse local-push frontier sweeps (one per distinct target)",
+            )
         else:
             self.profiler = None
             self._batch_counter = None
             self._walk_counter = None
+            self._reverse_push_counter = None
 
     # ------------------------------------------------------------------
     # Node payloads (one physical fetch per node per batch)
@@ -828,6 +839,89 @@ class QueryKernel:
                 )
             )
         return results
+
+    def batch_ppr_to_target(
+        self,
+        seeds: Sequence[int],
+        target: int,
+        delta: float,
+        *,
+        r_max: Optional[float] = None,
+        walk_length: Optional[int] = None,
+        rngs: Optional[Sequence[RngLike]] = None,
+        rng_seed: int = 0,
+        fetch_cache: Optional[FetchCache] = None,
+    ) -> list[PprToTargetResult]:
+        """FAST-PPR bidirectional ``pi_seed(target)`` estimates, batched.
+
+        One reverse push from ``target`` (tolerance ``r_max``, default
+        ``delta / 2``) is shared by every seed; each seed then closes the
+        residual gap with its own stitched forward walk, drawn on the
+        standard per-query stream ``default_rng([rng_seed, seed, length])``
+        so answers keep the batch-composition-independence contract.
+        ``walk_length=0`` requests the reverse-only mode: no walks run and
+        the estimate is ``push.estimates[seed]``, exact up to ``r_max``
+        (the mode the differential tests use for deterministic threshold
+        decisions).  The forward half is also skipped automatically when
+        the push drains every residual.
+        """
+        if delta <= 0.0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        seeds = [int(seed) for seed in seeds]
+        resolved_r_max = default_r_max(delta) if r_max is None else float(r_max)
+        if walk_length is None:
+            walk_length = default_walk_length(
+                delta, resolved_r_max, self.reset_probability
+            )
+        walk_length = int(walk_length)
+        if walk_length < 0:
+            raise ConfigurationError(
+                f"walk_length must be >= 0, got {walk_length}"
+            )
+        if not seeds:
+            return []
+        tracer = self.tracer
+        span = (
+            tracer.span(
+                "kernel.reverse_push",
+                target=int(target),
+                seeds=len(seeds),
+                delta=delta,
+            )
+            if tracer is not None and tracer.enabled
+            else nullcontext()
+        )
+        with span:
+            if self._reverse_push_counter is not None:
+                self._reverse_push_counter.inc()
+            bidirectional = BidirectionalKernel(
+                self.store.social_store.graph,
+                reset_probability=self.reset_probability,
+            )
+            push = bidirectional.prepare_target(target, r_max=resolved_r_max)
+            if walk_length > 0 and push.residual_mass != 0.0:
+                walks = self.batch_stitched_walks(
+                    seeds,
+                    walk_length,
+                    rngs=rngs,
+                    rng_seed=rng_seed,
+                    fetch_cache=fetch_cache,
+                )
+                return [
+                    bidirectional.estimate(
+                        push,
+                        seed,
+                        delta=delta,
+                        visit_counts=walk.visit_counts,
+                        resets=walk.resets,
+                        walk_length=walk_length,
+                    )
+                    for seed, walk in zip(seeds, walks)
+                ]
+            return [
+                bidirectional.estimate(push, seed, delta=delta, walk_length=0)
+                for seed in seeds
+            ]
 
 
 class SalsaQueryKernel:

@@ -1,0 +1,306 @@
+"""Reverse local-push PPR and the FAST-PPR bidirectional estimator.
+
+Forward walks (Algorithm 1) answer "where does mass from seed ``s`` go";
+they cannot efficiently answer the transpose question "how much mass
+reaches target ``t``" because a seed-centric walk almost never visits an
+unpopular target.  Reverse local push (Andersen et al. 2007, transposed;
+Lofgren & Goel 2013) works backwards from the target over the
+*in*-neighbor CSR, maintaining per-node estimates ``p`` and residuals
+``r`` with the invariant
+
+    pi_s(t) = p[s] + sum_v pi_s(v) * r[v]        for every seed s,
+
+derived from the target-side recurrence
+
+    pi_s(v) = eps * [v == s] + (1 - eps) * sum_{u -> v} pi_s(u) / outdeg(u).
+
+Initially ``r[t] = 1`` and ``p = 0``.  Pushing a node ``v`` moves
+``eps * r[v]`` into ``p[v]`` and spreads ``(1 - eps) * r[v] / outdeg(u)``
+onto each in-neighbor ``u`` of ``v``; the invariant is preserved at every
+step.  Once every residual is below ``r_max`` the additive error is
+
+    |pi_s(t) - p[s]| = sum_v pi_s(v) * r[v] <= r_max * ||pi_s||_1 <= r_max
+
+because the engine uses the same *absorbing* dangling semantics as
+:mod:`repro.baselines.power_iteration` (Equation 1 of the paper): a
+dangling node has no out-edges, hence never appears in any in-neighbor
+list, and the mass parked on it is simply lost rather than redistributed
+(so ``||pi_s||_1 <= 1``).
+
+:class:`BidirectionalKernel` then closes the gap below ``r_max`` with the
+stored forward walks.  A stitched walk of length ``L`` from seed ``s``
+decomposes into ``resets`` completed excursions, each an independent
+eps-killed walk from ``s``; renewal theory gives
+``E[visits to v per excursion] = pi_s(v) / eps``, so
+
+    pi_hat_s(t) = p[s] + (eps / resets) * sum_v X_v * r[v]
+
+where ``X_v`` are the walk's visit counts.  This is FAST-PPR's estimator:
+reverse work ~ edges touched above ``r_max``, forward work ~ walk length,
+meeting in the middle at sqrt cost instead of either side paying the full
+Theta(n) alone.
+
+The module deliberately depends only on numpy and the duck-typed graph
+(``to_csr("in")``, ``out_degree_array()``, ``num_nodes``) so it can be
+used by :mod:`repro.core.query_kernel` without an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, NodeNotFoundError
+
+__all__ = [
+    "ReversePushEngine",
+    "ReversePushResult",
+    "PprToTargetResult",
+    "BidirectionalKernel",
+    "default_r_max",
+    "default_walk_length",
+]
+
+
+def default_r_max(delta: float) -> float:
+    """Residual tolerance used when the caller does not pick one.
+
+    Splitting the additive error budget evenly between the reverse and
+    forward halves (FAST-PPR's balanced choice) makes ``delta``-threshold
+    decisions reliable once the forward side concentrates.
+    """
+    return float(delta) / 2.0
+
+
+def default_walk_length(delta: float, r_max: float, reset_probability: float,
+                        *, c: float = 8.0, floor: int = 64) -> int:
+    """Forward walk length pairing with ``r_max`` for a ``delta`` threshold.
+
+    The forward side must resolve contributions of size ``delta / r_max``
+    relative to the residual mass; ``c * r_max / (delta * eps)`` steps give
+    ~``c * r_max / delta`` excursions.  The floor keeps tiny thresholds
+    from degenerating into single-excursion estimates.
+    """
+    if delta <= 0.0 or r_max <= 0.0:
+        raise ConfigurationError("delta and r_max must be positive")
+    length = int(np.ceil(c * r_max / (float(delta) * float(reset_probability))))
+    return max(int(floor), length)
+
+
+@dataclass(frozen=True)
+class ReversePushResult:
+    """Frontier-complete state of one reverse push from ``target``.
+
+    ``estimates[s]`` approximates ``pi_s(target)`` with additive error at
+    most ``r_max`` (every ``residuals`` entry is ``< r_max`` on return,
+    or ``== 0`` when the push drained completely).
+    """
+
+    target: int
+    reset_probability: float
+    r_max: float
+    estimates: np.ndarray
+    residuals: np.ndarray
+    pushes: int
+    rounds: int
+    residual_mass: float
+    #: Every node whose estimate or residual became nonzero (plus the
+    #: target itself) — the sound invalidation footprint for caching.
+    touched: frozenset = field(repr=False)
+
+
+@dataclass(frozen=True)
+class PprToTargetResult:
+    """One seed's bidirectional PPR-to-target estimate."""
+
+    seed: int
+    target: int
+    delta: float
+    #: ``reverse_estimate + forward_contribution``.
+    estimate: float
+    #: Threshold decision ``estimate >= delta`` (FAST-PPR's query form).
+    above_delta: bool
+    reverse_estimate: float
+    forward_contribution: float
+    walk_length: int
+    resets: int
+    r_max: float
+    pushes: int
+    #: True when no forward walk was needed: either the caller asked for
+    #: the reverse-only mode (``walk_length=0``) or the push drained every
+    #: residual, making ``estimate`` exact up to ``r_max``.
+    exact: bool
+    #: Every node this estimate read: the push's touched set, the forward
+    #: walk's visited nodes, and the (seed, target) endpoints.  Any edge
+    #: update outside this set cannot change the estimate, so it is the
+    #: sound invalidation footprint for result caching.
+    footprint: frozenset = field(repr=False, default=frozenset())
+
+
+class ReversePushEngine:
+    """Vectorized reverse local push over a static snapshot of the graph.
+
+    One engine instance corresponds to one graph version: it freezes the
+    in-neighbor CSR and out-degree array at construction.  The serving
+    layer rebuilds it per query under the store read lock, which keeps
+    the push consistent with the walks it is later combined with.
+    """
+
+    def __init__(self, graph, *, reset_probability: float = 0.2):
+        if not 0.0 < reset_probability < 1.0:
+            raise ConfigurationError(
+                f"reset_probability must be in (0, 1), got {reset_probability}"
+            )
+        self.reset_probability = float(reset_probability)
+        self.num_nodes = int(graph.num_nodes)
+        csr = graph.to_csr("in")
+        self._indptr = csr.indptr
+        self._indices = csr.indices
+        self._out_degree = np.asarray(graph.out_degree_array(), dtype=np.float64)
+        # Receivers always have outdeg >= 1 (they own the pushed edge), so
+        # the substituted 1.0 for dangling nodes is never actually used —
+        # it only keeps the vectorized divide clean of warnings.
+        self._inv_out_degree = np.divide(
+            1.0,
+            self._out_degree,
+            out=np.ones(self.num_nodes, dtype=np.float64),
+            where=self._out_degree > 0,
+        )
+
+    def push(self, target: int, *, r_max: float) -> ReversePushResult:
+        """Run reverse push from ``target`` until all residuals < ``r_max``.
+
+        Pushes happen in synchronous rounds over the frontier
+        ``np.flatnonzero(residuals >= r_max)`` — ascending node order, so
+        the result is a deterministic function of (graph, target, r_max).
+        Residuals are zeroed *before* the scatter so a self-loop correctly
+        re-deposits onto its own node.  Each push absorbs at least
+        ``eps * r_max`` into the estimates, bounding total pushes by
+        ``1 / (eps * r_max)``.
+        """
+        if not 0 <= target < self.num_nodes:
+            raise NodeNotFoundError(f"target {target} not in graph")
+        if not r_max > 0.0:
+            raise ConfigurationError(f"r_max must be positive, got {r_max}")
+        eps = self.reset_probability
+        n = self.num_nodes
+        estimates = np.zeros(n, dtype=np.float64)
+        residuals = np.zeros(n, dtype=np.float64)
+        residuals[target] = 1.0
+        touched = np.zeros(n, dtype=bool)
+        touched[target] = True
+
+        indptr, indices = self._indptr, self._indices
+        inv_deg = self._inv_out_degree
+        pushes = 0
+        rounds = 0
+        while True:
+            frontier = np.flatnonzero(residuals >= r_max)
+            if frontier.size == 0:
+                break
+            rounds += 1
+            pushes += int(frontier.size)
+            value = residuals[frontier]
+            estimates[frontier] += eps * value
+            residuals[frontier] = 0.0
+            counts = indptr[frontier + 1] - indptr[frontier]
+            has_in = counts > 0
+            if np.any(has_in):
+                src = frontier[has_in]
+                src_counts = counts[has_in]
+                gather = np.concatenate(
+                    [indices[indptr[v] : indptr[v + 1]] for v in src]
+                )
+                amounts = (1.0 - eps) * np.repeat(value[has_in], src_counts)
+                amounts *= inv_deg[gather]
+                residuals += np.bincount(gather, weights=amounts, minlength=n)
+                touched[gather] = True
+        residuals[residuals < 0.0] = 0.0  # guard fp round-off
+        return ReversePushResult(
+            target=int(target),
+            reset_probability=eps,
+            r_max=float(r_max),
+            estimates=estimates,
+            residuals=residuals,
+            pushes=pushes,
+            rounds=rounds,
+            residual_mass=float(residuals.sum()),
+            touched=frozenset(np.flatnonzero(touched).tolist()),
+        )
+
+
+class BidirectionalKernel:
+    """Combine a reverse push with forward walk statistics (FAST-PPR).
+
+    The kernel is walk-agnostic: callers hand it the visit counts and
+    reset count of any eps-killed forward walk (stitched or plain), and
+    it folds them into the push's residual gap.  ``resets`` of zero means
+    no excursion completed — the forward term is then undefined and
+    reported as 0.0, leaving the (conservative) reverse estimate.
+    """
+
+    def __init__(self, graph, *, reset_probability: float = 0.2):
+        self.reverse = ReversePushEngine(
+            graph, reset_probability=reset_probability
+        )
+        self.reset_probability = self.reverse.reset_probability
+
+    def prepare_target(self, target: int, *, r_max: float) -> ReversePushResult:
+        return self.reverse.push(target, r_max=r_max)
+
+    def forward_contribution(
+        self, push: ReversePushResult, visit_counts, resets: int
+    ) -> float:
+        """``(eps / resets) * sum_v X_v * r[v]`` from one forward walk."""
+        if resets <= 0:
+            return 0.0
+        residuals = push.residuals
+        total = 0.0
+        # summed in sorted node order so the float result is bit-identical
+        # no matter which backend's walk produced the (equal) counts
+        for node in sorted(visit_counts):
+            value = residuals[node]
+            if value != 0.0:
+                total += visit_counts[node] * value
+        return self.reset_probability * total / resets
+
+    def estimate(
+        self,
+        push: ReversePushResult,
+        seed: int,
+        *,
+        delta: float,
+        visit_counts=None,
+        resets: int = 0,
+        walk_length: int = 0,
+        exact: Optional[bool] = None,
+    ) -> PprToTargetResult:
+        reverse_estimate = float(push.estimates[seed])
+        if visit_counts is None:
+            forward = 0.0
+            footprint = push.touched | {int(seed), push.target}
+        else:
+            forward = self.forward_contribution(push, visit_counts, resets)
+            footprint = (
+                push.touched | set(visit_counts) | {int(seed), push.target}
+            )
+        estimate = reverse_estimate + forward
+        if exact is None:
+            exact = push.residual_mass == 0.0 or walk_length == 0
+        return PprToTargetResult(
+            seed=int(seed),
+            target=push.target,
+            delta=float(delta),
+            estimate=estimate,
+            above_delta=bool(estimate >= delta),
+            reverse_estimate=reverse_estimate,
+            forward_contribution=forward,
+            walk_length=int(walk_length),
+            resets=int(resets),
+            r_max=push.r_max,
+            pushes=push.pushes,
+            exact=bool(exact),
+            footprint=frozenset(footprint),
+        )

@@ -51,6 +51,7 @@ __all__ = ["QueryRequest", "RequestBatcher"]
 
 PPR = "ppr"
 TOP_K = "topk"
+PPR_TO_TARGET = "pprt"
 
 
 @dataclass(frozen=True)
@@ -61,17 +62,34 @@ class QueryRequest:
     seed: int = 0
     k: int = 10
     #: Explicit walk length; None lets top-k size the walk via Equation 4
-    #: (required for ``kind='ppr'``).
+    #: (required for ``kind='ppr'``; for ``kind='pprt'`` it is the forward
+    #: walk length, 0 = reverse-only, None = FAST-PPR default sizing).
     length: Optional[int] = None
     exclude_friends: bool = True
+    #: ``kind='pprt'`` only: the target node and the PPR threshold delta.
+    target: Optional[int] = None
+    delta: Optional[float] = None
+    #: ``kind='pprt'`` only: reverse-push residual tolerance (None =
+    #: ``delta / 2``).
+    r_max: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in (PPR, TOP_K):
+        if self.kind not in (PPR, TOP_K, PPR_TO_TARGET):
             raise ConfigurationError(
-                f"kind must be '{PPR}' or '{TOP_K}', got {self.kind!r}"
+                f"kind must be '{PPR}', '{TOP_K}' or '{PPR_TO_TARGET}', "
+                f"got {self.kind!r}"
             )
         if self.kind == PPR and self.length is None:
             raise ConfigurationError("ppr requests need an explicit length")
+        if self.kind == PPR_TO_TARGET:
+            if self.target is None or self.delta is None:
+                raise ConfigurationError(
+                    "pprt requests need a target and a delta"
+                )
+            if self.delta <= 0.0:
+                raise ConfigurationError(
+                    f"delta must be positive, got {self.delta}"
+                )
 
 
 class RequestBatcher:
@@ -191,6 +209,14 @@ class RequestBatcher:
             with span:
                 if request.kind == PPR:
                     return self.query_engine.ppr(request.seed, request.length)
+                if request.kind == PPR_TO_TARGET:
+                    return self.query_engine.ppr_to_target(
+                        request.seed,
+                        request.target,
+                        request.delta,
+                        r_max=request.r_max,
+                        walk_length=request.length,
+                    )
                 return self.query_engine.top_k(
                     request.seed,
                     request.k,
@@ -283,6 +309,11 @@ class RequestBatcher:
                 # concurrent chunks below never contend on the flush lock
                 self.query_engine.ensure_fresh_for(
                     {request.seed for request in admitted}
+                    | {
+                        request.target
+                        for request in admitted
+                        if request.kind == PPR_TO_TARGET
+                    }
                 )
                 # one kernel invocation per worker pass: ceil-split the drain
                 # across the pool, capped at max_kernel_batch per invocation

@@ -49,6 +49,12 @@ from repro.core.personalized import (
     StitchedWalkResult,
 )
 from repro.core.query_kernel import QueryKernel
+from repro.core.reverse_push import (
+    BidirectionalKernel,
+    PprToTargetResult,
+    default_r_max,
+    default_walk_length,
+)
 from repro.core.scheduler import StalenessScheduler
 from repro.core.topk import TopKResult, walk_length_for_top_k
 from repro.errors import ConfigurationError
@@ -284,6 +290,55 @@ class QueryEngine:
             ),
         )[0]
 
+    def ppr_to_target(
+        self,
+        seed: int,
+        target: int,
+        delta: float,
+        *,
+        r_max: Optional[float] = None,
+        walk_length: Optional[int] = None,
+    ) -> PprToTargetResult:
+        """Bidirectional ``pi_seed(target)`` estimate (FAST-PPR query shape).
+
+        A reverse local push from ``target`` down to residual tolerance
+        ``r_max`` (default ``delta / 2``), combined with a forward
+        stitched walk from ``seed`` on the standard
+        ``query_rng(seed, walk_length)`` stream — so the answer is
+        deterministic and batch-composition independent, like every other
+        query.  ``walk_length=0`` skips the forward walk (reverse-only,
+        exact up to ``r_max``).  Defaults are resolved *before* the cache
+        key is formed, so equivalent queries share one cache slot, and
+        the cached footprint covers the push's touched set plus the
+        walk's visit set — any edge update outside it cannot change the
+        answer.
+        """
+        if delta <= 0.0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        self.ensure_fresh_for((seed, target))
+        resolved_r_max = default_r_max(delta) if r_max is None else float(r_max)
+        resolved_length = (
+            default_walk_length(
+                delta, resolved_r_max, self.engine.reset_probability
+            )
+            if walk_length is None
+            else int(walk_length)
+        )
+        key = (
+            "pprt",
+            seed,
+            target,
+            float(delta),
+            resolved_r_max,
+            resolved_length,
+        )
+        return self._served(
+            key,
+            lambda: self._run_ppr_to_target(
+                seed, target, float(delta), resolved_r_max, resolved_length
+            ),
+        )[0]
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -379,6 +434,52 @@ class QueryEngine:
     def _seed_walk_count(self, seed: int) -> int:
         return max(len(self.store.walks.segments_starting_at(seed)), 1)
 
+    def _run_ppr_to_target(
+        self, seed: int, target: int, delta: float, r_max: float, length: int
+    ):
+        with self._store_read_lock():
+            if self.kernel is not None:
+                result = self.kernel.batch_ppr_to_target(
+                    [seed],
+                    target,
+                    delta,
+                    r_max=r_max,
+                    walk_length=length,
+                    rng_seed=self.rng_seed,
+                    fetch_cache=self.fetch_cache,
+                )[0]
+            else:
+                result = self._scalar_ppr_to_target(
+                    seed, target, delta, r_max, length
+                )
+        return result, result.footprint
+
+    def _scalar_ppr_to_target(
+        self, seed: int, target: int, delta: float, r_max: float, length: int
+    ) -> PprToTargetResult:
+        """Reference-walker fallback; caller holds the store read lock."""
+        bidirectional = BidirectionalKernel(
+            self.store.social_store.graph,
+            reset_probability=self.engine.reset_probability,
+        )
+        push = bidirectional.prepare_target(target, r_max=r_max)
+        if length > 0 and push.residual_mass != 0.0:
+            walk = self._walker.stitched_walk(
+                seed,
+                length,
+                rng=self.query_rng(seed, length),
+                fetch_cache=self.fetch_cache,
+            )
+            return bidirectional.estimate(
+                push,
+                seed,
+                delta=delta,
+                visit_counts=walk.visit_counts,
+                resets=walk.resets,
+                walk_length=length,
+            )
+        return bidirectional.estimate(push, seed, delta=delta, walk_length=0)
+
     # ------------------------------------------------------------------
     # Batched execution (one kernel invocation per drain)
     # ------------------------------------------------------------------
@@ -387,11 +488,13 @@ class QueryEngine:
         """Answer many requests with one kernel invocation for the misses.
 
         ``requests`` are :class:`~repro.serve.batcher.QueryRequest`-shaped
-        objects (``kind``/``seed``/``k``/``length``/``exclude_friends``).
+        objects (``kind``/``seed``/``k``/``length``/``exclude_friends``,
+        plus ``target``/``delta``/``r_max`` for ``"pprt"`` requests).
         Duplicate query keys are computed once; cache hits are served from
-        the result cache; every remaining miss joins one
+        the result cache; every remaining walk miss joins one
         :meth:`QueryKernel.batch_stitched_walks` call sharing the fetch
-        cache.  Each answer is identical to what the corresponding
+        cache, and ``pprt`` misses share one reverse push per distinct
+        target through :meth:`QueryKernel.batch_ppr_to_target`.  Each answer is identical to what the corresponding
         single-query :meth:`ppr` / :meth:`top_k` call would return — the
         kernel's per-query RNG streams make results independent of batch
         composition — so batching is purely a throughput decision.
@@ -399,12 +502,60 @@ class QueryEngine:
         """
         if not requests:
             return []
-        self.ensure_fresh_for({request.seed for request in requests})
+        freshen = {request.seed for request in requests}
+        freshen.update(
+            request.target
+            for request in requests
+            if getattr(request, "kind", None) == "pprt"
+        )
+        self.ensure_fresh_for(freshen)
         started = self.clock()
         num_nodes = self.store.social_store.num_nodes
         specs = []  # (key, kind, seed, walk_length, k, exclude_friends)
+        # pprt specs are wider: (key, "pprt", seed, target, delta, r_max, len)
         for request in requests:
-            if request.kind == "ppr":
+            if request.kind == "pprt":
+                if request.target is None or request.delta is None:
+                    raise ConfigurationError(
+                        "pprt requests need a target and a delta"
+                    )
+                delta = float(request.delta)
+                if delta <= 0.0:
+                    raise ConfigurationError(
+                        f"delta must be positive, got {delta}"
+                    )
+                r_max = (
+                    default_r_max(delta)
+                    if getattr(request, "r_max", None) is None
+                    else float(request.r_max)
+                )
+                length = (
+                    default_walk_length(
+                        delta, r_max, self.engine.reset_probability
+                    )
+                    if request.length is None
+                    else int(request.length)
+                )
+                key = (
+                    "pprt",
+                    request.seed,
+                    request.target,
+                    delta,
+                    r_max,
+                    length,
+                )
+                specs.append(
+                    (
+                        key,
+                        "pprt",
+                        request.seed,
+                        request.target,
+                        delta,
+                        r_max,
+                        length,
+                    )
+                )
+            elif request.kind == "ppr":
                 if request.length is None:
                     raise ConfigurationError(
                         "ppr requests need an explicit length"
@@ -447,6 +598,7 @@ class QueryEngine:
 
         resolved: dict[Hashable, object] = {}
         misses = []
+        pprt_misses = []
         seen = set()
         for spec in specs:
             key = spec[0]
@@ -461,7 +613,54 @@ class QueryEngine:
                         hit=True, latency=self.clock() - started
                     )
                     continue
-            misses.append(spec)
+            if spec[1] == "pprt":
+                pprt_misses.append(spec)
+            else:
+                misses.append(spec)
+
+        if pprt_misses:
+            guard_version = self.results.version
+            guard_generation = self.results.generation
+            # One reverse push per distinct (target, delta, r_max, length):
+            # the push is seed-independent, so all that group's seeds share
+            # it through a single kernel call.
+            groups: dict[tuple, list] = {}
+            for spec in pprt_misses:
+                groups.setdefault(spec[3:], []).append(spec)
+            with self._store_read_lock():
+                for (target, delta, r_max, length), group in groups.items():
+                    group_seeds = [spec[2] for spec in group]
+                    if self.kernel is not None:
+                        answers = self.kernel.batch_ppr_to_target(
+                            group_seeds,
+                            target,
+                            delta,
+                            r_max=r_max,
+                            walk_length=length,
+                            rng_seed=self.rng_seed,
+                            fetch_cache=self.fetch_cache,
+                        )
+                    else:
+                        answers = [
+                            self._scalar_ppr_to_target(
+                                seed, target, delta, r_max, length
+                            )
+                            for seed in group_seeds
+                        ]
+                    for spec, answer in zip(group, answers):
+                        if self.cache_results:
+                            self.results.put(
+                                spec[0],
+                                answer,
+                                answer.footprint,
+                                self.engine.epoch,
+                                guard_version=guard_version,
+                                generation=guard_generation,
+                            )
+                        resolved[spec[0]] = answer
+            latency = self.clock() - started
+            for _ in pprt_misses:
+                self.stats.record_query(hit=False, latency=latency)
 
         if misses:
             guard_version = self.results.version

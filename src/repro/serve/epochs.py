@@ -55,32 +55,51 @@ __all__ = ["ArenaPublisher", "read_current", "CURRENT_NAME"]
 CURRENT_NAME = "CURRENT"
 
 
+#: Re-reads of ``CURRENT`` tolerated while a concurrent publish+prune is
+#: flipping the pointer (each retry either returns or sees a new value,
+#: so the loop terminates as soon as the pointer stops moving).
+_READ_CURRENT_RETRIES = 8
+
+
 def read_current(root) -> Tuple[int, Path]:
     """Resolve the live ``(generation, snapshot directory)`` under ``root``.
 
     Raises :class:`ConfigurationError` when ``root`` has no ``CURRENT``
     pointer (nothing published yet) and :class:`WalkStateError` when the
     pointer is unreadable or names a missing generation directory.
+
+    A reader can race a concurrent publish+prune: it reads a pointer
+    naming generation ``G``, the coordinator flips to ``G+1`` and prunes
+    ``G``, and the directory check then fails even though a fresh read
+    would succeed.  The pointer is therefore re-read (bounded) whenever
+    the named directory is missing *and* the pointer has moved since —
+    only a pointer that stably names a missing directory is an error.
     """
     root = Path(root)
     pointer = root / CURRENT_NAME
-    if not pointer.is_file():
-        raise ConfigurationError(
-            f"no published generation under {root} (missing {CURRENT_NAME})"
-        )
-    try:
-        data = json.loads(pointer.read_text(encoding="utf-8"))
-        generation = int(data["generation"])
-        directory = root / str(data["directory"])
-    except (ValueError, KeyError, TypeError, OSError) as exc:
-        raise WalkStateError(
-            f"unreadable generation pointer {pointer}: {exc}"
-        ) from exc
-    if not directory.is_dir():
-        raise WalkStateError(
-            f"generation pointer names missing snapshot {directory}"
-        )
-    return generation, directory
+    last_generation = None
+    generation, directory = 0, root
+    for _ in range(_READ_CURRENT_RETRIES):
+        if not pointer.is_file():
+            raise ConfigurationError(
+                f"no published generation under {root} (missing {CURRENT_NAME})"
+            )
+        try:
+            data = json.loads(pointer.read_text(encoding="utf-8"))
+            generation = int(data["generation"])
+            directory = root / str(data["directory"])
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            raise WalkStateError(
+                f"unreadable generation pointer {pointer}: {exc}"
+            ) from exc
+        if directory.is_dir():
+            return generation, directory
+        if last_generation == generation:
+            break
+        last_generation = generation
+    raise WalkStateError(
+        f"generation pointer names missing snapshot {directory}"
+    )
 
 
 class ArenaPublisher:
@@ -131,8 +150,10 @@ class ArenaPublisher:
         directory = self.generation_dir(generation)
         if directory.exists():
             # a half-written leftover from a crashed publish; CURRENT
-            # never pointed at it, so it is safe to discard
-            shutil.rmtree(directory)
+            # never pointed at it, so it is safe to discard — and a
+            # concurrent prune may be deleting it right now, so missing
+            # entries mid-removal must not crash the publish
+            shutil.rmtree(directory, ignore_errors=True)
         save_shared_snapshot(target, directory)
         pointer = self.root / CURRENT_NAME
         tmp = self.root / (CURRENT_NAME + ".tmp")
@@ -149,10 +170,20 @@ class ArenaPublisher:
     def prune(self, *, keep: Optional[int] = None) -> int:
         """Delete generations older than the newest ``keep`` (default
         ``retain``).  The live generation is never pruned.  Returns the
-        number of directories removed."""
+        number of directories removed.
+
+        Crash-safe against concurrent activity in the root: a generation
+        directory may disappear mid-scan (another prune, or an operator
+        cleanup) and candidate directories are re-checked and removed with
+        errors ignored, so retention never takes the publisher down.
+        """
         keep = self.retain if keep is None else max(1, keep)
         removed = 0
-        for path in sorted(self.root.glob("gen-*")):
+        try:
+            candidates = sorted(self.root.glob("gen-*"))
+        except OSError:
+            return 0
+        for path in candidates:
             if not path.is_dir():
                 continue
             try:
@@ -161,7 +192,8 @@ class ArenaPublisher:
                 continue
             if generation <= self._generation - keep:
                 shutil.rmtree(path, ignore_errors=True)
-                removed += 1
+                if not path.exists():
+                    removed += 1
         return removed
 
     def __repr__(self) -> str:

@@ -11,9 +11,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.baselines.power_iteration import exact_personalized_pagerank
 from repro.core.columnar import make_walk_store
 from repro.core.incremental import IncrementalPageRank
 from repro.core.personalized import PersonalizedPageRank
+from repro.core.query_kernel import QueryKernel
 from repro.core.salsa import IncrementalSALSA
 from repro.graph.digraph import DynamicDiGraph
 from repro.serve.engine import QueryEngine
@@ -221,3 +223,123 @@ def test_query_engine_on_all_dangling_graph():
         assert result.ranking == []
         assert qe.ppr(1, 25).visit_counts == {1: 25}
         qe.detach()
+
+
+# ----------------------------------------------------------------------
+# Reverse push / ppr_to_target: dangling + self-loop parity with the
+# brute-force power-iteration baseline (absorbing Equation-1 semantics)
+# ----------------------------------------------------------------------
+
+
+def _edge_case_graph() -> DynamicDiGraph:
+    """8 nodes exercising every awkward structure at once: a cycle core, a
+    self-loop on node 2, dangling sinks 4 and 6, and a dangling isolate 7."""
+    graph = DynamicDiGraph(8)
+    for u, v in [(0, 1), (1, 2), (2, 0), (2, 2), (1, 3), (3, 4), (0, 5), (5, 6)]:
+        graph.add_edge(u, v)
+    return graph
+
+
+@pytest.mark.parametrize("target", [0, 2, 4, 7])
+def test_ppr_to_target_exact_parity_on_edge_graph(target):
+    """Reverse-only mode matches power iteration through dangling nodes and
+    self-loops, bit-identically on every backend (the push reads only the
+    graph, which all backends share)."""
+    graph = _edge_case_graph()
+    truth = exact_personalized_pagerank(graph, list(range(8)))[:, target]
+    per_backend = []
+    for engine in _engines(graph):
+        kernel = QueryKernel(
+            engine.pagerank_store, reset_probability=engine.reset_probability
+        )
+        answers = kernel.batch_ppr_to_target(
+            list(range(8)), target, 0.05, r_max=1e-12, walk_length=0
+        )
+        estimates = [answer.estimate for answer in answers]
+        np.testing.assert_allclose(estimates, truth, atol=1e-9)
+        assert all(answer.exact for answer in answers)
+        assert [answer.above_delta for answer in answers] == [
+            value >= 0.05 for value in truth
+        ]
+        per_backend.append(tuple(estimates))
+    assert per_backend.count(per_backend[0]) == len(BACKENDS)
+
+
+def test_ppr_to_target_dangling_isolate_is_reset_probability():
+    """pi_7(7) for a dangling isolate is exactly eps under Equation-1
+    semantics; the push drains in one round (no in-neighbors) and reports
+    itself exact, auto-skipping the forward walk."""
+    graph = _edge_case_graph()
+    eps = 0.2
+    for engine in _engines(graph):
+        kernel = QueryKernel(engine.pagerank_store, reset_probability=eps)
+        answer = kernel.batch_ppr_to_target([7], 7, 0.05, r_max=0.5)[0]
+        assert answer.exact
+        assert answer.walk_length == 0  # auto-skipped: residuals drained
+        assert answer.estimate == pytest.approx(eps, abs=1e-12)
+        other = kernel.batch_ppr_to_target([0], 7, 0.05, r_max=0.5)[0]
+        assert other.estimate == 0.0  # nothing reaches an isolate
+
+
+def test_ppr_to_target_error_bound_at_loose_tolerance():
+    """Reverse-only estimates honor the additive r_max bound on a graph
+    with dangling nodes and a self-loop."""
+    graph = _edge_case_graph()
+    exact = exact_personalized_pagerank(graph, list(range(8)))
+    engine = _engines(graph)[0]
+    kernel = QueryKernel(
+        engine.pagerank_store, reset_probability=engine.reset_probability
+    )
+    for target in (0, 2):
+        answers = kernel.batch_ppr_to_target(
+            list(range(8)), target, 0.05, r_max=0.01, walk_length=0
+        )
+        for seed, answer in enumerate(answers):
+            assert abs(answer.estimate - exact[seed, target]) <= 0.01 + 1e-12
+            # reverse push only ever *under*-estimates (residual >= 0)
+            assert answer.estimate <= exact[seed, target] + 1e-12
+
+
+def test_ppr_to_target_bidirectional_dangling_seed():
+    """Full estimator with a dangling seed: every forward excursion dies
+    immediately at the seed, and the renewal correction still recovers
+    pi_7(7) = eps (restart-at-dangling walks are consistent with the
+    absorbing baseline)."""
+    graph = _edge_case_graph()
+    for engine in _engines(graph):
+        kernel = QueryKernel(
+            engine.pagerank_store, reset_probability=engine.reset_probability
+        )
+        # r_max > 1 forces a zero-push result: the whole estimate comes
+        # from the forward walk hitting the target's unit residual
+        answer = kernel.batch_ppr_to_target(
+            [7], 7, 0.05, r_max=1.5, walk_length=200, rng_seed=3
+        )[0]
+        assert not answer.exact
+        assert answer.reverse_estimate == 0.0
+        assert answer.estimate == pytest.approx(0.2, abs=0.01)
+
+
+def test_ppr_to_target_bidirectional_backends_bit_identical():
+    """The full bidirectional estimate (reverse push + kernel forward
+    walks) is a bit-identical float on every backend, and lands within the
+    r_max budget of the exact answer on the edge-case graph."""
+    graph = _edge_case_graph()
+    exact = exact_personalized_pagerank(graph, list(range(8)))
+    per_backend = []
+    for engine in _engines(graph):
+        kernel = QueryKernel(
+            engine.pagerank_store, reset_probability=engine.reset_probability
+        )
+        answers = kernel.batch_ppr_to_target(
+            list(range(8)), 2, 0.05, r_max=0.02, walk_length=400, rng_seed=5
+        )
+        for seed, answer in enumerate(answers):
+            assert abs(answer.estimate - exact[seed, 2]) <= 0.02
+        per_backend.append(
+            tuple(
+                (answer.estimate, answer.forward_contribution, answer.resets)
+                for answer in answers
+            )
+        )
+    assert per_backend.count(per_backend[0]) == len(BACKENDS)

@@ -3,8 +3,9 @@
 One seeded op-sequence generator drives every :class:`WalkIndex` backend —
 object, columnar, and sharded with shard counts {1, 2, 4, 7} — through the
 same interleaving of edge arrivals/removals, batched slices, PPR / top-k /
-multi-seed kernel (``ppr_batch``) / SALSA queries, and persistence
-roundtrips, asserting a **bit-identical observable trace at every step**
+multi-seed kernel (``ppr_batch``) / bidirectional PPR-to-target
+(``reverse_push``) / SALSA queries, and persistence roundtrips, asserting
+a **bit-identical observable trace at every step**
 (DESIGN.md §6's determinism contract, §9's shard-count-invariance
 guarantee, and §10's kernel stream contract under interleaved updates).
 
@@ -99,6 +100,24 @@ def generate_ops(
                 for _ in range(int(driver.integers(2, 6)))
             ]
             ops.append(("ppr_batch", batch_seeds, index))
+            continue
+        if not salsa and roll < 0.32:
+            # bidirectional PPR-to-target: mixes reverse-only exact pushes
+            # (walk_length 0) with full bidirectional estimates
+            qseeds = [
+                int(driver.integers(NUM_NODES))
+                for _ in range(int(driver.integers(1, 5)))
+            ]
+            walk_length = 0 if driver.random() < 0.4 else 300
+            ops.append(
+                (
+                    "reverse_push",
+                    int(driver.integers(NUM_NODES)),
+                    qseeds,
+                    walk_length,
+                    index,
+                )
+            )
             continue
         kind = kinds[int(driver.integers(len(kinds)))]
         if kind in ("add", "remove"):
@@ -285,6 +304,45 @@ def replay(
                             walk.resets,
                         )
                         for walk in walks
+                    ),
+                )
+            )
+        elif kind == "reverse_push":
+            # bidirectional estimator: the reverse push reads only the
+            # graph (backend-independent) and the forward walks run on the
+            # kernel's normative streams, so every float in the digest —
+            # estimates, decisions, push/reset accounting — must be
+            # bit-identical across backends, stale store included
+            _, target, qseeds, walk_length, index = op
+            kernel = QueryKernel(
+                engine.pagerank_store,
+                reset_probability=engine.reset_probability,
+            )
+            answers = kernel.batch_ppr_to_target(
+                [qseed % engine.num_nodes for qseed in qseeds],
+                target % engine.num_nodes,
+                10 / engine.num_nodes,
+                r_max=5 / engine.num_nodes,
+                walk_length=walk_length,
+                rngs=[
+                    np.random.default_rng([seed, index, position])
+                    for position in range(len(qseeds))
+                ],
+            )
+            trace.append(
+                (
+                    "reverse_push",
+                    tuple(
+                        (
+                            answer.estimate,
+                            answer.above_delta,
+                            answer.reverse_estimate,
+                            answer.forward_contribution,
+                            answer.pushes,
+                            answer.resets,
+                            answer.exact,
+                        )
+                        for answer in answers
                     ),
                 )
             )

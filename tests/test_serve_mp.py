@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import queue
+import threading
 
 import numpy as np
 import pytest
@@ -64,13 +65,26 @@ def _fresh_engine(prefix_events):
 
 
 def _wave(offset: int = 0):
-    return [
-        QueryRequest(kind="topk", seed=(offset + s) % NUM_NODES, k=5)
-        for s in range(12)
-    ] + [
-        QueryRequest(kind="ppr", seed=(offset + s) % NUM_NODES, length=48)
-        for s in range(4)
-    ]
+    return (
+        [
+            QueryRequest(kind="topk", seed=(offset + s) % NUM_NODES, k=5)
+            for s in range(12)
+        ]
+        + [
+            QueryRequest(kind="ppr", seed=(offset + s) % NUM_NODES, length=48)
+            for s in range(4)
+        ]
+        + [
+            QueryRequest(
+                kind="pprt",
+                seed=(offset + s) % NUM_NODES,
+                target=(offset + 2 * s + 1) % NUM_NODES,
+                delta=0.05,
+                length=40,
+            )
+            for s in range(3)
+        ]
+    )
 
 
 def _oracle_answers(oracle: QueryEngine, requests):
@@ -78,6 +92,16 @@ def _oracle_answers(oracle: QueryEngine, requests):
     for request in requests:
         if request.kind == "ppr":
             answers.append(oracle.ppr(request.seed, request.length))
+        elif request.kind == "pprt":
+            answers.append(
+                oracle.ppr_to_target(
+                    request.seed,
+                    request.target,
+                    request.delta,
+                    r_max=request.r_max,
+                    walk_length=request.length,
+                )
+            )
         else:
             answers.append(
                 oracle.top_k(
@@ -96,6 +120,9 @@ def _assert_identical(served, expected):
         assert answer is not None
         if hasattr(reference, "ranking"):
             assert answer.ranking == reference.ranking
+        elif hasattr(reference, "estimate"):
+            assert answer.estimate == reference.estimate
+            assert answer.above_delta == reference.above_delta
         else:
             assert answer.visit_counts == reference.visit_counts
 
@@ -150,6 +177,99 @@ class TestEpochPublisher:
         assert resumed.generation == 1
         generation, _ = resumed.publish(engine)
         assert generation == 2
+
+    def test_prune_concurrent_with_publish_is_crash_safe(self, tmp_path):
+        """Retention pruning in one thread while another publishes: no
+        crash on either side, and the live pointer always resolves."""
+        engine = _fresh_engine(_edge_schedule(40))
+        publisher = ArenaPublisher(tmp_path, retain=1)
+        stop = threading.Event()
+        errors: list = []
+
+        def prune_loop():
+            while not stop.is_set():
+                try:
+                    publisher.prune(keep=1)
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        def read_loop():
+            while not stop.is_set():
+                try:
+                    _, directory = read_current(tmp_path)
+                except ConfigurationError:
+                    continue  # nothing published yet
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=prune_loop),
+            threading.Thread(target=read_loop),
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(10):
+                generation, _ = publisher.publish(engine, prune=False)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not errors, errors
+        assert generation == 10
+        current, directory = read_current(tmp_path)
+        assert current == 10 and directory.is_dir()
+
+    def test_publish_tolerates_leftover_vanishing_midway(
+        self, tmp_path, monkeypatch
+    ):
+        """A crashed-publish leftover being reclaimed by a concurrent prune
+        exactly while publish discards it must not crash the publish."""
+        import shutil
+
+        import repro.serve.epochs as epochs
+
+        engine = _fresh_engine(_edge_schedule(40))
+        publisher = ArenaPublisher(tmp_path, retain=1)
+        publisher.publish(engine)
+        publisher.generation_dir(2).mkdir()  # the crashed leftover
+        original = shutil.rmtree
+
+        def racing_rmtree(path, **kwargs):
+            original(path, ignore_errors=True)  # "concurrent prune" wins
+            return original(path, **kwargs)
+
+        monkeypatch.setattr(epochs.shutil, "rmtree", racing_rmtree)
+        generation, directory = publisher.publish(engine)
+        assert generation == 2 and directory.is_dir()
+        assert read_current(tmp_path) == (generation, directory)
+
+    def test_read_current_retries_across_pointer_flip(
+        self, tmp_path, monkeypatch
+    ):
+        """A reader that loads a pointer naming a just-pruned generation
+        re-reads and lands on the flipped pointer instead of raising."""
+        import repro.serve.epochs as epochs
+
+        engine = _fresh_engine(_edge_schedule(40))
+        publisher = ArenaPublisher(tmp_path, retain=1)
+        publisher.publish(engine)  # gen 1
+        publisher.publish(engine)  # gen 2; retention prunes gen 1
+        real_loads = json.loads
+        state = {"first": True}
+
+        def stale_then_real(text):
+            if state["first"]:
+                state["first"] = False
+                # what the reader saw an instant before the flip+prune
+                return {"generation": 1, "directory": "gen-000001"}
+            return real_loads(text)
+
+        monkeypatch.setattr(epochs.json, "loads", stale_then_real)
+        generation, directory = read_current(tmp_path)
+        assert generation == 2 and directory.is_dir()
 
 
 @pytest.mark.slow
