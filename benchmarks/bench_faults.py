@@ -1,0 +1,114 @@
+"""E-FAULTS: fault-tolerance acceptance — availability, WAL cost, recovery.
+
+Two tests over :func:`repro.experiments.exp_faults.run_faults`:
+
+* the **availability** test drives an interleaved query/update schedule
+  through worker processes running under the standard kill schedule
+  (every worker ``os._exit``'d once, mid-drain) and asserts ≥ 99 %
+  availability, every answered ranking bit-identical to a no-fault
+  oracle, every worker live at the end, and ≥ 1 restart per worker —
+  plus bit-identical WAL recovery;
+* the **WAL overhead** gate asserts fsync'd durability costs < 10 % of
+  update throughput (full scale only — at smoke scale the fsync floor
+  dominates the tiny batches and the ratio is noise).
+
+Set ``REPRO_BENCH_FAST=1`` for smoke-test scale (CI).  When
+``REPRO_BENCH_JSON`` names a path, the machine-readable availability /
+latency / recovery extras are written there for
+``benchmarks/run_bench.py`` to fold into ``BENCH_faults.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.exp_faults import run_faults
+
+FAST_MODE = bool(os.environ.get("REPRO_BENCH_FAST"))
+
+PARAMS = (
+    {
+        "num_nodes": 300,
+        "num_edges": 3_600,
+        "walks_per_node": 3,
+        "num_workers": 2,
+        "num_waves": 12,
+        "wave_size": 8,
+        "walk_length": 120,
+        "seed_pool_size": 30,
+        "wal_batches": 6,
+        "wal_batch_size": 100,
+        "rng": 42,
+    }
+    if FAST_MODE
+    else {
+        "num_nodes": 900,
+        "num_edges": 10_800,
+        "walks_per_node": 3,
+        "num_workers": 2,
+        "num_waves": 24,
+        "wave_size": 12,
+        "walk_length": 160,
+        "seed_pool_size": 48,
+        "wal_batches": 12,
+        "wal_batch_size": 150,
+        "rng": 42,
+    }
+)
+
+
+def _emit_json(result) -> None:
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "experiment": result.experiment_id,
+                "rows": result.rows,
+                "notes": result.notes,
+                **result.extras,
+            },
+            fh,
+            indent=2,
+        )
+
+
+def test_faults_availability(benchmark, once):
+    """Kill every worker once; serving stays ≥ 99 % available and exact."""
+    result = once(benchmark, run_faults, **PARAMS)
+    extras = result.extras
+    assert extras["availability"] >= 0.99, extras["differential"]
+    tally = extras["differential"]
+    assert tally["answered"] > 0
+    assert tally["matched"] == tally["answered"], tally
+    assert extras["live_workers"] == list(range(PARAMS["num_workers"]))
+    for worker in range(PARAMS["num_workers"]):
+        # >= rather than ==: a respawn may race a concurrent publish's
+        # snapshot prune and need a second attempt
+        assert extras["restarts"][str(worker)] >= 1, extras["restarts"]
+    assert extras["recovery"]["bit_identical"], extras["recovery"]
+    _emit_json(result)
+    print()
+    print(result.render())
+
+
+@pytest.mark.skipif(
+    FAST_MODE,
+    reason="WAL overhead gate needs full-scale batches; smoke scale is "
+    "dominated by the per-batch fsync floor",
+)
+def test_wal_overhead_under_10_percent(benchmark, once):
+    """Fsync'd durability costs < 10 % of update throughput (acceptance)."""
+    result = once(benchmark, run_faults, **PARAMS)
+    wal = result.extras["wal"]
+    assert wal["overhead"] < 0.10, (
+        f"WAL overhead {100.0 * wal['overhead']:.1f}% >= 10% "
+        f"(base {wal['base_eps']:.0f} ev/s, wal {wal['wal_eps']:.0f} ev/s)"
+    )
+    _emit_json(result)
+    print()
+    print(result.render())

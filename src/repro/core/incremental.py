@@ -322,6 +322,46 @@ class IncrementalPageRank:
         #: Monotone mutation counter; bumps once per mutation (or batch).
         self.epoch = 0
         self._update_listeners: list[Callable[[int, Optional[frozenset]], None]] = []
+        #: Durability hook (attach_wal): logged-before-mutate edge events.
+        self._wal = None
+
+    # ------------------------------------------------------------------
+    # Durability (write-ahead logging; see repro.serve.wal)
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Log every mutation to ``wal`` *before* applying it.
+
+        ``wal`` is a :class:`~repro.serve.wal.WriteAheadLog` (anything
+        with ``append(op, events, rng_state)``).  Each record carries the
+        engine RNG state as of just before the mutation, which is what
+        makes :func:`~repro.serve.wal.recover_engine` replay bit-identical
+        rather than merely distributionally correct.
+        """
+        if self._wal is not None and wal is not self._wal:
+            raise ConfigurationError(
+                "a write-ahead log is already attached; detach_wal() first"
+            )
+        self._wal = wal
+
+    def detach_wal(self) -> None:
+        self._wal = None
+
+    @property
+    def wal(self):
+        return self._wal
+
+    def rng_state(self) -> dict:
+        """The engine RNG's bit-generator state (for WAL records)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore an :meth:`rng_state` capture (WAL replay does, per record)."""
+        self._rng.bit_generator.state = state
+
+    def _log_wal(self, op: str, events) -> None:
+        if self._wal is not None:
+            self._wal.append(op, events, self.rng_state())
 
     # ------------------------------------------------------------------
     # Update notification (the serving layer's invalidation feed)
@@ -446,6 +486,7 @@ class IncrementalPageRank:
 
     def add_edge(self, source: int, target: int) -> UpdateReport:
         """Insert an edge and repair exactly the affected segments."""
+        self._log_wal("add", ((ADD, source, target),))
         nodes_before = self.graph.num_nodes
         self.graph.ensure_node(max(source, target))
         # W(u) must be read before mutation for the paper's activation
@@ -588,6 +629,7 @@ class IncrementalPageRank:
 
     def remove_edge(self, source: int, target: int) -> UpdateReport:
         """Delete an edge; repair segments whose walk used it."""
+        self._log_wal("remove", (("remove", source, target),))
         # Affected set must be computed against the *stored* segments, but
         # resimulation must use the post-removal graph — so mutate first.
         self.social_store.remove_edge(source, target)
@@ -672,6 +714,10 @@ class IncrementalPageRank:
         report = BatchUpdateReport(num_events=len(events))
         if not events:
             return report
+        self._log_wal(
+            "batch",
+            [(event.kind, event.source, event.target) for event in events],
+        )
         # Phase attribution (REPRO_OBS >= 1): one enabled check per batch,
         # one clock read per phase boundary.
         profiler = self._profiler

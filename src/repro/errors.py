@@ -108,6 +108,25 @@ class LoadShedError(ServeError):
         self.max_queue_depth = max_queue_depth
 
 
+class WalError(ReproError):
+    """The write-ahead log is unusable (unwritable file, corrupt prefix).
+
+    A *torn tail* — an incomplete or checksum-failed final record from a
+    crash mid-append — is **not** an error: recovery truncates it and
+    replays the intact prefix.  ``WalError`` is for damage that makes the
+    log itself untrustworthy.
+    """
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by an armed :class:`repro.faults.FaultPlan`.
+
+    Simulates a crash at a hook point (mid-snapshot write, mid-WAL
+    append).  Production code never raises this; chaos tests catch it
+    where the simulated crash would have killed the process.
+    """
+
+
 class ConfigurationError(ReproError, ValueError):
     """Invalid parameter passed to an estimator, engine, or experiment."""
 

@@ -13,6 +13,7 @@ from repro.experiments.common import ExperimentResult, get_experiment, list_expe
 from repro.experiments import (  # noqa: E402,F401  (registration side effects)
     exp_arrival,
     exp_concentration,
+    exp_faults,
     exp_fetches,
     exp_linkpred,
     exp_powerlaw,

@@ -1,0 +1,44 @@
+"""repro.faults — deterministic fault injection for the serve stack.
+
+Robustness claims need falsifiable tests: "the frontend survives a worker
+crash" is only meaningful if a test can crash a worker at a *chosen,
+reproducible* point and then assert bit-identical answers against a
+fault-free run.  This package is that chooser.  A :class:`FaultPlan` is a
+seeded, picklable schedule of :class:`FaultRule` entries; components with
+a hook point (the frontend dispatcher, the worker loop, the arena
+publisher, the write-ahead log) call :meth:`FaultPlan.fire` at named
+sites and interpret the returned rule — kill the process, sleep, drop the
+message, tear the record, abandon the snapshot.
+
+Nothing here is probabilistic at fire time: a rule fires on the
+``after``-th matching event, full stop.  Seeds enter only when *building*
+a plan (:func:`kill_each_worker_plan` draws the per-worker kill offsets
+from a seeded RNG), so a failing chaos run is always reproducible from
+the one integer printed with the failure.
+
+See DESIGN.md §15 for the failure taxonomy these sites cover.
+"""
+
+from repro.faults.plan import (
+    KILL,
+    DELAY,
+    DROP,
+    PARTIAL,
+    SKEW,
+    TORN,
+    FaultPlan,
+    FaultRule,
+    kill_each_worker_plan,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "kill_each_worker_plan",
+    "KILL",
+    "DELAY",
+    "DROP",
+    "TORN",
+    "PARTIAL",
+    "SKEW",
+]

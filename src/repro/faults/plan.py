@@ -1,0 +1,232 @@
+"""Seeded fault schedules: rules, plans, and the standard kill schedule.
+
+A :class:`FaultRule` names *where* (``site``), *what* (``action``) and
+*when* (``after`` matching events, optionally scoped to one ``worker``
+and one process ``incarnation``).  A :class:`FaultPlan` holds an ordered
+tuple of rules plus per-rule match counters; :meth:`FaultPlan.fire` is
+the single hook components call.
+
+Sites in use across the repository (a component ignores sites it does
+not own, so one plan can be threaded everywhere):
+
+==================  =============================================  ==============
+site                hook point                                     actions
+==================  =============================================  ==============
+``worker.batch``    worker loop, before answering a batch          kill/delay/drop
+``worker.epoch``    worker loop, before an epoch swap              kill/delay/drop
+``worker.heartbeat``  worker loop, before emitting a heartbeat     drop
+``worker.clock``    worker build, TTL clock construction           skew
+``frontend.dispatch``  coordinator, before enqueueing a batch      delay/drop
+``publisher.publish``  ArenaPublisher, before writing a snapshot   partial
+``wal.append``      WriteAheadLog, before writing a record         torn
+==================  =============================================  ==============
+
+Counters are **per process**: a plan pickled into a spawned worker starts
+its counts at zero, and respawned workers get a fresh copy too.  Rules
+therefore scope to a process *incarnation* (0 = the first spawn) so a
+"kill after K batches" rule does not re-fire forever in every respawn —
+exactly the semantics a supervision test wants.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "kill_each_worker_plan",
+    "KILL",
+    "DELAY",
+    "DROP",
+    "TORN",
+    "PARTIAL",
+    "SKEW",
+]
+
+#: Fault actions.  Interpretation belongs to the hook site: ``kill`` is
+#: ``os._exit`` in a worker, ``drop`` swallows the message/heartbeat,
+#: ``delay`` sleeps, ``torn`` truncates a WAL record mid-write, ``partial``
+#: abandons a snapshot directory half-written, ``skew`` offsets a clock.
+KILL = "kill"
+DELAY = "delay"
+DROP = "drop"
+TORN = "torn"
+PARTIAL = "partial"
+SKEW = "skew"
+
+_ACTIONS = frozenset({KILL, DELAY, DROP, TORN, PARTIAL, SKEW})
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: fire ``action`` at ``site`` after ``after`` events.
+
+    ``after`` counts *matching* events before the rule arms: ``after=0``
+    fires on the first match, ``after=3`` on the fourth.  ``worker`` and
+    ``incarnation`` scope matching (``None`` matches any); ``repeat=True``
+    keeps firing on every later match instead of once.  ``seconds`` is the
+    magnitude for ``delay``/``skew``; ``exit_code`` the status for
+    ``kill``.
+    """
+
+    site: str
+    action: str
+    after: int = 0
+    worker: Optional[int] = None
+    incarnation: Optional[int] = 0
+    seconds: float = 0.0
+    exit_code: int = 17
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r} "
+                f"(expected one of {sorted(_ACTIONS)})"
+            )
+        if self.after < 0:
+            raise ConfigurationError(f"after must be >= 0, got {self.after}")
+        if self.seconds < 0:
+            raise ConfigurationError(
+                f"seconds must be >= 0, got {self.seconds}"
+            )
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultRule` entries.
+
+    Thread-safe (the frontend fires from dispatcher and supervisor
+    threads) and picklable (the plan crosses the spawn boundary inside
+    ``WorkerConfig``); pickling carries the rules and seed but resets the
+    match counters, so every process counts its own events from zero.
+    """
+
+    def __init__(
+        self, rules: Sequence[FaultRule] = (), *, seed: int = 0
+    ) -> None:
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._seen = [0] * len(self.rules)
+        self._fired = [False] * len(self.rules)
+
+    # -- pickling: rules travel, counters restart per process ----------
+    def __getstate__(self) -> dict:
+        return {"rules": self.rules, "seed": self.seed}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["rules"], seed=state["seed"])
+
+    def _matches(
+        self,
+        rule: FaultRule,
+        site: str,
+        worker: Optional[int],
+        incarnation: int,
+    ) -> bool:
+        if rule.site != site:
+            return False
+        if rule.worker is not None and worker != rule.worker:
+            return False
+        if rule.incarnation is not None and incarnation != rule.incarnation:
+            return False
+        return True
+
+    def fire(
+        self,
+        site: str,
+        *,
+        worker: Optional[int] = None,
+        incarnation: int = 0,
+    ) -> Optional[FaultRule]:
+        """Record one event at ``site``; return the rule to apply, if any.
+
+        Every matching rule's counter advances on every call (so two
+        rules at one site each see the full event stream); the first rule
+        whose threshold is crossed — and that has not already fired,
+        unless ``repeat`` — is returned.  ``None`` means proceed normally.
+        """
+        with self._lock:
+            chosen: Optional[FaultRule] = None
+            for index, rule in enumerate(self.rules):
+                if not self._matches(rule, site, worker, incarnation):
+                    continue
+                self._seen[index] += 1
+                if chosen is not None:
+                    continue
+                if self._fired[index] and not rule.repeat:
+                    continue
+                if self._seen[index] > rule.after:
+                    self._fired[index] = True
+                    chosen = rule
+            return chosen
+
+    def clock_skew(
+        self, *, worker: Optional[int] = None, incarnation: int = 0
+    ) -> float:
+        """Total injected clock offset for ``worker`` (``skew`` rules).
+
+        Skew is a build-time property, not an event: it is read once when
+        the worker constructs its TTL clock, without advancing counters.
+        """
+        return sum(
+            rule.seconds
+            for rule in self.rules
+            if rule.action == SKEW
+            and self._matches(rule, rule.site, worker, incarnation)
+        )
+
+    @property
+    def fired_count(self) -> int:
+        """How many rules have fired in *this* process (for assertions)."""
+        with self._lock:
+            return sum(self._fired)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, rules={len(self.rules)}, "
+            f"fired={self.fired_count})"
+        )
+
+
+def kill_each_worker_plan(
+    seed: int,
+    num_workers: int,
+    *,
+    lo: int = 1,
+    hi: int = 6,
+    exit_code: int = 17,
+) -> FaultPlan:
+    """The standard chaos schedule: kill every worker once, mid-drain.
+
+    Each worker ``w`` gets one ``worker.batch``/``kill`` rule firing after
+    a seeded offset drawn uniformly from ``[lo, hi)`` — different workers
+    die at different points of the request stream, all reproducible from
+    ``seed`` (printed by the chaos suite on failure).
+    """
+    if num_workers <= 0:
+        raise ConfigurationError(
+            f"num_workers must be positive, got {num_workers}"
+        )
+    if not 0 <= lo < hi:
+        raise ConfigurationError(f"need 0 <= lo < hi, got [{lo}, {hi})")
+    rng = np.random.default_rng(seed)
+    rules = [
+        FaultRule(
+            site="worker.batch",
+            action=KILL,
+            after=int(rng.integers(lo, hi)),
+            worker=worker,
+            incarnation=0,
+            exit_code=exit_code,
+        )
+        for worker in range(num_workers)
+    ]
+    return FaultPlan(rules, seed=seed)

@@ -48,9 +48,21 @@ Multi-process tier (scales the read path across cores)::
         │        coordinator updates visible as a consistent barrier
         ▼
     worker.py    worker_main — spawned read-only worker: attaches the
-                 published arena (repro.store.persistence.attach_engine)
-                 and answers batches through its own RequestBatcher;
-                 answers are bit-identical to single-process serving
+        │        published arena (repro.store.persistence.attach_engine)
+        │        and answers batches through its own RequestBatcher;
+        │        answers are bit-identical to single-process serving
+        ▼
+    wal.py       WriteAheadLog + recover_engine — checksummed edge-event
+                 log fsync'd before each mutation and truncated at each
+                 publish; replays the tail after a coordinator crash to
+                 the exact (bit-identical) pre-crash engine state
+
+The frontend supervises its workers (DESIGN.md §15): process sentinels
+detect crashes, orphaned batches are re-routed and re-executed
+bit-identically, dead workers respawn against the latest published
+generation (bounded by a per-worker circuit breaker), and at zero live
+workers the coordinator serves inline from the same published snapshot.
+Deterministic fault injection for all of this lives in ``repro.faults``.
 
 Correctness is differential, not best-effort: for any interleaving of
 queries and updates, a served answer — cache hit or miss — equals a
@@ -84,6 +96,14 @@ from repro.serve.traffic import (
     interleaved_traffic,
     zipf_seed_sequence,
 )
+from repro.serve.wal import (
+    RecoveryReport,
+    WalReadResult,
+    WalRecord,
+    WriteAheadLog,
+    read_wal,
+    recover_engine,
+)
 from repro.serve.worker import WorkerConfig
 
 __all__ = [
@@ -100,4 +120,10 @@ __all__ = [
     "ArenaPublisher",
     "WorkerConfig",
     "read_current",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalReadResult",
+    "RecoveryReport",
+    "read_wal",
+    "recover_engine",
 ]

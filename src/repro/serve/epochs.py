@@ -46,7 +46,8 @@ import shutil
 from pathlib import Path
 from typing import Optional, Tuple
 
-from repro.errors import ConfigurationError, WalkStateError
+from repro.errors import ConfigurationError, InjectedFault, WalkStateError
+from repro.faults import PARTIAL
 from repro.store.persistence import save_shared_snapshot
 
 __all__ = ["ArenaPublisher", "read_current", "CURRENT_NAME"]
@@ -115,12 +116,13 @@ class ArenaPublisher:
     and a separate :meth:`prune` for that pattern.
     """
 
-    def __init__(self, root, *, retain: int = 2) -> None:
+    def __init__(self, root, *, retain: int = 2, fault_plan=None) -> None:
         if retain < 1:
             raise ConfigurationError(f"retain must be >= 1, got {retain}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.retain = retain
+        self.fault_plan = fault_plan
         self._generation = 0
         # resume numbering past an existing root so stale worker mmaps of
         # a previous run's generations can never alias a fresh directory
@@ -148,6 +150,20 @@ class ArenaPublisher:
         """
         generation = self._generation + 1
         directory = self.generation_dir(generation)
+        if self.fault_plan is not None:
+            rule = self.fault_plan.fire("publisher.publish")
+            if rule is not None and rule.action == PARTIAL:
+                # simulate a crash mid-snapshot: junk lands in the new
+                # generation directory but CURRENT never flips, so readers
+                # keep resolving the old generation and the *next* publish
+                # reclaims the leftover (the rmtree below)
+                directory.mkdir(parents=True, exist_ok=True)
+                (directory / "manifest.json.tmp").write_text(
+                    '{"partial": true', encoding="utf-8"
+                )
+                raise InjectedFault(
+                    f"partial snapshot write at generation {generation}"
+                )
         if directory.exists():
             # a half-written leftover from a crashed publish; CURRENT
             # never pointed at it, so it is safe to discard — and a

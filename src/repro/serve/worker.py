@@ -1,4 +1,4 @@
-"""Serve-tier worker process: attach, answer batches, swap epochs.
+"""Serve-tier worker process: attach, answer batches, swap epochs, heartbeat.
 
 ``worker_main`` is the entry point the frontend spawns (start method
 ``spawn`` — the coordinator owns thread pools, which ``fork`` would
@@ -17,7 +17,12 @@ carries *all* worker state).  Each worker:
 3. loops on its private request queue: ``batch`` messages produce
    ``result`` responses, ``epoch`` messages re-attach + swap the engine
    between drains (the FIFO queue makes the swap a consistent barrier —
-   see :mod:`repro.serve.epochs`), ``stop`` drains out.
+   see :mod:`repro.serve.epochs`), ``stop`` drains out.  When the queue
+   is idle for ``heartbeat_interval`` the worker emits a ``heartbeat``
+   response instead — the coordinator's supervisor reads receipt times
+   (its own clock, so worker clock skew cannot fake liveness) and any
+   worker message counts as proof of life, so busy workers need no extra
+   heartbeat traffic.
 
 Cross-process payloads are plain picklable data: request batches are
 tuples of frozen :class:`~repro.serve.batcher.QueryRequest`, results are
@@ -32,25 +37,38 @@ Both caches are strictly per-process here: the worker's
 :class:`~repro.core.personalized.FetchCache` live in worker memory, keyed
 by (and invalidated on) the worker's own arena generation — nothing cache-
 shaped ever crosses the queue.
+
+Fault injection: a :class:`~repro.faults.FaultPlan` riding in
+``WorkerConfig.fault_plan`` is consulted at the ``worker.batch`` /
+``worker.epoch`` / ``worker.heartbeat`` sites (kill = ``os._exit``, i.e.
+a real crash with no STOPPED message; delay; drop) and contributes a
+static ``worker.clock`` skew to the engine's TTL clock.  ``incarnation``
+counts respawns — fault rules default to incarnation 0, so a respawned
+worker does not re-run its predecessor's death schedule.
 """
 
 from __future__ import annotations
 
+import os
+import queue as queue_module
+import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.faults import DELAY, DROP, KILL, FaultPlan
 from repro.serve.batcher import RequestBatcher
 from repro.serve.engine import QueryEngine
 
 __all__ = ["WorkerConfig", "worker_main"]
 
-# Response-message tags (worker -> coordinator, one shared queue).
+# Response-message tags (worker -> coordinator, one pipe per worker).
 READY = "ready"
 INIT_ERROR = "init_error"
 RESULT = "result"
 ERROR = "error"
 EPOCH_OK = "epoch_ok"
 STOPPED = "stopped"
+HEARTBEAT = "heartbeat"
 
 # Request-message tags (coordinator -> per-worker queue).
 BATCH = "batch"
@@ -69,7 +87,9 @@ class WorkerConfig:
     every walk from ``(rng_seed, seed, length)``, and kernel vs scalar
     walker are different (equally valid) draws.  ``trace=True`` runs the
     worker with a force-enabled tracer and ships finished spans home with
-    each batch result.
+    each batch result.  ``heartbeat_interval`` is the idle period after
+    which the worker proves liveness; ``fault_plan`` threads a seeded
+    chaos schedule into the loop (tests/benchmarks only).
     """
 
     rng_seed: int = 0
@@ -83,9 +103,11 @@ class WorkerConfig:
     max_queue_depth: int = 1024
     max_kernel_batch: int = 64
     trace: bool = False
+    heartbeat_interval: float = 0.5
+    fault_plan: Optional[FaultPlan] = None
 
 
-def _build(snapshot_path, config: WorkerConfig):
+def _build(snapshot_path, config: WorkerConfig, clock=time.monotonic):
     """Attach a snapshot and stand up the engine + batcher stack."""
     from repro.obs import Tracer
     from repro.store.persistence import attach_engine
@@ -102,6 +124,7 @@ def _build(snapshot_path, config: WorkerConfig):
         alpha=config.alpha,
         c=config.c,
         tracer=tracer,
+        clock=clock,
     )
     batcher = RequestBatcher(
         query_engine,
@@ -131,6 +154,7 @@ def worker_main(
     config: WorkerConfig,
     request_queue,
     response_queue,
+    incarnation: int = 0,
 ) -> None:
     """Worker-process message loop (run via ``multiprocessing.Process``).
 
@@ -143,38 +167,95 @@ def worker_main(
     * in  ``(EPOCH, epoch_id, generation, snapshot_path)`` →
       out ``(EPOCH_OK, worker_id, epoch_id, generation)`` after the swap,
       or ``(ERROR, worker_id, -epoch_id, ...)`` if the attach failed (the
-      worker keeps serving the old generation).
+      worker keeps serving the old generation).  ``epoch_id`` 0 is the
+      supervisor's barrier-free re-sync bump for respawned workers.
     * in  ``(STOP,)`` → out ``(STOPPED, worker_id)`` and return.
+    * idle ``heartbeat_interval`` with no message →
+      out ``(HEARTBEAT, worker_id)``; any other outbound message counts
+      as liveness too, so a busy worker never emits these.
 
     Startup emits ``(READY, worker_id, generation)`` once attached, or
     ``(INIT_ERROR, worker_id, (type_name, message))`` and returns.
+
+    A ``kill`` fault exits via ``os._exit`` — no STOPPED message, no
+    ``finally`` — indistinguishable from a real crash, which is the point.
+
+    ``response_queue`` is normally the worker's private end of a
+    ``multiprocessing.Pipe``: a per-worker pipe has exactly one writer,
+    so a worker dying mid-send corrupts only its own channel (the
+    coordinator reads it as EOF).  A shared ``mp.Queue`` would instead
+    hand every writer one cross-process ``writelock`` — and a ``kill``
+    landing inside the queue's feeder thread leaves that lock held
+    forever, wedging every surviving worker and the coordinator itself.
+    In-process tests may still pass a ``queue.Queue``; both are accepted.
     """
+    _send = (
+        response_queue.send
+        if hasattr(response_queue, "send")
+        else response_queue.put
+    )
+    plan = config.fault_plan
+
+    def _fire(site: str):
+        if plan is None:
+            return None
+        return plan.fire(site, worker=worker_id, incarnation=incarnation)
+
+    skew = (
+        plan.clock_skew(worker=worker_id, incarnation=incarnation)
+        if plan is not None
+        else 0.0
+    )
+    clock = (lambda: time.monotonic() + skew) if skew else time.monotonic
     try:
-        query_engine, batcher = _build(snapshot_path, config)
+        query_engine, batcher = _build(snapshot_path, config, clock=clock)
     except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
-        response_queue.put((INIT_ERROR, worker_id, _error_tuple(exc)))
+        _send((INIT_ERROR, worker_id, _error_tuple(exc)))
         return
-    response_queue.put((READY, worker_id, generation))
+    _send((READY, worker_id, generation))
     current_generation = generation
     try:
         while True:
-            message = request_queue.get()
+            try:
+                message = request_queue.get(
+                    timeout=config.heartbeat_interval
+                )
+            except queue_module.Empty:
+                if _fire("worker.heartbeat") is None:
+                    _send((HEARTBEAT, worker_id))
+                continue
             tag = message[0]
             if tag == STOP:
                 break
             if tag == BATCH:
+                rule = _fire("worker.batch")
+                if rule is not None:
+                    if rule.action == KILL:
+                        os._exit(rule.exit_code)
+                    if rule.action == DELAY:
+                        time.sleep(rule.seconds)
+                    elif rule.action == DROP:
+                        continue
                 _, batch_id, requests = message
                 try:
                     results = batcher.run(requests)
                     spans = _drain_spans(query_engine, config)
-                    response_queue.put(
+                    _send(
                         (RESULT, worker_id, batch_id, results, spans)
                     )
                 except Exception as exc:  # noqa: BLE001
-                    response_queue.put(
+                    _send(
                         (ERROR, worker_id, batch_id, _error_tuple(exc))
                     )
             elif tag == EPOCH:
+                rule = _fire("worker.epoch")
+                if rule is not None:
+                    if rule.action == KILL:
+                        os._exit(rule.exit_code)
+                    if rule.action == DELAY:
+                        time.sleep(rule.seconds)
+                    elif rule.action == DROP:
+                        continue
                 _, epoch_id, new_generation, new_path = message
                 try:
                     from repro.store.persistence import attach_engine
@@ -182,12 +263,12 @@ def worker_main(
                     fresh = attach_engine(new_path, validate=False)
                     query_engine.swap_engine(fresh)
                     current_generation = new_generation
-                    response_queue.put(
+                    _send(
                         (EPOCH_OK, worker_id, epoch_id, new_generation)
                     )
                 except Exception as exc:  # noqa: BLE001
                     # keep serving the old (still-mapped) generation
-                    response_queue.put(
+                    _send(
                         (ERROR, worker_id, -epoch_id, _error_tuple(exc))
                     )
             # unknown tags are dropped: a newer coordinator may speak a
@@ -195,7 +276,7 @@ def worker_main(
     finally:
         batcher.close()
         query_engine.detach()
-        response_queue.put((STOPPED, worker_id))
+        _send((STOPPED, worker_id))
 
 
 def spawn_worker(
@@ -207,6 +288,7 @@ def spawn_worker(
     request_queue,
     response_queue,
     *,
+    incarnation: int = 0,
     name: Optional[str] = None,
 ):
     """Start (and return) a worker process on ``context`` (spawn)."""
@@ -219,6 +301,7 @@ def spawn_worker(
             config,
             request_queue,
             response_queue,
+            incarnation,
         ),
         name=name or f"repro-serve-worker-{worker_id}",
         daemon=True,

@@ -731,3 +731,82 @@ def attach_engine(
     if validate:
         _validate_against_graph(engine)
     return engine
+
+
+def load_shared_engine(
+    directory: PathLike, *, rng=None, validate: bool = True
+) -> "IncrementalPageRank":
+    """Load an **owned, writable** engine from a shared snapshot directory.
+
+    The recovery counterpart of :func:`attach_engine`: same directory
+    format, but every array is copied out of the mmap into private memory
+    and the store is built through the writable ``from_arrays`` paths, so
+    the result accepts mutations (``apply_batch`` etc.).  This is what
+    :func:`repro.serve.wal.recover_engine` restarts a coordinator from —
+    a worker-style read-only attach could never replay the WAL tail.
+    """
+    from repro.core.incremental import IncrementalPageRank
+
+    directory = Path(directory)
+    meta = _read_shared_manifest(directory, "incremental_pagerank")
+    data = _SharedArrays(directory, meta)
+    graph = DynamicDiGraph(
+        int(meta["num_nodes"]), allow_self_loops=bool(meta["allow_self_loops"])
+    )
+    for source, target in zip(data["edge_sources"], data["edge_targets"]):
+        graph.add_edge(int(source), int(target))
+    version = int(meta["format_version"])
+    if version < 2:
+        raise WalkStateError(
+            "corrupt shared snapshot: v1 snapshots cannot be loaded "
+            "(no flat arena)"
+        )
+    try:
+        if version >= SHARDED_VERSION:
+            num_shards = int(meta["num_shards"])
+            blocks = [
+                {
+                    name: np.array(data[f"shard{shard_index}_{name}"])
+                    for name in (
+                        "segment_nodes",
+                        "segment_lengths",
+                        "segment_end_reasons",
+                        "segment_parities",
+                        "global_ids",
+                    )
+                }
+                for shard_index in range(num_shards)
+            ]
+            store: WalkIndex = ShardedWalkIndex.from_shard_arrays(
+                blocks,
+                num_nodes=int(meta["num_nodes"]),
+                track_sides=bool(meta["track_sides"]),
+                copy=True,
+            )
+            backend = f"sharded:{store.num_shards}"
+        else:
+            store = ColumnarWalkStore.from_arrays(
+                np.array(data["segment_nodes"]),
+                np.array(data["segment_lengths"]),
+                np.array(data["segment_end_reasons"]),
+                np.array(data["segment_parities"]),
+                num_nodes=int(meta["num_nodes"]),
+                track_sides=bool(meta["track_sides"]),
+            )
+            backend = "columnar"
+    except WalkStateError:
+        raise
+    except (ValueError, IndexError, TypeError, KeyError) as error:
+        raise WalkStateError(f"corrupt shared snapshot: {error}") from error
+    engine = IncrementalPageRank(
+        SocialStore.of_graph(graph),
+        reset_probability=float(meta["reset_probability"]),
+        walks_per_node=int(meta["walks_per_node"]),
+        reroute_policy=str(meta["reroute_policy"]),
+        rng=rng,
+        store_backend=backend,
+    )
+    engine.pagerank_store.walks = store
+    if validate:
+        _validate_against_graph(engine)
+    return engine

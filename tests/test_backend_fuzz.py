@@ -4,8 +4,10 @@ One seeded op-sequence generator drives every :class:`WalkIndex` backend —
 object, columnar, and sharded with shard counts {1, 2, 4, 7} — through the
 same interleaving of edge arrivals/removals, batched slices, PPR / top-k /
 multi-seed kernel (``ppr_batch``) / bidirectional PPR-to-target
-(``reverse_push``) / SALSA queries, and persistence roundtrips, asserting
-a **bit-identical observable trace at every step**
+(``reverse_push``) / SALSA queries, persistence roundtrips, and
+WAL-backed crash/recover cycles (``crash_recover`` — snapshot, log a
+batch, "crash", replay the log, continue on the recovered engine),
+asserting a **bit-identical observable trace at every step**
 (DESIGN.md §6's determinism contract, §9's shard-count-invariance
 guarantee, and §10's kernel stream contract under interleaved updates).
 
@@ -27,6 +29,7 @@ to what eager application would have produced.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 import pytest
@@ -39,9 +42,18 @@ from repro.core.scheduler import StalenessScheduler
 from repro.core.sharded_walks import ShardedWalkIndex
 from repro.core.topk import top_k_personalized
 from repro.core.walks import WalkStore
+from repro.faults import kill_each_worker_plan
 from repro.graph.arrival import ArrivalEvent
 from repro.obs import MetricsRegistry
-from repro.serve import QueryEngine, QueryRequest, RequestBatcher
+from repro.serve import (
+    MultiProcessFrontend,
+    QueryEngine,
+    QueryRequest,
+    RequestBatcher,
+    WorkerConfig,
+    WriteAheadLog,
+    recover_engine,
+)
 from repro.serve.traffic import zipf_seed_sequence
 from repro.store.persistence import load_engine, save_engine
 from repro.workloads.twitter_like import twitter_like_graph
@@ -92,7 +104,21 @@ def generate_ops(
             ops.append(("defer_updates", events) if scheduler else ("batch", events))
             continue
         if not salsa and roll < 0.18:
-            ops.append(("flush",) if scheduler else ("roundtrip", index))
+            if scheduler:
+                # a pending queue does not survive save/load, so the
+                # scheduler grammar drains instead of persisting
+                ops.append(("flush",))
+            elif driver.random() < 0.35:
+                pairs = [
+                    (
+                        int(driver.integers(NUM_NODES)),
+                        int(driver.integers(NUM_NODES)),
+                    )
+                    for _ in range(int(driver.integers(2, 12)))
+                ]
+                ops.append(("crash_recover", pairs, index))
+            else:
+                ops.append(("roundtrip", index))
             continue
         if not salsa and roll < 0.26:
             batch_seeds = [
@@ -355,6 +381,57 @@ def replay(
                 rng=np.random.default_rng([seed, index]),
             )
             trace.append(("topk", tuple(top.ranking), top.walk_length))
+        elif kind == "crash_recover":
+            # durability differential (DESIGN.md §15): snapshot, WAL one
+            # batch, "crash", and replay the log — the recovered engine
+            # must match the live one bit-for-bit (scores *and* RNG
+            # cursor) and then carries the rest of the trace itself, so
+            # any post-recovery divergence surfaces in later digests
+            _, pairs, index = op
+            events = _toggle_events(pairs, engine, None)
+            if not events:
+                # replaying an empty log is a no-op by construction;
+                # skip so the digest stays informative
+                trace.append(("noop",))
+                continue
+            stem = f"crash-{backend.replace(':', '-')}-{index}"
+            snapshot = tmp_path / f"{stem}.npz"
+            save_engine(engine, snapshot, version=_save_version(engine))
+            # checkpoint adoption: snapshots compact the walk layout, so
+            # recovery is bit-identical *relative to the checkpoint
+            # image* (repro.serve.wal's contract) — the live engine
+            # therefore continues from the image it just wrote, exactly
+            # like a process restarting from its own checkpoint
+            engine = load_engine(
+                snapshot, rng=np.random.default_rng([seed, index, 1])
+            )
+            wal_path = tmp_path / f"{stem}.wal"
+            # reopening appends after the valid prefix — a leftover from
+            # an earlier replay in this dir (the shrinker re-runs ops)
+            # must not leak records into this cycle's recovery
+            wal_path.unlink(missing_ok=True)
+            wal = WriteAheadLog(wal_path)
+            engine.attach_wal(wal)
+            try:
+                report = engine.apply_batch(events)
+            finally:
+                engine.detach_wal()
+                wal.close()
+            recovered, recovery = recover_engine(snapshot, wal_path)
+            assert recovered.pagerank().tobytes() == engine.pagerank().tobytes()
+            assert recovered.rng_state() == engine.rng_state()
+            engine = recovered
+            trace.append(
+                (
+                    "crash_recover",
+                    recovery.records_replayed,
+                    recovery.events_replayed,
+                    report.segments_rerouted,
+                    report.steps_resimulated,
+                    engine.walks.visit_count_array().tobytes(),
+                    _scores_digest(engine, salsa),
+                )
+            )
         elif kind == "roundtrip":
             _, index = op
             path = tmp_path / f"fuzz-{backend.replace(':', '-')}-{index}.npz"
@@ -702,6 +779,95 @@ def test_fuzz_metrics_consistency(seed):
     assert counts, "workload never touched the store"
     for operation, count in counts.items():
         assert mirror.value(store="pagerank", operation=operation) == count
+
+
+@pytest.mark.chaos
+def test_fuzz_serve_kill_worker_differential():
+    """Randomized serve traffic under the standard kill-every-worker
+    schedule: interleaved waves, mutations, and epoch bumps, with every
+    worker dying once mid-stream.  Every answer must equal the in-process
+    oracle's bit-for-bit (retries re-execute, never approximate) and both
+    workers must be respawned and live by the end.
+    """
+    seed = 60
+    driver = np.random.default_rng(seed)
+    graph = twitter_like_graph(NUM_NODES, NUM_EDGES, rng=seed)
+    engine = IncrementalPageRank.from_graph(
+        graph, walks_per_node=3, rng=np.random.default_rng(seed + 1)
+    )
+    oracle = QueryEngine(engine, rng_seed=7)
+    plan = kill_each_worker_plan(seed, 2, lo=1, hi=5)
+    frontend = MultiProcessFrontend(
+        engine,
+        num_workers=2,
+        config=WorkerConfig(rng_seed=7, fault_plan=plan),
+        request_timeout=20.0,
+        max_retries=4,
+        sweep_interval=0.1,
+    )
+    try:
+        for _ in range(6):
+            wave = []
+            for _ in range(int(driver.integers(6, 14))):
+                qseed = int(driver.integers(NUM_NODES))
+                if driver.random() < 0.5:
+                    wave.append(
+                        QueryRequest(kind="topk", seed=qseed, k=5, length=120)
+                    )
+                else:
+                    wave.append(
+                        QueryRequest(kind="ppr", seed=qseed, length=60)
+                    )
+            served = frontend.run(wave)
+            _assert_serve_identical(served, _fuzz_oracle_answers(oracle, wave))
+            events = _toggle_events(
+                [
+                    (
+                        int(driver.integers(NUM_NODES)),
+                        int(driver.integers(NUM_NODES)),
+                    )
+                    for _ in range(int(driver.integers(1, 6)))
+                ],
+                engine,
+                None,
+            )
+            if events:
+                engine.apply_batch(events)
+                frontend.publish_epoch(timeout=60.0)
+        deadline = time.monotonic() + 30.0
+        while frontend.live_workers != [0, 1] and time.monotonic() < deadline:
+            time.sleep(0.1)
+        assert frontend.live_workers == [0, 1], (
+            f"workers not repaired (seed={seed}, plan={plan!r}, "
+            f"live={frontend.live_workers})"
+        )
+        # each worker died at least once (a respawn may itself race a
+        # concurrent publish's prune and need a second attempt, so the
+        # count is >= 1, not == 1)
+        assert frontend.worker_restarts(0) >= 1
+        assert frontend.worker_restarts(1) >= 1
+    finally:
+        frontend.close()
+        oracle.detach()
+
+
+def _fuzz_oracle_answers(oracle: QueryEngine, wave):
+    return [
+        oracle.ppr(request.seed, request.length)
+        if request.kind == "ppr"
+        else oracle.top_k(request.seed, request.k, length=request.length)
+        for request in wave
+    ]
+
+
+def _assert_serve_identical(served, expected):
+    assert len(served) == len(expected)
+    for answer, reference in zip(served, expected):
+        assert answer is not None
+        if hasattr(reference, "ranking"):
+            assert answer.ranking == reference.ranking
+        else:
+            assert answer.visit_counts == reference.visit_counts
 
 
 def test_sharded_store_class_is_used(tmp_path):

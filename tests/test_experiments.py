@@ -15,6 +15,7 @@ from repro.experiments.exp_fetches import run_fig6
 from repro.experiments.exp_linkpred import run_table1
 from repro.experiments.exp_powerlaw import run_fig2, run_fig3, run_fig4
 from repro.experiments.exp_precision import run_fig5
+from repro.experiments.exp_faults import run_faults
 from repro.experiments.exp_serve import run_serve
 from repro.experiments.exp_serve_mp import run_serve_mp
 from repro.experiments.exp_update_cost import (
@@ -50,6 +51,7 @@ class TestRegistry:
             "E-BATCH",
             "E-SERVE",
             "E-SERVE-MP",
+            "E-FAULTS",
         } <= ids
 
     def test_unknown_id(self):
@@ -240,3 +242,31 @@ class TestServeMpDriver:
         assert result.extras["qps_by_workers"] == {
             "1": pytest.approx(rows["mp x1"]["sustained qps"], rel=0.01)
         }
+
+
+@pytest.mark.slow
+@pytest.mark.chaos
+class TestFaultsDriver:
+    def test_faults(self):
+        result = run_faults(
+            num_nodes=300,
+            num_edges=3600,
+            walks_per_node=3,
+            num_workers=2,
+            num_waves=9,
+            wave_size=6,
+            walk_length=120,
+            seed_pool_size=24,
+            wal_batches=4,
+            wal_batch_size=80,
+            rng=9,
+        )
+        extras = result.extras
+        tally = extras["differential"]
+        assert tally["answered"] == tally["total"] > 0
+        assert tally["matched"] == tally["answered"], result.notes
+        assert extras["live_workers"] == [0, 1]
+        assert extras["restarts_total"] >= 2
+        assert extras["recovery"]["bit_identical"], extras["recovery"]
+        assert extras["wal"]["base_eps"] > 0
+        assert len(result.rows) == 7

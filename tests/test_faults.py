@@ -1,0 +1,665 @@
+"""Deterministic fault injection: plan semantics + the chaos batteries.
+
+Unit tests pin the :mod:`repro.faults` grammar (threshold arming, scoping,
+pickle-resets-counters, the seeded kill schedule).  The ``chaos``-marked
+tests drive real worker processes through seeded fault plans and assert
+the supervision contract of DESIGN.md §15:
+
+* every non-shed request is answered **bit-identically** to a fault-free
+  run, no matter which workers died mid-drain (availability >= 99% on the
+  standard kill schedule, and 100% here because nothing sheds);
+* dead workers respawn (restart counters move, the frontend ends with all
+  workers live) until the per-worker circuit breaker trips, after which
+  traffic degrades to the survivors — or to inline coordinator execution
+  at zero live workers;
+* lost messages surface as deadline expiries and funnel into the same
+  retry path; injected worker clock skew changes nothing, because
+  liveness is judged by coordinator-clock receipt times.
+
+Every chaos test prints/embeds its plan seed, so a failure is a one-line
+reproduction: build the same plan, rerun the same schedule.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalPageRank
+from repro.errors import ConfigurationError, InjectedFault, ServeError
+from repro.faults import (
+    DELAY,
+    DROP,
+    KILL,
+    PARTIAL,
+    SKEW,
+    TORN,
+    FaultPlan,
+    FaultRule,
+    kill_each_worker_plan,
+)
+from repro.serve import (
+    ArenaPublisher,
+    MultiProcessFrontend,
+    QueryRequest,
+    WorkerConfig,
+    WriteAheadLog,
+    read_current,
+    read_wal,
+)
+from repro.serve.worker import (
+    HEARTBEAT,
+    READY,
+    STOP,
+    STOPPED,
+    worker_main,
+)
+from repro.store.persistence import save_shared_snapshot
+from repro.workloads.twitter_like import twitter_like_graph
+
+NUM_NODES = 36
+NUM_EDGES = 180
+CHAOS_SEED = 1234
+
+
+def _fresh_engine():
+    return IncrementalPageRank.from_graph(
+        twitter_like_graph(NUM_NODES, NUM_EDGES, rng=5),
+        walks_per_node=3,
+        rng=np.random.default_rng(0),
+    )
+
+
+def _wave(count: int = 40):
+    return [
+        QueryRequest(kind="topk", seed=s % NUM_NODES, k=5) for s in range(count)
+    ] + [
+        QueryRequest(kind="ppr", seed=s % NUM_NODES, length=48)
+        for s in range(count // 4)
+    ]
+
+
+def _identical(answer, reference) -> bool:
+    if answer is None or reference is None:
+        return answer is reference
+    if hasattr(reference, "ranking"):
+        return answer.ranking == reference.ranking
+    return answer.visit_counts == reference.visit_counts
+
+
+def _reference_answers(requests, **frontend_kwargs):
+    frontend = MultiProcessFrontend(
+        _fresh_engine(),
+        config=WorkerConfig(rng_seed=11),
+        **frontend_kwargs,
+    )
+    try:
+        return frontend.run(requests)
+    finally:
+        frontend.close()
+
+
+def _await_live(frontend, count, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if len(frontend.live_workers) >= count:
+            return
+        time.sleep(0.1)
+    raise AssertionError(
+        f"only {frontend.live_workers} workers live after {timeout}s"
+    )
+
+
+# ----------------------------------------------------------------------
+# Plan semantics (pure unit tests)
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_rule_validation(self):
+        with pytest.raises(ConfigurationError, match="unknown fault action"):
+            FaultRule(site="worker.batch", action="explode")
+        with pytest.raises(ConfigurationError, match="after"):
+            FaultRule(site="worker.batch", action=KILL, after=-1)
+        with pytest.raises(ConfigurationError, match="seconds"):
+            FaultRule(site="worker.batch", action=DELAY, seconds=-0.5)
+
+    def test_fire_threshold_and_once_semantics(self):
+        plan = FaultPlan([FaultRule(site="s", action=DROP, after=2)])
+        assert plan.fire("s") is None
+        assert plan.fire("s") is None
+        rule = plan.fire("s")
+        assert rule is not None and rule.action == DROP
+        assert plan.fire("s") is None  # fired once, stays quiet
+        assert plan.fired_count == 1
+
+    def test_repeat_rule_keeps_firing(self):
+        plan = FaultPlan([FaultRule(site="s", action=DROP, repeat=True)])
+        assert plan.fire("s") is not None
+        assert plan.fire("s") is not None
+
+    def test_worker_and_incarnation_scoping(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", action=KILL, worker=1, incarnation=0)]
+        )
+        assert plan.fire("s", worker=0) is None
+        assert plan.fire("s", worker=1, incarnation=2) is None
+        assert plan.fire("s", worker=1) is not None
+
+    def test_wildcard_incarnation_matches_respawns(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", action=KILL, incarnation=None, repeat=True)]
+        )
+        assert plan.fire("s", incarnation=0) is not None
+        assert plan.fire("s", incarnation=3) is not None
+
+    def test_two_rules_one_site_both_see_every_event(self):
+        plan = FaultPlan(
+            [
+                FaultRule(site="s", action=DROP, after=1),
+                FaultRule(site="s", action=DELAY, after=2, seconds=0.1),
+            ]
+        )
+        assert plan.fire("s") is None
+        assert plan.fire("s").action == DROP
+        # the delay rule counted both earlier events too
+        assert plan.fire("s").action == DELAY
+
+    def test_pickle_resets_counters(self):
+        plan = FaultPlan([FaultRule(site="s", action=DROP)], seed=9)
+        assert plan.fire("s") is not None
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == 9 and clone.rules == plan.rules
+        assert clone.fired_count == 0
+        assert clone.fire("s") is not None  # counts its own events afresh
+
+    def test_clock_skew_sums_without_advancing(self):
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="worker.clock", action=SKEW, worker=0, seconds=100.0
+                ),
+                FaultRule(site="worker.clock", action=SKEW, seconds=5.0),
+            ]
+        )
+        assert plan.clock_skew(worker=0) == 105.0
+        assert plan.clock_skew(worker=1) == 5.0
+        assert plan.fired_count == 0
+
+    def test_kill_each_worker_plan_is_seeded(self):
+        plan_a = kill_each_worker_plan(seed=7, num_workers=3)
+        plan_b = kill_each_worker_plan(seed=7, num_workers=3)
+        assert plan_a.rules == plan_b.rules
+        assert sorted(rule.worker for rule in plan_a.rules) == [0, 1, 2]
+        assert all(rule.action == KILL for rule in plan_a.rules)
+        assert (
+            kill_each_worker_plan(seed=8, num_workers=3).rules != plan_a.rules
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-level hooks (in-process, no spawn)
+# ----------------------------------------------------------------------
+
+
+def _run_worker_inline(tmp_path, config, script, idle=0.0):
+    """Drive worker_main in a thread over real queues; return responses."""
+    snapshot = tmp_path / "snap"
+    if not snapshot.exists():
+        save_shared_snapshot(_fresh_engine(), snapshot)
+    requests: queue.Queue = queue.Queue()
+    responses: queue.Queue = queue.Queue()
+    thread = threading.Thread(
+        target=worker_main,
+        args=(0, str(snapshot), 1, config, requests, responses),
+        daemon=True,
+    )
+    thread.start()
+    assert responses.get(timeout=30)[0] == READY
+    for message in script:
+        requests.put(message)
+    if idle:
+        time.sleep(idle)
+    requests.put((STOP,))
+    thread.join(timeout=30)
+    drained = []
+    while not responses.empty():
+        drained.append(responses.get_nowait())
+    return drained
+
+
+def test_idle_worker_emits_heartbeats(tmp_path):
+    config = WorkerConfig(rng_seed=11, heartbeat_interval=0.05)
+    drained = _run_worker_inline(tmp_path, config, [], idle=0.3)
+    tags = [message[0] for message in drained]
+    assert HEARTBEAT in tags
+    assert tags[-1] == STOPPED
+
+
+def test_heartbeat_drop_fault_suppresses_heartbeats(tmp_path):
+    plan = FaultPlan(
+        [FaultRule(site="worker.heartbeat", action=DROP, repeat=True)]
+    )
+    config = WorkerConfig(
+        rng_seed=11, heartbeat_interval=0.05, fault_plan=plan
+    )
+    drained = _run_worker_inline(tmp_path, config, [], idle=0.3)
+    assert HEARTBEAT not in [message[0] for message in drained]
+
+
+# ----------------------------------------------------------------------
+# WAL + publisher fault hooks (no worker processes)
+# ----------------------------------------------------------------------
+
+
+def test_torn_wal_append_fault(tmp_path):
+    engine = _fresh_engine()
+    plan = FaultPlan([FaultRule(site="wal.append", action=TORN, after=1)])
+    path = tmp_path / "updates.wal"
+    wal = WriteAheadLog(path, fault_plan=plan)
+    engine.attach_wal(wal)
+    free = [
+        (u, v)
+        for u in range(NUM_NODES)
+        for v in range(NUM_NODES)
+        if u != v and not engine.graph.has_edge(u, v)
+    ]
+    engine.add_edge(*free[0])
+    before = engine.pagerank().tobytes()
+    with pytest.raises(InjectedFault):
+        engine.add_edge(*free[1])
+    # write-ahead means the failed append aborted *before* the mutation
+    assert engine.pagerank().tobytes() == before
+    assert not engine.graph.has_edge(*free[1])
+    wal.close()
+    result = read_wal(path)
+    assert len(result.records) == 1 and result.torn
+    with WriteAheadLog(path) as reopened:  # reopen repairs the torn tail
+        assert reopened.records == 1
+    assert not read_wal(path).torn
+
+
+def test_partial_publish_leaves_old_generation_live(tmp_path):
+    plan = FaultPlan(
+        [FaultRule(site="publisher.publish", action=PARTIAL, after=1)]
+    )
+    publisher = ArenaPublisher(tmp_path, fault_plan=plan)
+    engine = _fresh_engine()
+    generation, directory = publisher.publish(engine)
+    assert read_current(tmp_path) == (generation, directory)
+    with pytest.raises(InjectedFault):
+        publisher.publish(engine)
+    # the pointer never flipped: readers still resolve the old generation
+    assert read_current(tmp_path) == (generation, directory)
+    generation2, directory2 = publisher.publish(engine)
+    assert generation2 == generation + 1
+    assert read_current(tmp_path) == (generation2, directory2)
+
+
+# ----------------------------------------------------------------------
+# Chaos batteries (worker processes + seeded fault plans)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestChaosSupervision:
+    def test_kill_each_worker_mid_drain_differential(self):
+        """The ISSUE acceptance: a seeded plan kills every worker at least
+        once mid-drain; every answer must be bit-identical to a fault-free
+        run, availability >= 99%, all workers live again at the end, and
+        the restarts are counted."""
+        requests = _wave(48)
+        plan = kill_each_worker_plan(seed=CHAOS_SEED, num_workers=2, lo=2, hi=6)
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=2,
+            config=WorkerConfig(
+                rng_seed=11, fault_plan=plan, heartbeat_interval=0.2
+            ),
+            request_timeout=20.0,
+            max_retries=3,
+            sweep_interval=0.1,
+        )
+        try:
+            answers = [
+                frontend.submit(request).result(timeout=120)
+                for request in requests
+            ]
+            _await_live(frontend, 2)
+            restarts = [frontend.worker_restarts(w) for w in (0, 1)]
+            restarts_metric = frontend.registry.counter(
+                "repro_serve_mp_worker_restarts_total", labels=("worker",)
+            ).total()
+            snapshot = frontend.registry.snapshot()
+        finally:
+            frontend.close()
+        reference = _reference_answers(requests, num_workers=2)
+        answered = sum(1 for answer in answers if answer is not None)
+        availability = answered / len(requests)
+        assert availability >= 0.99, (
+            f"availability {availability:.3f} (chaos seed {CHAOS_SEED})"
+        )
+        for index, (answer, expected) in enumerate(zip(answers, reference)):
+            assert _identical(answer, expected), (
+                f"answer {index} diverged under chaos seed {CHAOS_SEED}"
+            )
+        assert all(count >= 1 for count in restarts), restarts
+        assert restarts_metric == sum(restarts)
+        assert snapshot.get("repro_serve_retries_total", 0.0) > 0
+
+    def test_dropped_dispatch_hits_deadline_and_retries(self):
+        """A coordinator-side dropped message is invisible until the batch
+        deadline expires; the sweep terminates the (innocent) owner and
+        the death path re-executes the batch."""
+        requests = _wave(8)
+        plan = FaultPlan(
+            [FaultRule(site="frontend.dispatch", action=DROP, after=0)],
+            seed=CHAOS_SEED,
+        )
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=2,
+            config=WorkerConfig(rng_seed=11),
+            fault_plan=plan,
+            request_timeout=1.0,
+            max_retries=3,
+            sweep_interval=0.1,
+        )
+        try:
+            answers = frontend.run(requests)
+            snapshot = frontend.registry.snapshot()
+        finally:
+            frontend.close()
+        reference = _reference_answers(requests, num_workers=2)
+        assert all(
+            _identical(answer, expected)
+            for answer, expected in zip(answers, reference)
+        )
+        assert snapshot.get("repro_serve_retries_total", 0.0) > 0
+
+    def test_circuit_breaker_degrades_to_survivors(self):
+        """A worker that dies in every incarnation trips its breaker after
+        max_worker_restarts and traffic continues on the other worker."""
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="worker.batch",
+                    action=KILL,
+                    worker=0,
+                    incarnation=None,
+                    repeat=True,
+                )
+            ],
+            seed=CHAOS_SEED,
+        )
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=2,
+            config=WorkerConfig(rng_seed=11, fault_plan=plan),
+            request_timeout=20.0,
+            max_retries=5,
+            max_worker_restarts=1,
+            sweep_interval=0.1,
+        )
+        requests = _wave(16)
+        try:
+            answers = []
+            tripped = False
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline and not tripped:
+                # keep offering traffic so every incarnation of worker 0
+                # receives a batch (and dies) until the breaker trips
+                answers = [
+                    frontend.submit(request).result(timeout=60)
+                    for request in requests
+                ]
+                with frontend._lock:
+                    tripped = frontend._workers[0].tripped
+                if not tripped:
+                    time.sleep(0.3)
+            assert tripped, "breaker never tripped within 60s"
+            assert frontend.live_workers == [1]
+            assert frontend.worker_restarts(0) == 1
+            breaker_metric = frontend.registry.counter(
+                "repro_serve_mp_breaker_trips_total", labels=("worker",)
+            ).total()
+        finally:
+            frontend.close()
+        assert breaker_metric == 1.0
+        reference = _reference_answers(requests, num_workers=2)
+        assert all(
+            _identical(answer, expected)
+            for answer, expected in zip(answers, reference)
+        )
+
+    def test_inline_fallback_at_zero_live_workers(self):
+        """With every breaker tripped the coordinator serves inline from
+        the published snapshot — still bit-identical."""
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="worker.batch",
+                    action=KILL,
+                    incarnation=None,
+                    repeat=True,
+                )
+            ],
+            seed=CHAOS_SEED,
+        )
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=1,
+            config=WorkerConfig(rng_seed=11, fault_plan=plan),
+            request_timeout=20.0,
+            max_retries=3,
+            max_worker_restarts=0,
+            sweep_interval=0.1,
+        )
+        requests = _wave(12)
+        try:
+            answers = frontend.run(requests)
+            assert frontend.live_workers == []
+            snapshot = frontend.registry.snapshot()
+        finally:
+            frontend.close()
+        assert snapshot.get("repro_serve_mp_inline_total", 0.0) > 0
+        reference = _reference_answers(requests, num_workers=1)
+        assert all(
+            _identical(answer, expected)
+            for answer, expected in zip(answers, reference)
+        )
+
+    def test_injected_clock_skew_changes_nothing(self):
+        """Supervision judges liveness by coordinator-clock receipt times,
+        so a worker whose clock is an hour off neither gets restarted nor
+        answers differently."""
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="worker.clock", action=SKEW, worker=0, seconds=3600.0
+                )
+            ],
+            seed=CHAOS_SEED,
+        )
+        requests = _wave(16)
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=2,
+            config=WorkerConfig(
+                rng_seed=11, fault_plan=plan, heartbeat_interval=0.1
+            ),
+            sweep_interval=0.1,
+        )
+        try:
+            answers = frontend.run(requests)
+            time.sleep(0.5)  # several sweeps worth of heartbeat judging
+            assert [frontend.worker_restarts(w) for w in (0, 1)] == [0, 0]
+            assert frontend.live_workers == [0, 1]
+        finally:
+            frontend.close()
+        reference = _reference_answers(requests, num_workers=2)
+        assert all(
+            _identical(answer, expected)
+            for answer, expected in zip(answers, reference)
+        )
+
+
+@pytest.mark.chaos
+class TestEpochBarrierRegressions:
+    def test_publish_epoch_clears_waiter_when_publish_raises(self, tmp_path):
+        """Regression: a publish failure used to leak the registered epoch
+        waiter, so the *next* barrier could be completed by a stale ack."""
+        plan = FaultPlan(
+            [FaultRule(site="publisher.publish", action=PARTIAL, after=1)],
+            seed=CHAOS_SEED,
+        )
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=1,
+            root=tmp_path / "arenas",
+            config=WorkerConfig(rng_seed=11),
+            fault_plan=plan,
+        )
+        try:
+            with pytest.raises(InjectedFault):
+                frontend.publish_epoch()
+            assert frontend._epochs == {}
+            generation = frontend.publish_epoch()  # rule fired once; clean
+            assert generation == frontend.generation
+            answers = frontend.run(_wave(4))
+            assert all(answer is not None for answer in answers)
+        finally:
+            frontend.close()
+
+    def test_publish_epoch_clears_waiter_on_timeout(self):
+        """Regression: the timeout path pops the waiter, and the late ack
+        that eventually arrives must not complete a later barrier."""
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="worker.epoch",
+                    action=DELAY,
+                    worker=0,
+                    seconds=1.5,
+                )
+            ],
+            seed=CHAOS_SEED,
+        )
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=1,
+            config=WorkerConfig(rng_seed=11, fault_plan=plan),
+        )
+        try:
+            with pytest.raises(ServeError, match="not acked"):
+                frontend.publish_epoch(timeout=0.2)
+            assert frontend._epochs == {}
+            time.sleep(2.0)  # the delayed ack for the failed epoch lands
+            generation = frontend.publish_epoch(timeout=60.0)
+            assert generation == frontend.generation
+            assert frontend._epochs == {}
+        finally:
+            frontend.close()
+
+    def test_prune_spares_generations_workers_still_reference(self, tmp_path):
+        """Regression: count-based retention could delete the generation a
+        slow respawn was attaching when two publishes landed inside one
+        spawn window — every attach then died with INIT_ERROR and the
+        retries burned the breaker budget.  Prune must keep everything any
+        non-tripped slot still references."""
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=2,
+            root=tmp_path / "arenas",
+            config=WorkerConfig(rng_seed=11),
+        )
+        try:
+            with frontend._lock:
+                slot = frontend._workers[0]
+                slot.live = False  # dead, respawn not yet installed
+                slot.starting = True
+                pinned = slot.generation
+            for _ in range(3):  # retain=2 alone would drop ``pinned``
+                frontend.publish_epoch(timeout=60.0)
+            names = {path.name for path in (tmp_path / "arenas").glob("gen-*")}
+            assert f"gen-{pinned:06d}" in names, sorted(names)
+            with frontend._lock:
+                slot.live = True
+                slot.starting = False
+            frontend.publish_epoch(timeout=60.0)  # worker 0 rejoins the barrier
+            answers = frontend.run(_wave(4))
+            assert all(answer is not None for answer in answers)
+            # nothing pinned anymore: the next publish prunes back to retain
+            frontend.publish_epoch(timeout=60.0)
+            remaining = sorted((tmp_path / "arenas").glob("gen-*"))
+            assert len(remaining) <= frontend.publisher.retain
+        finally:
+            frontend.close()
+
+
+@pytest.mark.chaos
+class TestLifecycleHardening:
+    def test_close_tolerates_already_dead_workers(self):
+        frontend = MultiProcessFrontend(
+            _fresh_engine(), num_workers=2, config=WorkerConfig(rng_seed=11)
+        )
+        processes = list(frontend._processes)
+        processes[0].terminate()
+        processes[0].join(timeout=10)
+        frontend.close()  # must not raise
+        assert all(not process.is_alive() for process in processes)
+
+    def test_concurrent_close_is_idempotent(self):
+        """User-thread close racing the atexit hook (and itself)."""
+        frontend = MultiProcessFrontend(
+            _fresh_engine(), num_workers=2, config=WorkerConfig(rng_seed=11)
+        )
+        errors: list = []
+
+        def close_loop():
+            try:
+                frontend.close()
+            except Exception as exc:  # pragma: no cover - the bug
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close_loop) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert frontend.closed
+        assert all(not process.is_alive() for process in frontend._processes)
+
+    def test_close_during_in_flight_requests_fails_futures(self):
+        frontend = MultiProcessFrontend(
+            _fresh_engine(),
+            num_workers=1,
+            config=WorkerConfig(
+                rng_seed=11,
+                fault_plan=FaultPlan(
+                    [
+                        FaultRule(
+                            site="worker.batch",
+                            action=DELAY,
+                            seconds=5.0,
+                            repeat=True,
+                        )
+                    ]
+                ),
+            ),
+        )
+        future = frontend.submit(QueryRequest(kind="topk", seed=1, k=5))
+        frontend.close()
+        # the future must be settled either way — a graceful close waits
+        # out the in-flight batch (result), a forced one fails it — but a
+        # waiter may never hang on a closed frontend
+        try:
+            assert future.result(timeout=10) is not None
+        except ServeError:
+            pass
